@@ -1,0 +1,256 @@
+package enld
+
+// Benchmarks: one per table/figure of the paper (regenerating the artifact
+// at reduced scale per iteration) plus kernel benchmarks for the substrates
+// whose complexity the paper calls out (KD-tree versus brute-force k-NN,
+// §IV-D) and per-method end-to-end detection cost (Fig. 8).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benchmarks measure the full experiment pipeline — dataset
+// generation, platform training, every method on every shard — so they are
+// dominated by training time exactly as the paper's timings are.
+
+import (
+	"testing"
+
+	"enld/internal/core"
+	"enld/internal/dataset"
+	"enld/internal/experiments"
+	"enld/internal/kdtree"
+	"enld/internal/mat"
+	"enld/internal/nn"
+	"enld/internal/sampling"
+)
+
+// benchCfg is the reduced-scale configuration the per-figure benchmarks use.
+func benchCfg(seed uint64) experiments.Config {
+	return experiments.Config{
+		Seed:           seed,
+		DataScale:      0.4,
+		Shards:         2,
+		Etas:           []float64{0.2},
+		PlatformEpochs: 10,
+		Iterations:     3,
+	}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, benchCfg(uint64(i)+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13a(b *testing.B) { benchExperiment(b, "fig13a") }
+func BenchmarkFig13b(b *testing.B) { benchExperiment(b, "fig13b") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "tab2") }
+
+// Extension experiments (beyond the paper's evaluation; see DESIGN.md).
+func BenchmarkExt1(b *testing.B) { benchExperiment(b, "ext1") }
+func BenchmarkExt2(b *testing.B) { benchExperiment(b, "ext2") }
+func BenchmarkExt3(b *testing.B) { benchExperiment(b, "ext3") }
+
+// BenchmarkENLDAblations measures per-request cost of each §V-I ablation
+// variant on an identical incremental dataset — the cost side of Fig. 14
+// (e.g. ENLD-3 trades accuracy for a smaller training set).
+func BenchmarkENLDAblations(b *testing.B) {
+	wb := benchWorkbench(b)
+	shard := wb.Shards[0]
+	for name, cfg := range experiments.AblationVariants(wb.ENLDCfg) {
+		d := &core.ENLD{Platform: wb.Platform, Config: cfg}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Detect(shard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkContrastiveIndex compares the KD-tree contrastive sampler with
+// the brute-force scan inside a full detection run (§IV-D).
+func BenchmarkContrastiveIndex(b *testing.B) {
+	wb := benchWorkbench(b)
+	shard := wb.Shards[0]
+	for _, strat := range []sampling.Strategy{
+		sampling.Contrastive{},
+		sampling.Contrastive{Brute: true},
+	} {
+		cfg := wb.ENLDCfg
+		cfg.Strategy = strat
+		d := &core.ENLD{Platform: wb.Platform, Config: cfg}
+		b.Run(strat.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Detect(shard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchWorkbench builds one small prepared workload shared by the
+// per-method benchmarks.
+func benchWorkbench(b *testing.B) *experiments.Workbench {
+	b.Helper()
+	wb, err := experiments.BuildWorkbench("cifar100", 0.2, benchCfg(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return wb
+}
+
+// BenchmarkDetect measures per-request detection cost of each method on an
+// identical incremental dataset — the per-task process-time comparison
+// behind Fig. 8.
+func BenchmarkDetect(b *testing.B) {
+	wb := benchWorkbench(b)
+	shard := wb.Shards[0]
+	for _, d := range experiments.StandardMethods(wb, 99) {
+		b.Run(d.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Detect(shard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlatformSetup measures general-model initialization — the
+// paper's "setup time".
+func BenchmarkPlatformSetup(b *testing.B) {
+	cfg := benchCfg(1)
+	spec := dataset.CIFAR100Like(1).Scale(cfg.DataScale)
+	data, err := spec.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		inv := data.Clone()
+		b.StartTimer()
+		if _, err := NewPlatform(inv, DefaultPlatformConfig(spec.Classes, spec.FeatureDim, uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKNN compares the per-class KD-tree against the brute-force scan
+// for the k-nearest queries of contrastive sampling (§IV-D's complexity
+// argument: O(k·|A|·log|H'|) versus O(c·|A|·|H'|)).
+func BenchmarkKNN(b *testing.B) {
+	rng := mat.NewRNG(5)
+	const dim, k = 64, 3
+	for _, n := range []int{256, 1024, 4096} {
+		pts := make([]kdtree.Point, n)
+		for i := range pts {
+			pts[i] = kdtree.Point{Vec: rng.NormVec(make([]float64, dim), 0, 1), Payload: i}
+		}
+		query := rng.NormVec(make([]float64, dim), 0, 1)
+		tree, err := kdtree.Build(pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("kdtree/n="+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tree.KNearest(query, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("brute/n="+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				kdtree.BruteKNearest(pts, query, k)
+			}
+		})
+	}
+}
+
+// BenchmarkKDTreeBuild measures index construction, which contrastive
+// sampling repeats once per fine-grained NLD iteration.
+func BenchmarkKDTreeBuild(b *testing.B) {
+	rng := mat.NewRNG(6)
+	const dim = 64
+	pts := make([]kdtree.Point, 2048)
+	for i := range pts {
+		pts[i] = kdtree.Point{Vec: rng.NormVec(make([]float64, dim), 0, 1), Payload: i}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kdtree.Build(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainEpoch measures one epoch of the neural substrate — the unit
+// of work both TopoFilter's training and ENLD's fine-tuning are built from.
+func BenchmarkTrainEpoch(b *testing.B) {
+	rng := mat.NewRNG(7)
+	net, err := nn.Build(nn.SimResNet110, 48, 100, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	examples := make([]nn.Example, 512)
+	for i := range examples {
+		examples[i] = nn.Example{
+			X:      rng.NormVec(make([]float64, 48), 0, 1),
+			Target: nn.OneHot(i%100, 100),
+		}
+	}
+	trainer := nn.NewTrainer(net, nn.NewSGD(0.01, 0.9, 1e-4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trainer.Run(examples, nn.TrainConfig{Epochs: 1, BatchSize: 32, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForward measures inference cost — the unit behind the ambiguous/
+// high-quality re-scoring of each ENLD iteration.
+func BenchmarkForward(b *testing.B) {
+	rng := mat.NewRNG(8)
+	net, err := nn.Build(nn.SimResNet110, 48, 100, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := rng.NormVec(make([]float64, 48), 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Evaluate(x)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

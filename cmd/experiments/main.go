@@ -1,0 +1,83 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic substrates of this repository.
+//
+// Usage:
+//
+//	experiments -run fig5                 # one experiment
+//	experiments -run all                  # everything (minutes of CPU time)
+//	experiments -run fig8 -scale 0.5      # smaller/faster workloads
+//	experiments -run fig9 -etas 0.1,0.4   # custom noise-rate sweep
+//
+// See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for recorded
+// paper-versus-measured outcomes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"enld/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+") or 'all'")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		scale  = flag.Float64("scale", 1.0, "dataset size factor")
+		shards = flag.Int("shards", 0, "incremental dataset count (0 = paper count)")
+		epochs = flag.Int("epochs", 0, "platform training epochs (0 = default)")
+		iters  = flag.Int("iters", 0, "ENLD iterations t (0 = paper default per dataset)")
+		etas   = flag.String("etas", "", "comma-separated noise rates (default 0.1,0.2,0.3,0.4)")
+		csvDir = flag.String("csv", "", "also write results as CSV files into this directory")
+		noise  = flag.String("noise", "pair", "label-noise model: pair (paper) or symmetric")
+		md     = flag.Bool("md", false, "also print results as Markdown tables")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Seed:           *seed,
+		DataScale:      *scale,
+		Shards:         *shards,
+		PlatformEpochs: *epochs,
+		Iterations:     *iters,
+		Noise:          experiments.NoiseKind(*noise),
+		Out:            os.Stdout,
+	}
+	if *etas != "" {
+		for _, part := range strings.Split(*etas, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: bad eta %q: %v\n", part, err)
+				os.Exit(2)
+			}
+			cfg.Etas = append(cfg.Etas, v)
+		}
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		result, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := experiments.ExportCSV(result, *csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *md {
+			if table := experiments.ExportMarkdown(result); table != "" {
+				fmt.Println(table)
+			}
+		}
+		fmt.Printf("[%s done in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,3 @@
+module enld
+
+go 1.22

@@ -1,0 +1,224 @@
+package baselines
+
+import (
+	"testing"
+
+	"enld/internal/dataset"
+	"enld/internal/detect"
+	"enld/internal/mat"
+	"enld/internal/metrics"
+	"enld/internal/nn"
+	"enld/internal/noise"
+)
+
+// fixture bundles a trained general model with noisy inventory/incremental
+// splits of a small, well-separated synthetic task.
+type fixture struct {
+	model     *nn.Network
+	inventory dataset.Set
+	incr      dataset.Set
+	classes   int
+}
+
+func newFixture(t *testing.T, eta float64, seed uint64) *fixture {
+	t.Helper()
+	sp := dataset.Spec{
+		Name: "fix", Classes: 6, FeatureDim: 10, PerClass: 60,
+		Separation: 4, Spread: 1, Seed: seed,
+	}
+	full, err := sp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := noise.Pair(sp.Classes, eta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mat.NewRNG(seed + 1)
+	if _, err := noise.Apply(full, tm, rng); err != nil {
+		t.Fatal(err)
+	}
+	inv, incr, err := dataset.SplitRatio(full, 2.0/3.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := nn.Build(nn.SimResNet110, sp.FeatureDim, sp.Classes, mat.NewRNG(seed+2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer := nn.NewTrainer(model, nn.NewSGD(0.01, 0.9, 1e-4))
+	if _, err := trainer.Run(dataset.ToExamples(inv, sp.Classes), nn.TrainConfig{
+		Epochs: 12, BatchSize: 32, Mixup: true, Seed: seed + 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{model: model, inventory: inv, incr: incr, classes: sp.Classes}
+}
+
+func evaluate(t *testing.T, d detect.Detector, set dataset.Set) metrics.Detection {
+	t.Helper()
+	res, err := d.Detect(set)
+	if err != nil {
+		t.Fatalf("%s: %v", d.Name(), err)
+	}
+	// Every sample must be classified exactly once.
+	for _, smp := range set {
+		n, c := res.Noisy[smp.ID], res.Clean[smp.ID]
+		if n == c {
+			t.Fatalf("%s: sample %d noisy=%v clean=%v", d.Name(), smp.ID, n, c)
+		}
+	}
+	return metrics.EvaluateDetection(set, res.Noisy)
+}
+
+func TestDefaultDetector(t *testing.T) {
+	f := newFixture(t, 0.2, 1)
+	det := evaluate(t, Default{Model: f.model}, f.incr)
+	// On a well-separated task the general model's disagreement should find
+	// most noise with decent precision.
+	if det.F1 < 0.6 {
+		t.Fatalf("Default F1 = %v", det.F1)
+	}
+}
+
+func TestDefaultFlagsMissingAsNoisy(t *testing.T) {
+	f := newFixture(t, 0.1, 2)
+	set := f.incr.Clone()
+	set[0].Observed = dataset.Missing
+	res, err := Default{Model: f.model}.Detect(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Noisy[set[0].ID] {
+		t.Fatal("missing label not flagged")
+	}
+}
+
+func TestConfidentLearningVariants(t *testing.T) {
+	f := newFixture(t, 0.2, 3)
+	for _, v := range []CLVariant{PruneByClass, PruneByNoiseRate} {
+		det := evaluate(t, ConfidentLearning{Model: f.model, Variant: v}, f.incr)
+		if det.F1 < 0.5 {
+			t.Fatalf("variant %d F1 = %v", v, det.F1)
+		}
+	}
+}
+
+func TestConfidentLearningNames(t *testing.T) {
+	if (ConfidentLearning{Variant: PruneByClass}).Name() != "cl-1" {
+		t.Error("cl-1 name")
+	}
+	if (ConfidentLearning{Variant: PruneByNoiseRate}).Name() != "cl-2" {
+		t.Error("cl-2 name")
+	}
+}
+
+func TestConfidentLearningPrunesLessAggressivelyThanDefault(t *testing.T) {
+	// CL requires confident evidence before flagging, so on clean data it
+	// should flag (almost) nothing even when Default flags borderline cases.
+	f := newFixture(t, 0.0, 4)
+	clRes, err := ConfidentLearning{Model: f.model, Variant: PruneByClass}.Detect(f.incr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := float64(len(clRes.Noisy)) / float64(len(f.incr)); frac > 0.15 {
+		t.Fatalf("CL flagged %v of a clean dataset", frac)
+	}
+}
+
+func TestTopoFilterDetects(t *testing.T) {
+	f := newFixture(t, 0.2, 5)
+	tf := TopoFilter{
+		InputDim:  10,
+		Classes:   f.classes,
+		Inventory: f.inventory,
+		Config:    TopoFilterConfig{Epochs: 12, BatchSize: 32, LR: 0.01, Momentum: 0.9, KNN: 5, Seed: 6},
+	}
+	det := evaluate(t, tf, f.incr)
+	if det.F1 < 0.6 {
+		t.Fatalf("TopoFilter F1 = %v", det.F1)
+	}
+	if det.Recall < 0.6 {
+		t.Fatalf("TopoFilter recall = %v", det.Recall)
+	}
+}
+
+func TestTopoFilterChargesTrainingCost(t *testing.T) {
+	f := newFixture(t, 0.2, 7)
+	tf := TopoFilter{InputDim: 10, Classes: f.classes, Inventory: f.inventory,
+		Config: TopoFilterConfig{Epochs: 3, BatchSize: 32, LR: 0.01, Momentum: 0.9, KNN: 5, Seed: 8}}
+	res, err := tf.Detect(f.incr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	related := detect.RestrictToLabels(f.inventory, f.incr.Labels())
+	want := int64(3 * (len(related) + len(f.incr)))
+	if res.Meter.TrainSampleVisits != want {
+		t.Fatalf("train visits = %d, want %d", res.Meter.TrainSampleVisits, want)
+	}
+}
+
+func TestTopoFilterErrors(t *testing.T) {
+	f := newFixture(t, 0.1, 9)
+	if _, err := (TopoFilter{}).Detect(f.incr); err == nil {
+		t.Error("zero-value config accepted")
+	}
+	if _, err := (TopoFilter{InputDim: 10, Classes: f.classes}).Detect(nil); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestTopoFilterMissingLabelsStayNoisy(t *testing.T) {
+	f := newFixture(t, 0.1, 10)
+	set := f.incr.Clone()
+	set[0].Observed = dataset.Missing
+	set[1].Observed = dataset.Missing
+	tf := TopoFilter{InputDim: 10, Classes: f.classes, Inventory: f.inventory,
+		Config: TopoFilterConfig{Epochs: 2, BatchSize: 32, LR: 0.01, Momentum: 0.9, KNN: 5, Seed: 11}}
+	res, err := tf.Detect(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Noisy[set[0].ID] || !res.Noisy[set[1].ID] {
+		t.Fatal("missing labels not flagged noisy")
+	}
+}
+
+func TestTopoFilterBeatsDefaultOnHardTask(t *testing.T) {
+	// On a task with confusable groups, training-based detection must beat
+	// the general model's raw disagreement — the central qualitative claim
+	// of Figs. 5 and 7.
+	sp := dataset.Spec{
+		Name: "hard", Classes: 10, FeatureDim: 12, PerClass: 60,
+		Separation: 4, Spread: 1, GroupSize: 5, WithinGroup: 0.3, Seed: 20,
+	}
+	full, err := sp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, _ := noise.Pair(sp.Classes, 0.3)
+	rng := mat.NewRNG(21)
+	if _, err := noise.Apply(full, tm, rng); err != nil {
+		t.Fatal(err)
+	}
+	inv, incr, err := dataset.SplitRatio(full, 2.0/3.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := nn.Build(nn.SimResNet110, sp.FeatureDim, sp.Classes, mat.NewRNG(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer := nn.NewTrainer(model, nn.NewSGD(0.01, 0.9, 1e-4))
+	if _, err := trainer.Run(dataset.ToExamples(inv, sp.Classes), nn.TrainConfig{
+		Epochs: 10, BatchSize: 32, Mixup: true, Seed: 23,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defF1 := evaluate(t, Default{Model: model}, incr).F1
+	tfF1 := evaluate(t, TopoFilter{InputDim: sp.FeatureDim, Classes: sp.Classes, Inventory: inv,
+		Config: TopoFilterConfig{Epochs: 15, BatchSize: 32, LR: 0.01, Momentum: 0.9, KNN: 5, Seed: 24}}, incr).F1
+	if tfF1 <= defF1-0.05 {
+		t.Fatalf("TopoFilter F1 %v not competitive with Default %v on hard task", tfF1, defF1)
+	}
+}

@@ -1,0 +1,260 @@
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"enld/internal/cost"
+	"enld/internal/dataset"
+	"enld/internal/detect"
+	"enld/internal/mat"
+	"enld/internal/nn"
+)
+
+// CoTeachingConfig controls the Co-teaching baseline.
+type CoTeachingConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Momentum  float64
+	// ForgetRate is the final fraction of each batch treated as noisy and
+	// excluded from the peer's update. Zero means estimate it from the
+	// disagreement rate of a warm model on D (the usual practice when the
+	// true noise rate is unknown), capped at MaxForgetRate.
+	ForgetRate float64
+	// WarmupEpochs trains both networks on everything before selection
+	// starts, and ramps the forget rate linearly afterwards.
+	WarmupEpochs int
+	Seed         uint64
+}
+
+// MaxForgetRate caps the estimated forget rate.
+const MaxForgetRate = 0.45
+
+// DefaultCoTeachingConfig mirrors the sizing of the other per-request
+// training baselines.
+func DefaultCoTeachingConfig(seed uint64) CoTeachingConfig {
+	return CoTeachingConfig{
+		Epochs: 16, BatchSize: 32, LR: 0.01, Momentum: 0.9,
+		WarmupEpochs: 3, Seed: seed,
+	}
+}
+
+// CoTeaching adapts the Co-teaching method [Han et al., NeurIPS 2018] into a
+// detector: two networks train simultaneously on the label-related inventory
+// plus the incremental dataset; in every batch each network selects its
+// small-loss samples — the likely-clean ones — for the *peer's* parameter
+// update, which keeps the networks from confirming their own mistakes. After
+// training, the incremental samples whose final losses under both networks
+// fall in the top forget-rate fraction are flagged noisy.
+//
+// Along with LossTrack and INCV, this covers the §II sample-selection family
+// the paper reviews but does not evaluate.
+type CoTeaching struct {
+	Arch      nn.Arch
+	InputDim  int
+	Classes   int
+	Inventory dataset.Set
+	Config    CoTeachingConfig
+}
+
+// Name implements detect.Detector.
+func (CoTeaching) Name() string { return "coteaching" }
+
+// Detect implements detect.Detector.
+func (c CoTeaching) Detect(set dataset.Set) (*detect.Result, error) {
+	if c.InputDim < 1 || c.Classes < 2 {
+		return nil, fmt.Errorf("baselines: CoTeaching dims input=%d classes=%d", c.InputDim, c.Classes)
+	}
+	if len(set) == 0 {
+		return nil, errors.New("baselines: empty incremental dataset")
+	}
+	arch := c.Arch
+	if arch == "" {
+		arch = nn.SimResNet110
+	}
+	cfg := c.Config
+	if cfg.Epochs <= 0 {
+		cfg = DefaultCoTeachingConfig(cfg.Seed)
+	}
+	if cfg.BatchSize <= 1 {
+		cfg.BatchSize = 32
+	}
+	sw := cost.StartStopwatch()
+	res := detect.NewResult()
+	rng := mat.NewRNG(cfg.Seed)
+
+	related := detect.RestrictToLabels(c.Inventory, set.Labels())
+	corpus := make(dataset.Set, 0, len(related)+len(set))
+	corpus = append(corpus, related...)
+	corpus = append(corpus, set...)
+	type example struct {
+		x      []float64
+		target []float64
+	}
+	examples := make([]example, 0, len(corpus))
+	for _, smp := range corpus {
+		if smp.Observed == dataset.Missing {
+			continue
+		}
+		examples = append(examples, example{x: smp.X, target: nn.OneHot(smp.Observed, c.Classes)})
+	}
+	if len(examples) == 0 {
+		return nil, errors.New("baselines: CoTeaching has no labelled samples to train on")
+	}
+
+	netA, err := nn.Build(arch, c.InputDim, c.Classes, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	netB, err := nn.Build(arch, c.InputDim, c.Classes, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	optA := nn.NewSGD(cfg.LR, cfg.Momentum, 0)
+	optB := nn.NewSGD(cfg.LR, cfg.Momentum, 0)
+	gradsA := netA.NewGrads()
+	gradsB := netB.NewGrads()
+
+	forgetRate := cfg.ForgetRate
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Forget-rate schedule: 0 during warm-up, then linear ramp to the
+		// target over the next WarmupEpochs epochs.
+		target := forgetRate
+		if target <= 0 && epoch >= cfg.WarmupEpochs {
+			// Estimate once, right after warm-up, from netA's disagreement
+			// on the incremental dataset.
+			forgetRate = c.estimateForgetRate(netA, set, res)
+			target = forgetRate
+		}
+		rate := 0.0
+		if epoch >= cfg.WarmupEpochs && cfg.WarmupEpochs > 0 {
+			ramp := float64(epoch-cfg.WarmupEpochs+1) / float64(cfg.WarmupEpochs)
+			if ramp > 1 {
+				ramp = 1
+			}
+			rate = target * ramp
+		} else if cfg.WarmupEpochs == 0 {
+			rate = target
+		}
+
+		order := rng.Perm(len(examples))
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			keep := len(batch) - int(rate*float64(len(batch)))
+			if keep < 1 {
+				keep = 1
+			}
+			lossesA := make([]float64, len(batch))
+			lossesB := make([]float64, len(batch))
+			for n, idx := range batch {
+				lossesA[n] = netA.Loss(examples[idx].x, examples[idx].target)
+				lossesB[n] = netB.Loss(examples[idx].x, examples[idx].target)
+				res.Meter.ForwardPasses += 2
+			}
+			selA := smallestK(lossesA, keep) // A's picks train B
+			selB := smallestK(lossesB, keep) // B's picks train A
+			gradsA.Zero()
+			for _, n := range selB {
+				idx := batch[n]
+				netA.Backward(gradsA, examples[idx].x, examples[idx].target)
+				res.Meter.TrainSampleVisits++
+			}
+			optA.Step(netA, gradsA, len(selB))
+			gradsB.Zero()
+			for _, n := range selA {
+				idx := batch[n]
+				netB.Backward(gradsB, examples[idx].x, examples[idx].target)
+				res.Meter.TrainSampleVisits++
+			}
+			optB.Step(netB, gradsB, len(selA))
+			res.Meter.ParamUpdates += 2
+		}
+	}
+
+	// Detection: rank incremental samples by combined final loss; the top
+	// forget-rate fraction is flagged noisy. Missing labels are flagged
+	// directly.
+	type ranked struct {
+		id   int
+		loss float64
+	}
+	var rankedSamples []ranked
+	for _, smp := range set {
+		if smp.Observed == dataset.Missing {
+			res.MarkNoisy(smp.ID)
+			continue
+		}
+		target := nn.OneHot(smp.Observed, c.Classes)
+		loss := netA.Loss(smp.X, target) + netB.Loss(smp.X, target)
+		res.Meter.ForwardPasses += 2
+		rankedSamples = append(rankedSamples, ranked{id: smp.ID, loss: loss})
+	}
+	sort.Slice(rankedSamples, func(i, j int) bool {
+		if rankedSamples[i].loss != rankedSamples[j].loss {
+			return rankedSamples[i].loss > rankedSamples[j].loss
+		}
+		return rankedSamples[i].id < rankedSamples[j].id
+	})
+	flag := int(forgetRate * float64(len(rankedSamples)))
+	for n, r := range rankedSamples {
+		if n < flag {
+			res.MarkNoisy(r.id)
+		} else {
+			res.MarkClean(r.id)
+		}
+	}
+	res.Process = sw.Elapsed()
+	return res, nil
+}
+
+// estimateForgetRate uses the warm model's disagreement rate on the
+// incremental dataset as a noise-rate proxy, capped at MaxForgetRate.
+func (c CoTeaching) estimateForgetRate(model *nn.Network, set dataset.Set, res *detect.Result) float64 {
+	disagree, total := 0, 0
+	for _, smp := range set {
+		if smp.Observed == dataset.Missing {
+			continue
+		}
+		total++
+		res.Meter.ForwardPasses++
+		if model.Predict(smp.X) != smp.Observed {
+			disagree++
+		}
+	}
+	if total == 0 {
+		return MaxForgetRate
+	}
+	rate := float64(disagree) / float64(total)
+	if rate > MaxForgetRate {
+		rate = MaxForgetRate
+	}
+	if rate < 0.05 {
+		rate = 0.05
+	}
+	return rate
+}
+
+// smallestK returns the indices of the k smallest values, ties broken by
+// index for determinism.
+func smallestK(values []float64, k int) []int {
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if values[idx[a]] != values[idx[b]] {
+			return values[idx[a]] < values[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

@@ -1,0 +1,78 @@
+package baselines
+
+import (
+	"testing"
+
+	"enld/internal/dataset"
+)
+
+func TestCoTeachingDetects(t *testing.T) {
+	f := newFixture(t, 0.2, 70)
+	ct := CoTeaching{
+		InputDim: 10, Classes: f.classes, Inventory: f.inventory,
+		Config: CoTeachingConfig{Epochs: 10, BatchSize: 32, LR: 0.01, Momentum: 0.9,
+			WarmupEpochs: 2, Seed: 71},
+	}
+	det := evaluate(t, ct, f.incr)
+	if det.F1 < 0.55 {
+		t.Fatalf("CoTeaching F1 = %v", det.F1)
+	}
+}
+
+func TestCoTeachingFixedForgetRate(t *testing.T) {
+	f := newFixture(t, 0.3, 72)
+	ct := CoTeaching{
+		InputDim: 10, Classes: f.classes, Inventory: f.inventory,
+		Config: CoTeachingConfig{Epochs: 8, BatchSize: 32, LR: 0.01, Momentum: 0.9,
+			ForgetRate: 0.3, WarmupEpochs: 2, Seed: 73},
+	}
+	res, err := ct.Detect(f.incr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a fixed forget rate the flagged fraction matches it exactly.
+	want := int(0.3 * float64(len(f.incr)))
+	if len(res.Noisy) != want {
+		t.Fatalf("flagged %d, want %d", len(res.Noisy), want)
+	}
+}
+
+func TestCoTeachingErrors(t *testing.T) {
+	f := newFixture(t, 0.1, 74)
+	if _, err := (CoTeaching{}).Detect(f.incr); err == nil {
+		t.Error("zero-value config accepted")
+	}
+	if _, err := (CoTeaching{InputDim: 10, Classes: f.classes}).Detect(nil); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestCoTeachingMissingLabelsFlagged(t *testing.T) {
+	f := newFixture(t, 0.1, 75)
+	set := f.incr.Clone()
+	set[0].Observed = dataset.Missing
+	ct := CoTeaching{InputDim: 10, Classes: f.classes, Inventory: f.inventory,
+		Config: CoTeachingConfig{Epochs: 3, BatchSize: 32, LR: 0.01, Momentum: 0.9,
+			ForgetRate: 0.2, WarmupEpochs: 1, Seed: 76}}
+	res, err := ct.Detect(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Noisy[set[0].ID] {
+		t.Fatal("missing label not flagged")
+	}
+}
+
+func TestSmallestK(t *testing.T) {
+	got := smallestK([]float64{3, 1, 2, 1}, 2)
+	// Two smallest are the 1s at indices 1 and 3 (tie broken by index).
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("smallestK = %v", got)
+	}
+	if got := smallestK([]float64{5}, 10); len(got) != 1 {
+		t.Fatalf("over-ask = %v", got)
+	}
+	if got := smallestK(nil, 3); len(got) != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+}

@@ -1,0 +1,173 @@
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"enld/internal/cost"
+	"enld/internal/dataset"
+	"enld/internal/detect"
+	"enld/internal/mat"
+	"enld/internal/nn"
+)
+
+// INCVConfig controls the cross-validation baseline.
+type INCVConfig struct {
+	// Iterations of the select-and-retrain loop. Each iteration trains two
+	// fresh models on the current halves and keeps the cross-agreeing
+	// samples.
+	Iterations int
+	Epochs     int
+	BatchSize  int
+	LR         float64
+	Momentum   float64
+	Seed       uint64
+}
+
+// DefaultINCVConfig sizes the loop like the paper's other training-based
+// baselines.
+func DefaultINCVConfig(seed uint64) INCVConfig {
+	return INCVConfig{Iterations: 2, Epochs: 12, BatchSize: 32, LR: 0.01, Momentum: 0.9, Seed: seed}
+}
+
+// INCV is an iterative-noisy-cross-validation detector in the style of
+// [Chen et al., ICML 2019]: the incremental dataset is split randomly in
+// half; a model trained on one half (plus the label-related inventory)
+// predicts the other, and samples whose observed label matches the
+// cross-prediction are selected as clean. Iterating on the selected subset
+// sharpens the split. Samples never selected by either direction are
+// declared noisy.
+//
+// Like LossTrack, this extends the paper's comparison set with a §II
+// related-work family that the paper discusses but does not evaluate.
+type INCV struct {
+	Arch      nn.Arch
+	InputDim  int
+	Classes   int
+	Inventory dataset.Set
+	Config    INCVConfig
+}
+
+// Name implements detect.Detector.
+func (INCV) Name() string { return "incv" }
+
+// Detect implements detect.Detector.
+func (v INCV) Detect(set dataset.Set) (*detect.Result, error) {
+	if v.InputDim < 1 || v.Classes < 2 {
+		return nil, fmt.Errorf("baselines: INCV dims input=%d classes=%d", v.InputDim, v.Classes)
+	}
+	if len(set) == 0 {
+		return nil, errors.New("baselines: empty incremental dataset")
+	}
+	arch := v.Arch
+	if arch == "" {
+		arch = nn.SimResNet110
+	}
+	cfg := v.Config
+	if cfg.Iterations <= 0 {
+		cfg = DefaultINCVConfig(cfg.Seed)
+	}
+	sw := cost.StartStopwatch()
+	res := detect.NewResult()
+	rng := mat.NewRNG(cfg.Seed)
+
+	related := detect.RestrictToLabels(v.Inventory, set.Labels())
+
+	// Everything starts noisy; cross-validation rescues clean samples.
+	for _, smp := range set {
+		res.MarkNoisy(smp.ID)
+	}
+
+	// candidate holds the indices of set still eligible for selection; in
+	// later iterations, training uses only previously selected samples plus
+	// the related inventory, which is the "iterative" part of INCV.
+	candidate := make([]int, 0, len(set))
+	for i, smp := range set {
+		if smp.Observed != dataset.Missing {
+			candidate = append(candidate, i)
+		}
+	}
+	selected := map[int]bool{} // indices of set chosen as clean
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		if len(candidate) < 2 {
+			break
+		}
+		perm := rng.Perm(len(candidate))
+		mid := len(candidate) / 2
+		halves := [2][]int{}
+		for n, pi := range perm {
+			idx := candidate[pi]
+			halves[boolToInt(n >= mid)] = append(halves[boolToInt(n >= mid)], idx)
+		}
+		newlySelected := map[int]bool{}
+		for h := 0; h < 2; h++ {
+			trainIdx, testIdx := halves[h], halves[1-h]
+			model, err := v.trainHalf(arch, related, set, trainIdx, selected, cfg, rng.Uint64(), res)
+			if err != nil {
+				return nil, err
+			}
+			for _, i := range testIdx {
+				res.Meter.ForwardPasses++
+				if model.Predict(set[i].X) == set[i].Observed {
+					newlySelected[i] = true
+				}
+			}
+		}
+		for i := range newlySelected {
+			selected[i] = true
+		}
+		// Next iteration re-validates only the selected subset, tightening
+		// the clean pool.
+		candidate = candidate[:0]
+		for i := range selected {
+			candidate = append(candidate, i)
+		}
+		sort.Ints(candidate) // determinism: map iteration order is random
+	}
+
+	for i := range selected {
+		res.MarkClean(set[i].ID)
+	}
+	res.Process = sw.Elapsed()
+	return res, nil
+}
+
+// trainHalf trains a fresh model on the related inventory plus the given
+// indices of set.
+func (v INCV) trainHalf(arch nn.Arch, related, set dataset.Set, trainIdx []int,
+	alreadySelected map[int]bool, cfg INCVConfig, seed uint64, res *detect.Result) (*nn.Network, error) {
+	corpus := make(dataset.Set, 0, len(related)+len(trainIdx)+len(alreadySelected))
+	corpus = append(corpus, related...)
+	for _, i := range trainIdx {
+		corpus = append(corpus, set[i])
+	}
+	examples := dataset.ToExamples(corpus, v.Classes)
+	if len(examples) == 0 {
+		return nil, errors.New("baselines: INCV has no labelled samples to train on")
+	}
+	model, err := nn.Build(arch, v.InputDim, v.Classes, mat.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	trainer := nn.NewTrainer(model, nn.NewSGD(cfg.LR, cfg.Momentum, 0))
+	stats, err := trainer.Run(examples, nn.TrainConfig{
+		Epochs: cfg.Epochs, BatchSize: cfg.BatchSize, Seed: seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baselines: INCV training: %w", err)
+	}
+	for _, st := range stats {
+		res.Meter.TrainSampleVisits += int64(st.SamplesSeen)
+		res.Meter.ParamUpdates += int64(st.BatchUpdates)
+	}
+	return model, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

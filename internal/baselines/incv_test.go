@@ -1,0 +1,80 @@
+package baselines
+
+import (
+	"testing"
+
+	"enld/internal/dataset"
+)
+
+func TestINCVDetects(t *testing.T) {
+	f := newFixture(t, 0.2, 60)
+	v := INCV{
+		InputDim: 10, Classes: f.classes, Inventory: f.inventory,
+		Config: INCVConfig{Iterations: 2, Epochs: 8, BatchSize: 32, LR: 0.01, Momentum: 0.9, Seed: 61},
+	}
+	det := evaluate(t, v, f.incr)
+	if det.F1 < 0.6 {
+		t.Fatalf("INCV F1 = %v", det.F1)
+	}
+}
+
+func TestINCVErrors(t *testing.T) {
+	f := newFixture(t, 0.1, 62)
+	if _, err := (INCV{}).Detect(f.incr); err == nil {
+		t.Error("zero-value config accepted")
+	}
+	if _, err := (INCV{InputDim: 10, Classes: f.classes}).Detect(nil); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestINCVMissingLabelsStayNoisy(t *testing.T) {
+	f := newFixture(t, 0.1, 63)
+	set := f.incr.Clone()
+	set[0].Observed = dataset.Missing
+	v := INCV{InputDim: 10, Classes: f.classes, Inventory: f.inventory,
+		Config: INCVConfig{Iterations: 1, Epochs: 3, BatchSize: 32, LR: 0.01, Momentum: 0.9, Seed: 64}}
+	res, err := v.Detect(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Noisy[set[0].ID] {
+		t.Fatal("missing label selected as clean")
+	}
+}
+
+func TestINCVDeterministic(t *testing.T) {
+	f := newFixture(t, 0.2, 65)
+	v := INCV{InputDim: 10, Classes: f.classes, Inventory: f.inventory,
+		Config: INCVConfig{Iterations: 1, Epochs: 4, BatchSize: 32, LR: 0.01, Momentum: 0.9, Seed: 66}}
+	a, err := v.Detect(f.incr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := v.Detect(f.incr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Noisy) != len(b.Noisy) {
+		t.Fatalf("non-deterministic: %d vs %d", len(a.Noisy), len(b.Noisy))
+	}
+	for id := range a.Noisy {
+		if !b.Noisy[id] {
+			t.Fatal("noisy sets differ across runs")
+		}
+	}
+}
+
+func TestINCVTinyDataset(t *testing.T) {
+	f := newFixture(t, 0.2, 67)
+	v := INCV{InputDim: 10, Classes: f.classes, Inventory: f.inventory,
+		Config: INCVConfig{Iterations: 2, Epochs: 2, BatchSize: 8, LR: 0.01, Momentum: 0.9, Seed: 68}}
+	// One labelled sample: the candidate pool collapses; must not panic.
+	res, err := v.Detect(f.incr[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Noisy)+len(res.Clean) != 1 {
+		t.Fatal("single sample not classified")
+	}
+}

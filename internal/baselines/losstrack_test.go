@@ -1,0 +1,83 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"enld/internal/dataset"
+)
+
+func TestLossTrackDetects(t *testing.T) {
+	f := newFixture(t, 0.2, 30)
+	lt := LossTrack{
+		InputDim: 10, Classes: f.classes, Inventory: f.inventory,
+		Config: LossTrackConfig{Rounds: 2, Epochs: 6, BatchSize: 32,
+			MaxLR: 0.02, MinLR: 0.002, Momentum: 0.9, Seed: 31},
+	}
+	det := evaluate(t, lt, f.incr)
+	if det.F1 < 0.6 {
+		t.Fatalf("LossTrack F1 = %v", det.F1)
+	}
+}
+
+func TestLossTrackErrors(t *testing.T) {
+	f := newFixture(t, 0.1, 32)
+	if _, err := (LossTrack{}).Detect(f.incr); err == nil {
+		t.Error("zero-value config accepted")
+	}
+	if _, err := (LossTrack{InputDim: 10, Classes: f.classes}).Detect(nil); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestLossTrackMissingLabelsFlagged(t *testing.T) {
+	f := newFixture(t, 0.1, 33)
+	set := f.incr.Clone()
+	set[0].Observed = dataset.Missing
+	lt := LossTrack{InputDim: 10, Classes: f.classes, Inventory: f.inventory,
+		Config: LossTrackConfig{Rounds: 2, Epochs: 3, BatchSize: 32,
+			MaxLR: 0.02, MinLR: 0.002, Momentum: 0.9, Seed: 34}}
+	res, err := lt.Detect(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Noisy[set[0].ID] {
+		t.Fatal("missing label not flagged")
+	}
+}
+
+func TestTwoMeansThreshold(t *testing.T) {
+	// Clear bimodal data: threshold must separate the clusters.
+	values := []float64{0.1, 0.2, 0.15, 0.12, 5.0, 5.2, 4.9}
+	th := twoMeansThreshold(values)
+	if th < 0.2 || th > 4.9 {
+		t.Fatalf("threshold %v does not separate clusters", th)
+	}
+	// Degenerate inputs flag nothing.
+	if th := twoMeansThreshold([]float64{1}); !math.IsInf(th, 1) {
+		t.Fatalf("single value threshold %v", th)
+	}
+	if th := twoMeansThreshold([]float64{2, 2, 2}); !math.IsInf(th, 1) {
+		t.Fatalf("constant values threshold %v", th)
+	}
+	if th := twoMeansThreshold(nil); !math.IsInf(th, 1) {
+		t.Fatalf("empty threshold %v", th)
+	}
+}
+
+func TestLossTrackChargesCost(t *testing.T) {
+	f := newFixture(t, 0.2, 35)
+	lt := LossTrack{InputDim: 10, Classes: f.classes, Inventory: f.inventory,
+		Config: LossTrackConfig{Rounds: 2, Epochs: 2, BatchSize: 32,
+			MaxLR: 0.02, MinLR: 0.002, Momentum: 0.9, Seed: 36}}
+	res, err := lt.Detect(f.incr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Meter.TrainSampleVisits == 0 || res.Meter.ForwardPasses == 0 {
+		t.Fatalf("meter incomplete: %+v", res.Meter)
+	}
+	if res.Process <= 0 {
+		t.Fatal("process time missing")
+	}
+}

@@ -1,0 +1,483 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"enld/internal/cost"
+	"enld/internal/dataset"
+	"enld/internal/detect"
+	"enld/internal/mat"
+	"enld/internal/nn"
+	"enld/internal/sampling"
+)
+
+// Config controls fine-grained noisy label detection (Algorithm 3).
+type Config struct {
+	// K is the contrastive-samples-size hyperparameter (k in Algorithm 2):
+	// each sampling pass selects k contrastive samples per ambiguous sample.
+	K int
+	// Iterations is the training-iteration count t; Steps is the number of
+	// training/selection steps s within each iteration. The paper uses
+	// s = 5 with t = 5 (EMNIST) or t = 17 (CIFAR-100, Tiny-ImageNet).
+	Iterations int
+	Steps      int
+	// WarmupEpochs trains the cloned model on the initial contrastive set
+	// before the iterations start, keeping the snapshot with the best
+	// validation accuracy on D (the warming-up process). The paper uses 2.
+	WarmupEpochs int
+
+	// Fine-tuning hyperparameters.
+	FinetuneLR float64
+	Momentum   float64
+	BatchSize  int
+
+	// Strategy selects contrastive samples; nil means the paper's
+	// contrastive sampling. Substituting a different strategy reproduces
+	// the §V-D comparison (Random/HC/LC/Entropy/Pseudo) and the ENLD-1 and
+	// ENLD-4 ablations.
+	Strategy sampling.Strategy
+
+	// DisableMajorityVoting (ENLD-2) adds a sample to the clean set as soon
+	// as a single step's prediction matches the observed label, instead of
+	// requiring a strict majority of the iteration's steps.
+	DisableMajorityVoting bool
+	// DisableCleanMerge (ENLD-3) skips merging the selected clean samples
+	// into the contrastive set (drops line 21's C = C ∪ S).
+	DisableCleanMerge bool
+
+	// AutoStop ends the iteration loop early once the clean set has not
+	// changed for two consecutive iterations. §V-C observes that high noise
+	// rates converge (and flatten) quickly, recommending a smaller t there;
+	// auto-stop implements that recommendation without hand-tuning t per
+	// noise regime. Iterations remains the upper bound.
+	AutoStop bool
+
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's hyperparameters: k = 3, s = 5, warming
+// up for 2 epochs. Iterations defaults to 5; harder tasks use 17 (§V-A6).
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		K:            3,
+		Iterations:   5,
+		Steps:        5,
+		WarmupEpochs: 2,
+		FinetuneLR:   0.01,
+		Momentum:     0.9,
+		BatchSize:    32,
+		Seed:         seed,
+	}
+}
+
+// IterationSnapshot records the detector's state after one iteration of
+// fine-grained NLD; the Fig. 9 (metric trajectories) and Fig. 13(b)
+// (ambiguous-sample counts) experiments consume these.
+type IterationSnapshot struct {
+	// Noisy is the noisy set N as of this iteration's end.
+	Noisy map[int]bool
+	// AmbiguousCount is |A| after re-scoring with the fine-tuned model.
+	AmbiguousCount int
+	// ContrastiveSize is |C| used for the next iteration's training.
+	ContrastiveSize int
+}
+
+// FullResult extends the common detection result with ENLD-specific outputs.
+type FullResult struct {
+	*detect.Result
+	// Snapshots holds one entry per completed iteration.
+	Snapshots []IterationSnapshot
+	// SelectedInventory is S_c: the IDs of inventory (I_c) samples judged
+	// clean in every iteration — input to Algorithm 4's model update.
+	SelectedInventory map[int]bool
+	// PseudoLabels maps the ID of each missing-label sample to the label
+	// chosen by majority vote over all steps' predictions (§V-H).
+	PseudoLabels map[int]int
+}
+
+// ENLD is the paper's detector. It is stateless across Detect calls except
+// for the shared Platform; each call clones the general model.
+type ENLD struct {
+	Platform *Platform
+	Config   Config
+}
+
+// Name implements detect.Detector.
+func (e *ENLD) Name() string { return "enld" }
+
+// Detect implements detect.Detector.
+func (e *ENLD) Detect(d dataset.Set) (*detect.Result, error) {
+	full, err := e.DetectFull(d)
+	if err != nil {
+		return nil, err
+	}
+	return full.Result, nil
+}
+
+// DetectFull runs fine-grained noisy label detection with contrastive
+// sampling (Algorithms 2 and 3) and returns the extended result.
+func (e *ENLD) DetectFull(d dataset.Set) (*FullResult, error) {
+	if e.Platform == nil {
+		return nil, errors.New("core: ENLD needs a platform")
+	}
+	if len(d) == 0 {
+		return nil, errors.New("core: empty incremental dataset")
+	}
+	cfg := e.Config
+	if cfg.K <= 0 || cfg.Iterations <= 0 || cfg.Steps <= 0 {
+		return nil, fmt.Errorf("core: invalid config k=%d t=%d s=%d", cfg.K, cfg.Iterations, cfg.Steps)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	strategy := cfg.Strategy
+	if strategy == nil {
+		strategy = sampling.Contrastive{}
+	}
+
+	sw := cost.StartStopwatch()
+	res := &FullResult{
+		Result:            detect.NewResult(),
+		SelectedInventory: make(map[int]bool),
+		PseudoLabels:      make(map[int]int),
+	}
+	rng := mat.NewRNG(cfg.Seed)
+	classes := e.Platform.Classes()
+
+	// I' = inventory candidates restricted to label(D) (Algorithm 3 line 3).
+	iPrime := detect.RestrictToLabels(e.Platform.Ic, d.Labels())
+
+	model := e.Platform.Model.Clone() // θ'
+	trainer := nn.NewTrainer(model, nn.NewSGD(cfg.FinetuneLR, cfg.Momentum, 0))
+
+	// Initial ambiguous set and contrastive samples under θ (Algorithm 1
+	// lines 5–7).
+	run := &nldRun{
+		e: e, cfg: cfg, strategy: strategy, rng: rng,
+		d: d, iPrime: iPrime, classes: classes,
+		model: model, trainer: trainer, res: res,
+	}
+	if err := run.resample(); err != nil {
+		return nil, err
+	}
+	if err := run.warmup(); err != nil {
+		return nil, err
+	}
+
+	pseudoVotes := make(map[int][]int) // d-index → per-class vote counts
+	cleanIDs := make(map[int]bool)
+	countC := make([]int, len(iPrime))
+
+	voteThreshold := cfg.Steps/2 + 1
+	stableIters := 0
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		count := make([]int, len(d))
+		for step := 0; step < cfg.Steps; step++ {
+			if err := run.trainEpoch(); err != nil {
+				return nil, err
+			}
+			// Selection pass: compare predictions with observed labels.
+			for i, smp := range d {
+				pred := model.Predict(smp.X)
+				res.Meter.ForwardPasses++
+				if smp.Observed == dataset.Missing {
+					votes := pseudoVotes[i]
+					if votes == nil {
+						votes = make([]int, classes)
+						pseudoVotes[i] = votes
+					}
+					votes[pred]++
+					continue
+				}
+				if pred == smp.Observed {
+					count[i]++
+					if cfg.DisableMajorityVoting {
+						cleanIDs[smp.ID] = true
+					}
+				}
+			}
+		}
+		if !cfg.DisableMajorityVoting {
+			for i, c := range count {
+				if c >= voteThreshold {
+					cleanIDs[d[i].ID] = true
+				}
+			}
+		}
+
+		// Sample update: re-score D and I' under the fine-tuned model, track
+		// inventory samples that stay high-quality, then re-sample C.
+		if err := run.resample(); err != nil {
+			return nil, err
+		}
+		for _, idx := range run.hqIdx {
+			countC[idx]++
+		}
+		if !cfg.DisableCleanMerge {
+			run.mergeClean(cleanIDs)
+		}
+
+		res.Snapshots = append(res.Snapshots, IterationSnapshot{
+			Noisy:           noisyOf(d, cleanIDs),
+			AmbiguousCount:  len(run.ambIdx),
+			ContrastiveSize: len(run.contrastive),
+		})
+
+		if cfg.AutoStop {
+			n := len(res.Snapshots)
+			if n >= 2 && sameIDSet(res.Snapshots[n-1].Noisy, res.Snapshots[n-2].Noisy) {
+				stableIters++
+			} else {
+				stableIters = 0
+			}
+			if stableIters >= 2 {
+				break
+			}
+		}
+	}
+
+	// Final partition of D.
+	for _, smp := range d {
+		if cleanIDs[smp.ID] {
+			res.MarkClean(smp.ID)
+		} else {
+			res.MarkNoisy(smp.ID)
+		}
+	}
+	// Pseudo labels for missing-label samples by majority vote (§V-H).
+	for i, votes := range pseudoVotes {
+		res.PseudoLabels[d[i].ID] = mat.ArgMax(intsToFloats(votes))
+	}
+	// Data selection of inventory: stringent criterion — judged high-quality
+	// in every iteration (count == t).
+	for i, c := range countC {
+		if c == cfg.Iterations {
+			res.SelectedInventory[iPrime[i].ID] = true
+		}
+	}
+	res.Process = sw.Elapsed()
+	return res, nil
+}
+
+// nldRun carries the per-request mutable state of fine-grained NLD so the
+// phases above stay readable.
+type nldRun struct {
+	e        *ENLD
+	cfg      Config
+	strategy sampling.Strategy
+	rng      *mat.RNG
+
+	d       dataset.Set
+	iPrime  dataset.Set
+	classes int
+
+	model   *nn.Network
+	trainer *nn.Trainer
+	res     *FullResult
+
+	// Refreshed by resample:
+	ambIdx      []int       // indices of D in the ambiguous set A
+	hqIdx       []int       // indices of I' in the filtered high-quality set H'
+	contrastive dataset.Set // current contrastive set C
+}
+
+// resample re-scores D and I' under the current model, rebuilds A and H'
+// (Definition 1 plus the mean-confidence filter of §IV-E), and runs the
+// sampling strategy to produce a fresh contrastive set C.
+func (r *nldRun) resample() error {
+	dScores := detect.Score(r.model, r.d, &r.res.Meter)
+	iScores := detect.Score(r.model, r.iPrime, &r.res.Meter)
+
+	r.ambIdx = detect.Ambiguous(r.d, dScores.Predicted)
+	r.hqIdx = highQualityFiltered(r.iPrime, iScores)
+
+	// Assemble the sampler's view. Missing-label ambiguous samples have no
+	// observed label for the probability draw; substitute the model's
+	// current prediction, which is the best available estimate.
+	amb := make(dataset.Set, 0, len(r.ambIdx))
+	ambFeats := make([][]float64, 0, len(r.ambIdx))
+	for _, i := range r.ambIdx {
+		smp := r.d[i]
+		if smp.Observed == dataset.Missing {
+			smp.Observed = dScores.Predicted[i]
+		}
+		amb = append(amb, smp)
+		ambFeats = append(ambFeats, dScores.Features[i])
+	}
+	pool := make(dataset.Set, 0, len(r.hqIdx))
+	poolFeats := make([][]float64, 0, len(r.hqIdx))
+	poolConf := make([]float64, 0, len(r.hqIdx))
+	poolEnt := make([]float64, 0, len(r.hqIdx))
+	poolPred := make([]int, 0, len(r.hqIdx))
+	for _, i := range r.hqIdx {
+		pool = append(pool, r.iPrime[i])
+		poolFeats = append(poolFeats, iScores.Features[i])
+		poolConf = append(poolConf, iScores.MaxConf[i])
+		poolEnt = append(poolEnt, iScores.Entropy[i])
+		poolPred = append(poolPred, iScores.Predicted[i])
+	}
+	req := &sampling.Request{
+		Ambiguous:         amb,
+		AmbiguousFeatures: ambFeats,
+		Pool:              pool,
+		PoolFeatures:      poolFeats,
+		PoolConfidences:   poolConf,
+		PoolEntropies:     poolEnt,
+		PoolPredicted:     poolPred,
+		// Baseline policies of §V-A5 select from the uncurated candidates
+		// (no high-quality filter), as the paper specifies "in I_c".
+		RawPool:            r.iPrime,
+		RawPoolConfidences: iScores.MaxConf,
+		RawPoolEntropies:   iScores.Entropy,
+		RawPoolPredicted:   iScores.Predicted,
+		Cond:               r.e.Platform.Cond,
+		K:                  r.cfg.K,
+		RNG:                r.rng,
+		Meter:              &r.res.Meter,
+	}
+	if len(amb) == 0 || len(pool) == 0 {
+		r.contrastive = nil
+		return nil
+	}
+	c, err := r.strategy.Select(req)
+	if err != nil {
+		return fmt.Errorf("core: contrastive sampling: %w", err)
+	}
+	r.contrastive = c
+	return nil
+}
+
+// mergeClean appends D's currently selected clean samples to C
+// (Algorithm 3 line 21), stabilizing the fine-tuning set.
+func (r *nldRun) mergeClean(cleanIDs map[int]bool) {
+	for _, smp := range r.d {
+		if cleanIDs[smp.ID] {
+			r.contrastive = append(r.contrastive, smp)
+		}
+	}
+}
+
+// trainEpoch runs one training pass over the contrastive set. An empty C
+// (no ambiguous samples remain) is a no-op: the model is already consistent
+// with D's labels wherever it matters.
+func (r *nldRun) trainEpoch() error {
+	if len(r.contrastive) == 0 {
+		return nil
+	}
+	examples := dataset.ToExamples(r.contrastive, r.classes)
+	if len(examples) == 0 {
+		return nil
+	}
+	stats, err := r.trainer.Run(examples, nn.TrainConfig{
+		Epochs:    1,
+		BatchSize: r.cfg.BatchSize,
+		Seed:      r.rng.Uint64(),
+	})
+	if err != nil {
+		return fmt.Errorf("core: fine-tune epoch: %w", err)
+	}
+	for _, st := range stats {
+		r.res.Meter.TrainSampleVisits += int64(st.SamplesSeen)
+		r.res.Meter.ParamUpdates += int64(st.BatchUpdates)
+	}
+	return nil
+}
+
+// warmup trains on the initial contrastive set for WarmupEpochs, keeping the
+// parameter snapshot with the best observed-label validation accuracy on D.
+func (r *nldRun) warmup() error {
+	if r.cfg.WarmupEpochs <= 0 || len(r.contrastive) == 0 {
+		return nil
+	}
+	best := r.model.Clone()
+	bestAcc := r.validationAccuracy()
+	for epoch := 0; epoch < r.cfg.WarmupEpochs; epoch++ {
+		if err := r.trainEpoch(); err != nil {
+			return err
+		}
+		if acc := r.validationAccuracy(); acc > bestAcc {
+			bestAcc = acc
+			if err := best.CopyFrom(r.model); err != nil {
+				return err
+			}
+		}
+	}
+	return r.model.CopyFrom(best)
+}
+
+// validationAccuracy is the fraction of D's labelled samples whose predicted
+// label matches the observed label under the current model.
+func (r *nldRun) validationAccuracy() float64 {
+	total, agree := 0, 0
+	for _, smp := range r.d {
+		if smp.Observed == dataset.Missing {
+			continue
+		}
+		total++
+		if r.model.Predict(smp.X) == smp.Observed {
+			agree++
+		}
+		r.res.Meter.ForwardPasses++
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(agree) / float64(total)
+}
+
+// highQualityFiltered returns the indices of set forming H': samples whose
+// prediction matches their observed label, further filtered to those with
+// confidence at or above the mean of their predicted class (§IV-E's
+// "average predicted probability" criterion for cleaner contrastive
+// samples).
+func highQualityFiltered(set dataset.Set, scores *detect.Scores) []int {
+	agree := detect.Agreeing(set, scores.Predicted)
+	sum := make(map[int]float64)
+	n := make(map[int]int)
+	for _, i := range agree {
+		c := scores.Predicted[i]
+		sum[c] += scores.MaxConf[i]
+		n[c]++
+	}
+	out := make([]int, 0, len(agree))
+	for _, i := range agree {
+		c := scores.Predicted[i]
+		if scores.MaxConf[i] >= sum[c]/float64(n[c]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// noisyOf materializes the complement of cleanIDs over d as an ID set.
+func noisyOf(d dataset.Set, cleanIDs map[int]bool) map[int]bool {
+	out := make(map[int]bool)
+	for _, smp := range d {
+		if !cleanIDs[smp.ID] {
+			out[smp.ID] = true
+		}
+	}
+	return out
+}
+
+// sameIDSet reports whether two ID sets are equal.
+func sameIDSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id := range a {
+		if !b[id] {
+			return false
+		}
+	}
+	return true
+}
+
+func intsToFloats(x []int) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = float64(v)
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"enld/internal/dataset"
+	"enld/internal/metrics"
+	"enld/internal/sampling"
+)
+
+func TestENLDSnapshotCountsMatchConfig(t *testing.T) {
+	w := newWorkload(t, 0.2, false, 40)
+	for _, iters := range []int{1, 3} {
+		cfg := DefaultConfig(41)
+		cfg.Iterations = iters
+		res, err := (&ENLD{Platform: w.platform, Config: cfg}).DetectFull(w.incr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Snapshots) != iters {
+			t.Fatalf("iters=%d: %d snapshots", iters, len(res.Snapshots))
+		}
+	}
+}
+
+func TestENLDWarmupDisabled(t *testing.T) {
+	// WarmupEpochs = 0 must still work (Algorithm 3 without line 4).
+	w := newWorkload(t, 0.2, false, 42)
+	cfg := DefaultConfig(43)
+	cfg.WarmupEpochs = 0
+	res, err := (&ENLD{Platform: w.platform, Config: cfg}).DetectFull(w.incr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Noisy)+len(res.Clean) != len(w.incr) {
+		t.Fatal("partition incomplete without warmup")
+	}
+}
+
+func TestENLDCleanMergeGrowsContrastiveSet(t *testing.T) {
+	// With the merge enabled, |C| in later iterations includes the selected
+	// clean set; disabling it (ENLD-3) must shrink the recorded sizes.
+	w := newWorkload(t, 0.2, false, 44)
+	base := DefaultConfig(45)
+	with, err := (&ENLD{Platform: w.platform, Config: base}).DetectFull(w.incr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noMerge := base
+	noMerge.DisableCleanMerge = true
+	without, err := (&ENLD{Platform: w.platform, Config: noMerge}).DetectFull(w.incr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(with.Snapshots) - 1
+	if with.Snapshots[last].ContrastiveSize <= without.Snapshots[last].ContrastiveSize {
+		t.Fatalf("merge did not grow C: with=%d without=%d",
+			with.Snapshots[last].ContrastiveSize, without.Snapshots[last].ContrastiveSize)
+	}
+}
+
+func TestENLDDisableMajorityVotingMoreAggressive(t *testing.T) {
+	// ENLD-2 marks clean on any single agreement, so its clean set can only
+	// be a superset of the majority-voted one under identical seeds.
+	w := newWorkload(t, 0.3, false, 46)
+	base := DefaultConfig(47)
+	strict, err := (&ENLD{Platform: w.platform, Config: base}).DetectFull(w.incr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose := base
+	loose.DisableMajorityVoting = true
+	aggressive, err := (&ENLD{Platform: w.platform, Config: loose}).DetectFull(w.incr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggressive.Clean) < len(strict.Clean) {
+		t.Fatalf("ENLD-2 selected fewer clean (%d) than majority voting (%d)",
+			len(aggressive.Clean), len(strict.Clean))
+	}
+}
+
+func TestENLDAllStrategiesProduceFullPartition(t *testing.T) {
+	w := newWorkload(t, 0.2, false, 48)
+	for _, strat := range sampling.All() {
+		cfg := DefaultConfig(49)
+		cfg.Iterations = 2
+		cfg.Strategy = strat
+		res, err := (&ENLD{Platform: w.platform, Config: cfg}).DetectFull(w.incr)
+		if err != nil {
+			t.Fatalf("%s: %v", strat.Name(), err)
+		}
+		for _, smp := range w.incr {
+			if res.Noisy[smp.ID] == res.Clean[smp.ID] {
+				t.Fatalf("%s: sample %d not partitioned", strat.Name(), smp.ID)
+			}
+		}
+	}
+}
+
+func TestENLDHandlesAllMissingLabels(t *testing.T) {
+	// Degenerate arrival: every label missing. Detection must not fail; all
+	// samples get pseudo labels and are flagged noisy.
+	w := newWorkload(t, 0.1, false, 50)
+	set := w.incr.Clone()
+	for i := range set {
+		set[i].Observed = dataset.Missing
+	}
+	res, err := (&ENLD{Platform: w.platform, Config: DefaultConfig(51)}).DetectFull(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PseudoLabels) != len(set) {
+		t.Fatalf("%d pseudo labels for %d samples", len(res.PseudoLabels), len(set))
+	}
+	for _, smp := range set {
+		if !res.Noisy[smp.ID] {
+			t.Fatal("unlabeled sample not flagged")
+		}
+	}
+}
+
+func TestENLDHandlesCleanDataset(t *testing.T) {
+	// A perfectly clean arrival: nearly everything should be kept.
+	w := newWorkload(t, 0.0, false, 52)
+	res, err := (&ENLD{Platform: w.platform, Config: DefaultConfig(53)}).DetectFull(w.incr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := float64(len(res.Noisy)) / float64(len(w.incr)); frac > 0.15 {
+		t.Fatalf("flagged %v of a clean dataset", frac)
+	}
+}
+
+func TestENLDSingleSampleDataset(t *testing.T) {
+	w := newWorkload(t, 0.2, false, 54)
+	single := w.incr[:1].Clone()
+	res, err := (&ENLD{Platform: w.platform, Config: DefaultConfig(55)}).DetectFull(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Noisy[single[0].ID] == res.Clean[single[0].ID] {
+		t.Fatal("single sample not partitioned")
+	}
+}
+
+func TestENLDAutoStop(t *testing.T) {
+	w := newWorkload(t, 0.1, false, 90)
+	cfg := DefaultConfig(91)
+	cfg.Iterations = 12
+	cfg.AutoStop = true
+	res, err := (&ENLD{Platform: w.platform, Config: cfg}).DetectFull(w.incr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On an easy low-noise task the clean set stabilizes well before 12
+	// iterations; auto-stop must cut the loop short.
+	if len(res.Snapshots) >= 12 {
+		t.Fatalf("auto-stop did not trigger: %d iterations", len(res.Snapshots))
+	}
+	// Quality must match the full run within tolerance.
+	full := cfg
+	full.AutoStop = false
+	ref, err := (&ENLD{Platform: w.platform, Config: full}).DetectFull(w.incr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := metrics.EvaluateDetection(w.incr, res.Noisy).F1
+	want := metrics.EvaluateDetection(w.incr, ref.Noisy).F1
+	if got < want-0.05 {
+		t.Fatalf("auto-stop F1 %v well below full F1 %v", got, want)
+	}
+}

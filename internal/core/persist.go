@@ -1,0 +1,97 @@
+package core
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"enld/internal/dataset"
+	"enld/internal/nn"
+	"enld/internal/noise"
+)
+
+// platformSnapshot is the gob wire format of a Platform. The model is
+// embedded as its own gob stream (nn.Network has private fields and its own
+// Save/Load), so the snapshot carries it as raw bytes.
+type platformSnapshot struct {
+	ModelBytes []byte
+	Cond       noise.Conditional
+	It         dataset.Set
+	Ic         dataset.Set
+	Config     PlatformConfig
+	SetupTime  time.Duration
+}
+
+// Save persists the platform — general model, probability estimate,
+// inventory halves and configuration — so a restarted service can resume
+// serving detection requests without repeating the setup phase.
+func (p *Platform) Save(w io.Writer) error {
+	var model bytesBuffer
+	if err := p.Model.Save(&model); err != nil {
+		return fmt.Errorf("core: save platform model: %w", err)
+	}
+	snap := platformSnapshot{
+		ModelBytes: model.data,
+		Cond:       p.Cond,
+		It:         p.It,
+		Ic:         p.Ic,
+		Config:     p.Config,
+		SetupTime:  p.SetupTime,
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("core: save platform: %w", err)
+	}
+	return nil
+}
+
+// LoadPlatform reads a platform previously written with Save.
+func LoadPlatform(r io.Reader) (*Platform, error) {
+	var snap platformSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: load platform: %w", err)
+	}
+	if len(snap.ModelBytes) == 0 {
+		return nil, errors.New("core: load platform: missing model")
+	}
+	model, err := nn.Load(&bytesBuffer{data: snap.ModelBytes})
+	if err != nil {
+		return nil, fmt.Errorf("core: load platform model: %w", err)
+	}
+	if model.Classes() != snap.Config.Classes || model.InputDim() != snap.Config.InputDim {
+		return nil, errors.New("core: load platform: model/config mismatch")
+	}
+	if len(snap.It) == 0 || len(snap.Ic) == 0 {
+		return nil, errors.New("core: load platform: empty inventory halves")
+	}
+	return &Platform{
+		Model:     model,
+		Cond:      snap.Cond,
+		It:        snap.It,
+		Ic:        snap.Ic,
+		Config:    snap.Config,
+		SetupTime: snap.SetupTime,
+	}, nil
+}
+
+// bytesBuffer is a minimal in-memory io.ReadWriter; bytes.Buffer would work
+// but this keeps the read position explicit for the nested gob stream.
+type bytesBuffer struct {
+	data []byte
+	off  int
+}
+
+func (b *bytesBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+func (b *bytesBuffer) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}

@@ -1,0 +1,46 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMeterAdd(t *testing.T) {
+	var m Meter
+	m.Add(Meter{ForwardPasses: 3, TrainSampleVisits: 10, ParamUpdates: 2, KNNQueries: 100})
+	m.Add(Meter{ForwardPasses: 1, TrainSampleVisits: 5})
+	if m.ForwardPasses != 4 || m.TrainSampleVisits != 15 || m.ParamUpdates != 2 || m.KNNQueries != 100 {
+		t.Fatalf("Meter = %+v", m)
+	}
+}
+
+func TestMeterTotalWeighting(t *testing.T) {
+	a := Meter{TrainSampleVisits: 100}
+	b := Meter{ForwardPasses: 100}
+	if a.Total() <= b.Total() {
+		t.Fatal("training visits must dominate forward passes")
+	}
+	c := Meter{KNNQueries: 100}
+	if b.Total() <= c.Total() {
+		t.Fatal("forward passes must dominate knn queries")
+	}
+}
+
+func TestMeterString(t *testing.T) {
+	m := Meter{TrainSampleVisits: 7, ForwardPasses: 1, ParamUpdates: 2, KNNQueries: 3}
+	s := m.String()
+	for _, want := range []string{"train=7", "fwd=1", "updates=2", "knn=3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	sw := StartStopwatch()
+	time.Sleep(time.Millisecond)
+	if sw.Elapsed() < time.Millisecond {
+		t.Fatal("stopwatch did not advance")
+	}
+}

@@ -1,0 +1,226 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"enld/internal/mat"
+)
+
+func TestSpecValidate(t *testing.T) {
+	good := EMNISTLike(1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Spec{
+		{Name: "c", Classes: 1, FeatureDim: 4, PerClass: 10, Separation: 1, Spread: 1},
+		{Name: "d", Classes: 3, FeatureDim: 0, PerClass: 10, Separation: 1, Spread: 1},
+		{Name: "p", Classes: 3, FeatureDim: 4, PerClass: 0, Separation: 1, Spread: 1},
+		{Name: "s", Classes: 3, FeatureDim: 4, PerClass: 10, Separation: 0, Spread: 1},
+		{Name: "s2", Classes: 3, FeatureDim: 4, PerClass: 10, Separation: 1, Spread: -1},
+	}
+	for _, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("spec %q validated", c.Name)
+		}
+	}
+}
+
+func TestGenerateShapeAndCleanLabels(t *testing.T) {
+	sp := Spec{Name: "t", Classes: 4, FeatureDim: 8, PerClass: 25, Separation: 3, Spread: 1, Seed: 1}
+	set, err := sp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 100 {
+		t.Fatalf("generated %d samples", len(set))
+	}
+	ids := map[int]bool{}
+	perClass := map[int]int{}
+	for _, s := range set {
+		if len(s.X) != 8 {
+			t.Fatalf("feature dim %d", len(s.X))
+		}
+		if s.Observed != s.True {
+			t.Fatal("generated sample is pre-noised")
+		}
+		if ids[s.ID] {
+			t.Fatalf("duplicate ID %d", s.ID)
+		}
+		ids[s.ID] = true
+		perClass[s.True]++
+	}
+	for c := 0; c < 4; c++ {
+		if perClass[c] != 25 {
+			t.Fatalf("class %d has %d samples", c, perClass[c])
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	sp := CIFAR100Like(7).Scale(0.1)
+	a, err := sp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := sp.Generate()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		for d := range a[i].X {
+			if a[i].X[d] != b[i].X[d] {
+				t.Fatal("same seed produced different data")
+			}
+		}
+	}
+}
+
+func TestGenerateSeparation(t *testing.T) {
+	// With high separation/spread ratio, a nearest-class-mean rule should be
+	// nearly perfect — the property that makes the EMNIST-like task "easy".
+	sp := Spec{Name: "sep", Classes: 6, FeatureDim: 12, PerClass: 50, Separation: 6, Spread: 1, Seed: 2}
+	set, err := sp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := classMeansOf(set, sp.Classes, sp.FeatureDim)
+	correct := 0
+	for _, s := range set {
+		best, bestD := -1, 0.0
+		for c, m := range means {
+			d := mat.SqDist(s.X, m)
+			if best == -1 || d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best == s.True {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(set)); acc < 0.99 {
+		t.Fatalf("nearest-mean accuracy %v on well-separated data", acc)
+	}
+}
+
+func classMeansOf(set Set, classes, dim int) [][]float64 {
+	means := make([][]float64, classes)
+	counts := make([]int, classes)
+	for c := range means {
+		means[c] = make([]float64, dim)
+	}
+	for _, s := range set {
+		mat.Axpy(1, s.X, means[s.True])
+		counts[s.True]++
+	}
+	for c := range means {
+		if counts[c] > 0 {
+			mat.Scale(1/float64(counts[c]), means[c])
+		}
+	}
+	return means
+}
+
+func TestGroupingMakesNeighboursConfusable(t *testing.T) {
+	// With grouping, consecutive classes inside a group must be much closer
+	// than classes from different groups — this is what makes pair noise
+	// hard, mirroring CIFAR-100 superclasses.
+	sp := Spec{Name: "g", Classes: 10, FeatureDim: 16, PerClass: 40,
+		Separation: 4, Spread: 1, GroupSize: 5, WithinGroup: 0.3, Seed: 3}
+	set, err := sp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := classMeansOf(set, sp.Classes, sp.FeatureDim)
+	within := mat.Dist(means[0], means[1])  // same group
+	across := mat.Dist(means[0], means[5])  // different groups
+	within2 := mat.Dist(means[5], means[6]) // same group
+	across2 := mat.Dist(means[4], means[5]) // adjacent indices, different groups
+	if within >= across || within2 >= across2 {
+		t.Fatalf("grouping not confusable: within=%v across=%v within2=%v across2=%v",
+			within, across, within2, across2)
+	}
+}
+
+func TestScale(t *testing.T) {
+	sp := EMNISTLike(1)
+	if got := sp.Scale(0.5).PerClass; got != sp.PerClass/2 {
+		t.Errorf("Scale(0.5) PerClass = %d", got)
+	}
+	if got := sp.Scale(0.00001).PerClass; got != 1 {
+		t.Errorf("Scale tiny PerClass = %d", got)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	p := Presets(1)
+	if len(p) != 3 {
+		t.Fatalf("presets: %d", len(p))
+	}
+	wantClasses := map[string]int{"emnist": 26, "cifar100": 100, "tinyimagenet": 200}
+	for name, sp := range p {
+		if err := sp.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if sp.Classes != wantClasses[name] {
+			t.Errorf("%s classes = %d, want %d", name, sp.Classes, wantClasses[name])
+		}
+	}
+}
+
+func TestSetHelpers(t *testing.T) {
+	s := Set{
+		{ID: 0, Observed: 1, True: 1},
+		{ID: 1, Observed: 2, True: 1}, // noisy
+		{ID: 2, Observed: Missing, True: 3},
+		{ID: 3, Observed: 1, True: 1},
+	}
+	labels := s.Labels()
+	if !labels[1] || !labels[2] || labels[3] || labels[Missing] {
+		t.Fatalf("Labels = %v", labels)
+	}
+	by := s.ByObserved()
+	if len(by[1]) != 2 || len(by[2]) != 1 {
+		t.Fatalf("ByObserved = %v", by)
+	}
+	noisy := s.NoisyIDs()
+	if !noisy[1] || !noisy[2] || noisy[0] || noisy[3] {
+		t.Fatalf("NoisyIDs = %v", noisy)
+	}
+	if !s[2].IsMissing() || s[0].IsMissing() {
+		t.Fatal("IsMissing wrong")
+	}
+	c := s.Clone()
+	c[0].Observed = 9
+	if s[0].Observed == 9 {
+		t.Fatal("Clone shares label storage")
+	}
+}
+
+// Property: generation never produces out-of-range labels or ragged vectors.
+func TestGenerateProperty(t *testing.T) {
+	f := func(seed uint64, classes, perClass uint8) bool {
+		sp := Spec{
+			Name:       "prop",
+			Classes:    int(classes%10) + 2,
+			FeatureDim: 6,
+			PerClass:   int(perClass%20) + 1,
+			Separation: 2,
+			Spread:     1,
+			Seed:       seed,
+		}
+		set, err := sp.Generate()
+		if err != nil {
+			return false
+		}
+		for _, s := range set {
+			if s.True < 0 || s.True >= sp.Classes || len(s.X) != 6 {
+				return false
+			}
+		}
+		return len(set) == sp.Classes*sp.PerClass
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

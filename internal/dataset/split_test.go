@@ -1,0 +1,235 @@
+package dataset
+
+import (
+	"testing"
+
+	"enld/internal/mat"
+)
+
+func genSmall(t *testing.T) Set {
+	t.Helper()
+	sp := Spec{Name: "small", Classes: 8, FeatureDim: 6, PerClass: 30, Separation: 3, Spread: 1, Seed: 5}
+	set, err := sp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestSplitRatioPartition(t *testing.T) {
+	set := genSmall(t)
+	rng := mat.NewRNG(1)
+	inv, inc, err := SplitRatio(set, 2.0/3.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv)+len(inc) != len(set) {
+		t.Fatalf("partition sizes %d + %d != %d", len(inv), len(inc), len(set))
+	}
+	// 2:1 ratio within one sample.
+	if want := len(set) * 2 / 3; abs(len(inv)-want) > 1 {
+		t.Fatalf("inventory size %d, want ~%d", len(inv), want)
+	}
+	seen := map[int]bool{}
+	for _, s := range inv {
+		seen[s.ID] = true
+	}
+	for _, s := range inc {
+		if seen[s.ID] {
+			t.Fatalf("sample %d in both splits", s.ID)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestSplitRatioErrors(t *testing.T) {
+	rng := mat.NewRNG(1)
+	if _, _, err := SplitRatio(nil, 0.5, rng); err == nil {
+		t.Error("empty set accepted")
+	}
+	set := genSmall(t)
+	for _, r := range []float64{0, 1, -0.5, 2} {
+		if _, _, err := SplitRatio(set, r, rng); err == nil {
+			t.Errorf("ratio %v accepted", r)
+		}
+	}
+}
+
+func TestSplitRatioExtremesNonEmpty(t *testing.T) {
+	set := Set{{ID: 0}, {ID: 1}}
+	rng := mat.NewRNG(2)
+	a, b, err := SplitRatio(set, 0.01, rng)
+	if err != nil || len(a) == 0 || len(b) == 0 {
+		t.Fatalf("extreme low ratio: %d/%d err=%v", len(a), len(b), err)
+	}
+	a, b, err = SplitRatio(set, 0.99, rng)
+	if err != nil || len(a) == 0 || len(b) == 0 {
+		t.Fatalf("extreme high ratio: %d/%d err=%v", len(a), len(b), err)
+	}
+}
+
+func TestShardBasics(t *testing.T) {
+	set := genSmall(t)
+	rng := mat.NewRNG(3)
+	shards, err := Shard(set, ShardSpec{Shards: 4, MinClasses: 3, MaxClasses: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 4 {
+		t.Fatalf("%d shards", len(shards))
+	}
+	totalSeen := map[int]int{}
+	for i, sh := range shards {
+		if len(sh) == 0 {
+			t.Fatalf("shard %d empty", i)
+		}
+		classes := map[int]bool{}
+		for _, s := range sh {
+			classes[s.True] = true
+			totalSeen[s.ID]++
+		}
+		if len(classes) < 3 || len(classes) > 4 {
+			t.Fatalf("shard %d has %d classes", i, len(classes))
+		}
+	}
+	for id, n := range totalSeen {
+		if n > 1 {
+			t.Fatalf("sample %d appears in %d shards", id, n)
+		}
+	}
+}
+
+func TestShardUnbalanced(t *testing.T) {
+	// Shards must not all have identical per-class counts — unbalance is the
+	// point of the paper's incremental split.
+	sp := Spec{Name: "u", Classes: 10, FeatureDim: 4, PerClass: 100, Separation: 3, Spread: 1, Seed: 9}
+	set, err := sp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := Shard(set, ShardSpec{Shards: 5, MinClasses: 4, MaxClasses: 6}, mat.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]bool{}
+	for _, sh := range shards {
+		perClass := map[int]int{}
+		for _, s := range sh {
+			perClass[s.True]++
+		}
+		for _, n := range perClass {
+			counts[n] = true
+		}
+	}
+	if len(counts) < 3 {
+		t.Fatalf("shard class counts suspiciously uniform: %v", counts)
+	}
+}
+
+func TestShardErrors(t *testing.T) {
+	set := genSmall(t)
+	rng := mat.NewRNG(5)
+	cases := []ShardSpec{
+		{Shards: 0, MinClasses: 2, MaxClasses: 3},
+		{Shards: 2, MinClasses: 0, MaxClasses: 3},
+		{Shards: 2, MinClasses: 4, MaxClasses: 3},
+		{Shards: 2, MinClasses: 2, MaxClasses: 100}, // more classes than pool has
+	}
+	for i, spec := range cases {
+		if _, err := Shard(set, spec, rng); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := Shard(nil, ShardSpec{Shards: 1, MinClasses: 1, MaxClasses: 1}, rng); err == nil {
+		t.Error("empty pool accepted")
+	}
+}
+
+func TestToExamples(t *testing.T) {
+	s := Set{
+		{ID: 0, X: []float64{1, 2}, Observed: 0, True: 0},
+		{ID: 1, X: []float64{3, 4}, Observed: Missing, True: 1},
+		{ID: 2, X: []float64{5, 6}, Observed: 2, True: 1},
+	}
+	ex := ToExamples(s, 3)
+	if len(ex) != 2 {
+		t.Fatalf("ToExamples kept %d", len(ex))
+	}
+	if ex[1].Target[2] != 1 {
+		t.Fatal("target not one-hot on observed label")
+	}
+	exT := ToExamplesTrue(s, 3)
+	if len(exT) != 3 {
+		t.Fatalf("ToExamplesTrue kept %d", len(exT))
+	}
+	if exT[2].Target[1] != 1 {
+		t.Fatal("true target wrong")
+	}
+}
+
+func TestShardDrift(t *testing.T) {
+	sp := Spec{Name: "drift", Classes: 4, FeatureDim: 6, PerClass: 80, Separation: 3, Spread: 1, Seed: 60}
+	set, err := sp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ShardSpec{Shards: 2, MinClasses: 4, MaxClasses: 4, Drift: 2.0}
+	drifted, err := Shard(set, spec, mat.NewRNG(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Drift = 0
+	plain, err := Shard(set, spec, mat.NewRNG(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drifted samples must not share backing arrays with the pool (the pool
+	// must stay unmodified).
+	byID := map[int][]float64{}
+	for _, s := range set {
+		byID[s.ID] = s.X
+	}
+	moved := 0
+	for _, s := range drifted[0] {
+		orig := byID[s.ID]
+		if &orig[0] == &s.X[0] {
+			t.Fatalf("drifted sample %d aliases pool storage", s.ID)
+		}
+		if mat.Dist(orig, s.X) > 1e-9 {
+			moved++
+		}
+	}
+	if moved != len(drifted[0]) {
+		t.Fatalf("only %d/%d samples drifted", moved, len(drifted[0]))
+	}
+	// Within one (shard, class) slice the offset is shared: differences
+	// between original and drifted vectors must be identical per class.
+	perClassOffset := map[int][]float64{}
+	for _, s := range drifted[0] {
+		diff := make([]float64, len(s.X))
+		mat.Sub(diff, s.X, byID[s.ID])
+		if prev, ok := perClassOffset[s.True]; ok {
+			if mat.Dist(prev, diff) > 1e-9 {
+				t.Fatalf("class %d has inconsistent drift offsets", s.True)
+			}
+		} else {
+			perClassOffset[s.True] = diff
+		}
+	}
+	// Undrifted shards share storage with the pool (no needless copying).
+	shared := 0
+	for _, s := range plain[0] {
+		if &byID[s.ID][0] == &s.X[0] {
+			shared++
+		}
+	}
+	if shared != len(plain[0]) {
+		t.Fatalf("plain shard copied storage: %d/%d shared", shared, len(plain[0]))
+	}
+}

@@ -1,0 +1,134 @@
+// Package detect defines the interface every noisy-label detection method in
+// this repository implements, plus the shared helpers for scoring a dataset
+// under a model. The experiment harness treats ENLD and all baselines
+// uniformly through this interface, which keeps the timing comparison of
+// Fig. 8 apples-to-apples.
+package detect
+
+import (
+	"time"
+
+	"enld/internal/cost"
+	"enld/internal/dataset"
+	"enld/internal/mat"
+	"enld/internal/nn"
+)
+
+// Result is the outcome of one noisy-label detection request.
+type Result struct {
+	// Noisy holds the IDs of samples detected as noisy (the set N; D̃_N in
+	// the metrics of §V-A3); Clean holds the rest of the dataset (the set S).
+	Noisy map[int]bool
+	Clean map[int]bool
+	// Meter records the analytic work performed and Process the wall-clock
+	// time of this request (the paper's "process time").
+	Meter   cost.Meter
+	Process time.Duration
+}
+
+// NewResult returns an empty result with allocated sets.
+func NewResult() *Result {
+	return &Result{Noisy: make(map[int]bool), Clean: make(map[int]bool)}
+}
+
+// MarkNoisy files id as noisy.
+func (r *Result) MarkNoisy(id int) {
+	r.Noisy[id] = true
+	delete(r.Clean, id)
+}
+
+// MarkClean files id as clean.
+func (r *Result) MarkClean(id int) {
+	r.Clean[id] = true
+	delete(r.Noisy, id)
+}
+
+// Detector is a noisy-label detection method: given an incremental dataset
+// D, it partitions D into clean and noisy subsets.
+type Detector interface {
+	Name() string
+	Detect(d dataset.Set) (*Result, error)
+}
+
+// Scores caches the model outputs for a sample set: confidence vectors,
+// features, predicted labels, max-confidences and entropies. Every detector
+// starts from these, so computing them once per (model, set) pair avoids
+// redundant forward passes.
+type Scores struct {
+	Confidences [][]float64
+	Features    [][]float64
+	Predicted   []int
+	MaxConf     []float64
+	Entropy     []float64
+}
+
+// Score runs the model over every sample of d and caches the outputs.
+// It charges one forward pass per sample to meter (if non-nil).
+func Score(model *nn.Network, d dataset.Set, meter *cost.Meter) *Scores {
+	s := &Scores{
+		Confidences: make([][]float64, len(d)),
+		Features:    make([][]float64, len(d)),
+		Predicted:   make([]int, len(d)),
+		MaxConf:     make([]float64, len(d)),
+		Entropy:     make([]float64, len(d)),
+	}
+	for i, smp := range d {
+		conf, feat := model.Evaluate(smp.X)
+		s.Confidences[i] = conf
+		s.Features[i] = feat
+		s.Predicted[i] = mat.ArgMax(conf)
+		s.MaxConf[i] = mat.Max(conf)
+		s.Entropy[i] = mat.Entropy(conf)
+		if meter != nil {
+			meter.ForwardPasses++
+		}
+	}
+	return s
+}
+
+// Ambiguous returns the indices of d whose predicted label disagrees with
+// the observed label — the set A of Definition 1. Samples with missing
+// labels are always ambiguous (they have no observed label to agree with).
+func Ambiguous(d dataset.Set, predicted []int) []int {
+	var out []int
+	for i, smp := range d {
+		if smp.Observed == dataset.Missing || predicted[i] != smp.Observed {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Agreeing returns the indices of d whose predicted label equals the
+// observed label — the high-quality set H of Definition 1 when d is
+// inventory data. Missing labels never agree.
+func Agreeing(d dataset.Set, predicted []int) []int {
+	var out []int
+	for i, smp := range d {
+		if smp.Observed != dataset.Missing && predicted[i] == smp.Observed {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Subset selects the samples of d at the given indices.
+func Subset(d dataset.Set, idx []int) dataset.Set {
+	out := make(dataset.Set, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, d[i])
+	}
+	return out
+}
+
+// RestrictToLabels returns the samples of d whose observed label is in
+// labels — the H' = {(x, ỹ) : ỹ ∈ label(D)} restriction of Algorithm 1.
+func RestrictToLabels(d dataset.Set, labels map[int]bool) dataset.Set {
+	out := make(dataset.Set, 0, len(d))
+	for _, smp := range d {
+		if smp.Observed != dataset.Missing && labels[smp.Observed] {
+			out = append(out, smp)
+		}
+	}
+	return out
+}

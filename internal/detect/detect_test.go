@@ -1,0 +1,119 @@
+package detect
+
+import (
+	"testing"
+
+	"enld/internal/cost"
+	"enld/internal/dataset"
+	"enld/internal/mat"
+	"enld/internal/nn"
+)
+
+func testModelAndSet(t *testing.T) (*nn.Network, dataset.Set) {
+	t.Helper()
+	model := nn.NewNetwork([]int{3, 5, 4}, mat.NewRNG(1))
+	rng := mat.NewRNG(2)
+	set := make(dataset.Set, 12)
+	for i := range set {
+		set[i] = dataset.Sample{
+			ID:       i,
+			X:        rng.NormVec(make([]float64, 3), 0, 1),
+			Observed: i % 4,
+			True:     i % 4,
+		}
+	}
+	return model, set
+}
+
+func TestResultMarking(t *testing.T) {
+	r := NewResult()
+	r.MarkNoisy(1)
+	r.MarkClean(2)
+	if !r.Noisy[1] || !r.Clean[2] {
+		t.Fatal("marks lost")
+	}
+	r.MarkClean(1)
+	if r.Noisy[1] || !r.Clean[1] {
+		t.Fatal("MarkClean did not override noisy")
+	}
+	r.MarkNoisy(2)
+	if r.Clean[2] || !r.Noisy[2] {
+		t.Fatal("MarkNoisy did not override clean")
+	}
+}
+
+func TestScoreShapesAndConsistency(t *testing.T) {
+	model, set := testModelAndSet(t)
+	var meter cost.Meter
+	s := Score(model, set, &meter)
+	if len(s.Confidences) != len(set) || len(s.Features) != len(set) {
+		t.Fatal("score lengths wrong")
+	}
+	for i, smp := range set {
+		if got := model.Predict(smp.X); got != s.Predicted[i] {
+			t.Fatalf("cached prediction %d != model %d", s.Predicted[i], got)
+		}
+		if s.MaxConf[i] != mat.Max(s.Confidences[i]) {
+			t.Fatal("MaxConf inconsistent")
+		}
+		if len(s.Features[i]) != model.FeatureDim() {
+			t.Fatal("feature length wrong")
+		}
+		if s.Entropy[i] < 0 {
+			t.Fatal("negative entropy")
+		}
+	}
+	if meter.ForwardPasses != int64(len(set)) {
+		t.Fatalf("forward passes = %d", meter.ForwardPasses)
+	}
+	// nil meter must not panic.
+	Score(model, set[:2], nil)
+}
+
+func TestAmbiguousAndAgreeing(t *testing.T) {
+	set := dataset.Set{
+		{ID: 0, Observed: 1},
+		{ID: 1, Observed: 0},
+		{ID: 2, Observed: dataset.Missing},
+	}
+	pred := []int{1, 1, 1}
+	amb := Ambiguous(set, pred)
+	if len(amb) != 2 || amb[0] != 1 || amb[1] != 2 {
+		t.Fatalf("Ambiguous = %v", amb)
+	}
+	agr := Agreeing(set, pred)
+	if len(agr) != 1 || agr[0] != 0 {
+		t.Fatalf("Agreeing = %v", agr)
+	}
+	// Partition property: every index is in exactly one of the two.
+	if len(amb)+len(agr) != len(set) {
+		t.Fatal("ambiguous/agreeing do not partition")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	set := dataset.Set{{ID: 10}, {ID: 11}, {ID: 12}}
+	got := Subset(set, []int{2, 0})
+	if len(got) != 2 || got[0].ID != 12 || got[1].ID != 10 {
+		t.Fatalf("Subset = %v", got)
+	}
+	if s := Subset(set, nil); len(s) != 0 {
+		t.Fatal("empty subset")
+	}
+}
+
+func TestRestrictToLabels(t *testing.T) {
+	set := dataset.Set{
+		{ID: 0, Observed: 1},
+		{ID: 1, Observed: 2},
+		{ID: 2, Observed: dataset.Missing},
+		{ID: 3, Observed: 1},
+	}
+	got := RestrictToLabels(set, map[int]bool{1: true})
+	if len(got) != 2 || got[0].ID != 0 || got[1].ID != 3 {
+		t.Fatalf("RestrictToLabels = %v", got)
+	}
+	if got := RestrictToLabels(set, nil); len(got) != 0 {
+		t.Fatalf("nil labels kept %d", len(got))
+	}
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// writeCSV writes header+rows to <dir>/<name>.csv. A missing directory is
+// created. Experiments call this when Config.CSVDir is set, so runs can feed
+// external plotting without parsing the text tables.
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: csv dir: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return fmt.Errorf("experiments: csv create: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+func dtoa(d time.Duration) string { return strconv.FormatFloat(d.Seconds(), 'g', 8, 64) }
+
+// CSV exports the figure's rows.
+func (f *FigureResult) CSV(dir string) error {
+	header := []string{"method", "eta", "precision", "precision_std",
+		"recall", "recall_std", "f1", "f1_std", "setup_s", "process_s", "work"}
+	var rows [][]string
+	for _, r := range f.Rows {
+		rows = append(rows, []string{
+			r.Method, ftoa(r.Eta),
+			ftoa(r.Agg.Precision.Mean), ftoa(r.Agg.Precision.Std),
+			ftoa(r.Agg.Recall.Mean), ftoa(r.Agg.Recall.Std),
+			ftoa(r.Agg.F1.Mean), ftoa(r.Agg.F1.Std),
+			dtoa(r.SetupTime), dtoa(r.MeanProcess), ftoa(r.MeanWork),
+		})
+	}
+	return writeCSV(dir, f.ID, header, rows)
+}
+
+// CSV exports the trajectory series.
+func (r *TrajectoryResult) CSV(dir string) error {
+	header := []string{"eta", "iteration", "precision", "precision_std",
+		"recall", "recall_std", "f1", "f1_std", "ambiguous", "ambiguous_std"}
+	var rows [][]string
+	for _, eta := range sortedKeys(r.Series) {
+		for _, p := range r.Series[eta] {
+			rows = append(rows, []string{
+				ftoa(eta), strconv.Itoa(p.Iteration),
+				ftoa(p.Precision.Mean), ftoa(p.Precision.Std),
+				ftoa(p.Recall.Mean), ftoa(p.Recall.Std),
+				ftoa(p.F1.Mean), ftoa(p.F1.Std),
+				ftoa(p.Ambiguous.Mean), ftoa(p.Ambiguous.Std),
+			})
+		}
+	}
+	return writeCSV(dir, r.ID, header, rows)
+}
+
+// CSV exports the timing rows and speedups.
+func (r *Fig8Result) CSV(dir string) error {
+	header := []string{"dataset", "method", "setup_s", "process_s", "work"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Dataset, row.Method, dtoa(row.Setup), dtoa(row.MeanProcess), ftoa(row.MeanWork),
+		})
+	}
+	return writeCSV(dir, "fig8", header, rows)
+}
+
+// CSV exports the loss rows.
+func (r *Fig3Result) CSV(dir string) error {
+	header := []string{"eta", "strategy", "loss", "loss_std"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			ftoa(row.Eta), row.Strategy, ftoa(row.Loss.Mean), ftoa(row.Loss.Std),
+		})
+	}
+	return writeCSV(dir, "fig3", header, rows)
+}
+
+// CSV exports the missing-label rows.
+func (r *Fig13aResult) CSV(dir string) error {
+	header := []string{"missing_rate", "pseudo_f1", "pseudo_f1_std", "detection_f1", "detection_f1_std"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			ftoa(row.MissingRate),
+			ftoa(row.PseudoF1.Mean), ftoa(row.PseudoF1.Std),
+			ftoa(row.DetectionF1.Mean), ftoa(row.DetectionF1.Std),
+		})
+	}
+	return writeCSV(dir, "fig13a", header, rows)
+}
+
+// CSV exports the model-update rows.
+func (r *Table2Result) CSV(dir string) error {
+	header := []string{"eta", "accuracy_before", "accuracy_after", "selected"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			ftoa(row.Eta), ftoa(row.Before), ftoa(row.After), strconv.Itoa(row.Selected),
+		})
+	}
+	return writeCSV(dir, "tab2", header, rows)
+}
+
+// CSV exports the index-ablation rows.
+func (r *Ext3Result) CSV(dir string) error {
+	header := []string{"data_scale", "index", "pool_size", "process_s", "f1", "f1_std"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			ftoa(row.DataScale), row.Index, strconv.Itoa(row.PoolSize),
+			dtoa(row.MeanProcess), ftoa(row.F1.Mean), ftoa(row.F1.Std),
+		})
+	}
+	return writeCSV(dir, "ext3", header, rows)
+}
+
+// CSVExporter is implemented by every experiment result type.
+type CSVExporter interface {
+	CSV(dir string) error
+}
+
+// ExportCSV writes the result's CSV to dir if the result supports it.
+func ExportCSV(result interface{}, dir string) error {
+	if dir == "" {
+		return nil
+	}
+	if exp, ok := result.(CSVExporter); ok {
+		return exp.CSV(dir)
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"enld/internal/metrics"
+)
+
+func readCSV(t *testing.T, path string) [][]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestFigureResultCSV(t *testing.T) {
+	dir := t.TempDir()
+	fig := &FigureResult{
+		ID: "figtest",
+		Rows: []MethodScore{
+			{Method: "enld", Eta: 0.2,
+				Agg: metrics.Aggregate{
+					Precision: metrics.Summary{Mean: 0.9, Std: 0.01},
+					Recall:    metrics.Summary{Mean: 0.8, Std: 0.02},
+					F1:        metrics.Summary{Mean: 0.85, Std: 0.015},
+				},
+				SetupTime: 2 * time.Second, MeanProcess: 500 * time.Millisecond, MeanWork: 1234},
+		},
+	}
+	if err := fig.CSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, filepath.Join(dir, "figtest.csv"))
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0][0] != "method" || rows[1][0] != "enld" {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[1][6] != "0.85" {
+		t.Fatalf("f1 cell = %q", rows[1][6])
+	}
+	if rows[1][9] != "0.5" { // process seconds
+		t.Fatalf("process cell = %q", rows[1][9])
+	}
+}
+
+func TestTrajectoryCSV(t *testing.T) {
+	dir := t.TempDir()
+	tr := &TrajectoryResult{
+		ID: "trajtest",
+		Series: map[float64][]IterationPoint{
+			0.1: {{Iteration: 1, F1: metrics.Summary{Mean: 0.7}}},
+			0.2: {{Iteration: 1, F1: metrics.Summary{Mean: 0.6}}},
+		},
+	}
+	if err := tr.CSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, filepath.Join(dir, "trajtest.csv"))
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Rows ordered by eta.
+	if rows[1][0] != "0.1" || rows[2][0] != "0.2" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestExportCSVDispatch(t *testing.T) {
+	dir := t.TempDir()
+	fig := &FigureResult{ID: "dispatch"}
+	if err := ExportCSV(fig, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "dispatch.csv")); err != nil {
+		t.Fatal("csv not written through dispatcher")
+	}
+	// Non-exporting results and empty dirs are no-ops.
+	if err := ExportCSV(struct{}{}, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportCSV(fig, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllResultTypesExport(t *testing.T) {
+	dir := t.TempDir()
+	results := []CSVExporter{
+		&FigureResult{ID: "a"},
+		&TrajectoryResult{ID: "b", Series: map[float64][]IterationPoint{}},
+		&Fig8Result{},
+		&Fig3Result{},
+		&Fig13aResult{},
+		&Table2Result{},
+		&Ext3Result{},
+	}
+	for _, r := range results {
+		if err := r.CSV(dir); err != nil {
+			t.Fatalf("%T: %v", r, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(results) {
+		t.Fatalf("%d files for %d results", len(entries), len(results))
+	}
+}
+
+func TestFigureResultMarkdown(t *testing.T) {
+	fig := &FigureResult{
+		ID: "md",
+		Rows: []MethodScore{
+			{Method: "enld", Eta: 0.1, Agg: metrics.Aggregate{F1: metrics.Summary{Mean: 0.9}}},
+			{Method: "enld", Eta: 0.2, Agg: metrics.Aggregate{F1: metrics.Summary{Mean: 0.8}}},
+			{Method: "default", Eta: 0.1, Agg: metrics.Aggregate{F1: metrics.Summary{Mean: 0.5}}},
+		},
+		VsENLD: map[string]metrics.PairedComparison{
+			"default": {Wins: 5, Losses: 1, PValue: 0.2},
+		},
+	}
+	md := fig.Markdown()
+	for _, want := range []string{"| method |", "η=0.1", "| enld | 0.900 | 0.800 |", "Sign test ENLD vs default"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	// Methods missing an eta render a dash.
+	if !strings.Contains(md, "| default | 0.500 | — |") {
+		t.Fatalf("missing-cell dash absent:\n%s", md)
+	}
+}
+
+func TestTable2Markdown(t *testing.T) {
+	r := &Table2Result{Rows: []Table2Row{{Eta: 0.2, Before: 0.5285, After: 0.5706, Selected: 42}}}
+	md := r.Markdown()
+	if !strings.Contains(md, "| 0.2 | 52.85% | 57.06% | 42 |") {
+		t.Fatalf("markdown:\n%s", md)
+	}
+}
+
+func TestFig8Markdown(t *testing.T) {
+	r := &Fig8Result{
+		Rows:             []TimingRow{{Dataset: "emnist", Method: "enld", Setup: time.Second, MeanProcess: 300 * time.Millisecond, MeanWork: 100}},
+		SpeedupWallclock: map[string]float64{"emnist": 2.5},
+		SpeedupWork:      map[string]float64{"emnist": 3.0},
+	}
+	md := r.Markdown()
+	if !strings.Contains(md, "| emnist | enld | 1s | 300ms | 100 |") {
+		t.Fatalf("markdown:\n%s", md)
+	}
+	if !strings.Contains(md, "Speedup on emnist: 2.50× wall-clock, 3.00× analytic work.") {
+		t.Fatalf("speedup line missing:\n%s", md)
+	}
+}

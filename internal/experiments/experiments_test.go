@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps experiment tests fast: few shards, one eta, reduced data.
+func quickCfg(seed uint64) Config {
+	return Config{
+		Seed:           seed,
+		DataScale:      0.6,
+		Shards:         3,
+		Etas:           []float64{0.2},
+		PlatformEpochs: 20,
+		Iterations:     4,
+	}
+}
+
+func TestBuildWorkbench(t *testing.T) {
+	wb, err := BuildWorkbench("emnist", 0.2, quickCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wb.Platform == nil || len(wb.Shards) != 3 {
+		t.Fatalf("workbench malformed: %d shards", len(wb.Shards))
+	}
+	for i, shard := range wb.Shards {
+		if len(shard) == 0 {
+			t.Fatalf("shard %d empty", i)
+		}
+	}
+	if wb.ENLDCfg.Iterations != 4 {
+		t.Fatalf("iterations = %d", wb.ENLDCfg.Iterations)
+	}
+	if _, err := BuildWorkbench("nope", 0.2, quickCfg(1)); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestRunFig4QuickShapes(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(2)
+	cfg.Out = &buf
+	fig, err := RunFig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 methods × 1 eta.
+	if len(fig.Rows) != 5 {
+		t.Fatalf("%d rows", len(fig.Rows))
+	}
+	for _, m := range []string{"default", "cl-1", "cl-2", "topofilter", "enld"} {
+		if fig.Score(m, 0.2) < 0 {
+			t.Fatalf("method %s missing", m)
+		}
+	}
+	// Central claim on the easy benchmark: ENLD is competitive with the best
+	// baseline.
+	enld := fig.Score("enld", 0.2)
+	if enld < 0.6 {
+		t.Fatalf("ENLD F1 = %v", enld)
+	}
+	if !strings.Contains(buf.String(), "fig4") {
+		t.Fatal("no rendering produced")
+	}
+}
+
+func TestRunFig5QualitativeOrdering(t *testing.T) {
+	fig, err := RunFig5(quickCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enld := fig.Score("enld", 0.2)
+	def := fig.Score("default", 0.2)
+	topo := fig.Score("topofilter", 0.2)
+	t.Logf("enld=%.4f topofilter=%.4f default=%.4f cl1=%.4f cl2=%.4f",
+		enld, topo, def, fig.Score("cl-1", 0.2), fig.Score("cl-2", 0.2))
+	// Training-based methods must beat the confidence-only floor on the
+	// grouped (confusable) benchmark.
+	if enld <= def-0.02 {
+		t.Fatalf("ENLD %.4f not above Default %.4f", enld, def)
+	}
+	// ENLD at least matches TopoFilter (paper: slightly better on average).
+	if enld < topo-0.05 {
+		t.Fatalf("ENLD %.4f well below TopoFilter %.4f", enld, topo)
+	}
+	// Efficiency claim: ENLD processes faster than TopoFilter.
+	if fig.MeanProcess("enld") >= fig.MeanProcess("topofilter") {
+		t.Fatalf("ENLD process %v not faster than TopoFilter %v",
+			fig.MeanProcess("enld"), fig.MeanProcess("topofilter"))
+	}
+}
+
+func TestRunFig8Speedups(t *testing.T) {
+	cfg := quickCfg(4)
+	res, err := RunFig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 15 { // 3 datasets × 5 methods
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, ds := range []string{"emnist", "cifar100", "tinyimagenet"} {
+		s, ok := res.SpeedupWallclock[ds]
+		if !ok {
+			t.Fatalf("no speedup for %s", ds)
+		}
+		if s <= 1 {
+			t.Errorf("%s: ENLD not faster than TopoFilter (%.2fx)", ds, s)
+		}
+	}
+}
+
+func TestRunFig9Trajectory(t *testing.T) {
+	res, err := RunFig9(quickCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := res.Series[0.2]
+	if len(points) != 4 {
+		t.Fatalf("%d iterations", len(points))
+	}
+	// Fig. 9 shape: precision/F1 rise from the first iteration to the last;
+	// recall starts high.
+	first, last := points[0], points[len(points)-1]
+	if last.F1.Mean < first.F1.Mean-0.02 {
+		t.Errorf("F1 fell: %.4f -> %.4f", first.F1.Mean, last.F1.Mean)
+	}
+	if first.Recall.Mean < 0.5 {
+		t.Errorf("early recall %.4f not high", first.Recall.Mean)
+	}
+	// Fig. 13(b) shape: ambiguous count shrinks.
+	if last.Ambiguous.Mean > first.Ambiguous.Mean {
+		t.Errorf("ambiguous grew: %.1f -> %.1f", first.Ambiguous.Mean, last.Ambiguous.Mean)
+	}
+}
+
+func TestRunFig10Strategies(t *testing.T) {
+	fig, err := RunFig10(quickCfg(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 6 { // 6 strategies × 1 eta
+		t.Fatalf("%d rows", len(fig.Rows))
+	}
+	contrastive := fig.Score("contrastive", 0.2)
+	random := fig.Score("random", 0.2)
+	t.Logf("contrastive=%.4f random=%.4f hc=%.4f lc=%.4f entropy=%.4f pseudo=%.4f",
+		contrastive, random, fig.Score("highest-confidence", 0.2),
+		fig.Score("least-confidence", 0.2), fig.Score("entropy", 0.2),
+		fig.Score("pseudo", 0.2))
+	if contrastive < random-0.02 {
+		t.Fatalf("contrastive %.4f below random %.4f", contrastive, random)
+	}
+}
+
+func TestRunFig11KSweep(t *testing.T) {
+	fig, err := RunFig11(quickCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 4 {
+		t.Fatalf("%d rows", len(fig.Rows))
+	}
+	for _, k := range []string{"k=1", "k=2", "k=3", "k=4"} {
+		if fig.Score(k, 0.2) < 0 {
+			t.Fatalf("%s missing", k)
+		}
+	}
+}
+
+func TestRunFig3LossOrdering(t *testing.T) {
+	cfg := quickCfg(8)
+	res, err := RunFig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := res.Loss("origin", 0.2)
+	related := res.Loss("nearest-related", 0.2)
+	random := res.Loss("random", 0.2)
+	t.Logf("origin=%.4f random=%.4f nearest-only=%.4f nearest-related=%.4f",
+		origin, random, res.Loss("nearest-only", 0.2), related)
+	if origin < 0 || related < 0 || random < 0 {
+		t.Fatal("missing strategies")
+	}
+	// Fig. 3's conclusion: nearest-related lowers the loss below origin.
+	if related >= origin {
+		t.Errorf("nearest-related %.4f did not improve on origin %.4f", related, origin)
+	}
+}
+
+func TestRunFig13aMissing(t *testing.T) {
+	res, err := RunFig13a(quickCfg(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// §V-H shape: higher missing rate, lower (or equal) pseudo-label quality.
+	if res.Rows[2].PseudoF1.Mean > res.Rows[0].PseudoF1.Mean+0.05 {
+		t.Errorf("pseudo F1 rose with missing rate: %.4f -> %.4f",
+			res.Rows[0].PseudoF1.Mean, res.Rows[2].PseudoF1.Mean)
+	}
+	for _, row := range res.Rows {
+		if row.PseudoF1.Mean <= 0 {
+			t.Errorf("missing rate %.2f: zero pseudo F1", row.MissingRate)
+		}
+	}
+}
+
+func TestRunFig14Ablations(t *testing.T) {
+	fig, err := RunFig14(quickCfg(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 5 {
+		t.Fatalf("%d rows", len(fig.Rows))
+	}
+	origin := fig.Score("enld-origin", 0.2)
+	noContrastive := fig.Score("enld-1", 0.2)
+	t.Logf("origin=%.4f enld-1=%.4f enld-2=%.4f enld-3=%.4f enld-4=%.4f",
+		origin, noContrastive, fig.Score("enld-2", 0.2),
+		fig.Score("enld-3", 0.2), fig.Score("enld-4", 0.2))
+	// The paper's strongest ablation finding: removing contrastive sampling
+	// hurts.
+	if noContrastive > origin+0.03 {
+		t.Errorf("removing contrastive sampling helped: %.4f vs %.4f", noContrastive, origin)
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	res, err := RunTable2(quickCfg(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	row := res.Rows[0]
+	t.Logf("before=%.4f after=%.4f |S_c|=%d", row.Before, row.After, row.Selected)
+	if row.Selected == 0 {
+		t.Fatal("no inventory selected")
+	}
+	// Table II shape: the update must not wreck generalization.
+	if row.After < row.Before-0.05 {
+		t.Errorf("update degraded accuracy: %.4f -> %.4f", row.Before, row.After)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 17 {
+		t.Fatalf("%d experiments registered", len(ids))
+	}
+	if _, err := Run("nope", quickCfg(1)); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	// One registry round-trip on the cheapest experiment.
+	if _, err := Run("fig11", quickCfg(12)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigNormalized(t *testing.T) {
+	c := Config{}.normalized()
+	if c.DataScale != 1 || len(c.Etas) != 4 || c.PlatformEpochs != 30 || c.Out == nil {
+		t.Fatalf("normalized = %+v", c)
+	}
+}

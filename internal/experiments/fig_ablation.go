@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"enld/internal/core"
+	"enld/internal/sampling"
+)
+
+// AblationVariants returns the §V-I configurations keyed by the paper's
+// names, derived from a base config:
+//
+//	enld-origin — the full method;
+//	enld-1 — random selection instead of contrastive sampling;
+//	enld-2 — no majority voting (clean on first agreement);
+//	enld-3 — no merging of D's clean samples into C;
+//	enld-4 — query nearest samples of the same observed label, skipping the
+//	         estimated-probability label draw.
+func AblationVariants(base core.Config) map[string]core.Config {
+	v1 := base
+	v1.Strategy = sampling.Random{}
+	v2 := base
+	v2.DisableMajorityVoting = true
+	v3 := base
+	v3.DisableCleanMerge = true
+	v4 := base
+	v4.Strategy = sampling.Contrastive{SameLabel: true}
+	return map[string]core.Config{
+		"enld-origin": base,
+		"enld-1":      v1,
+		"enld-2":      v2,
+		"enld-3":      v3,
+		"enld-4":      v4,
+	}
+}
+
+// ablationOrder fixes the rendering order.
+var ablationOrder = []string{"enld-origin", "enld-1", "enld-2", "enld-3", "enld-4"}
+
+// RunFig14 reproduces Fig. 14: the ablation study on the CIFAR100-like
+// benchmark across noise rates.
+func RunFig14(cfg Config) (*FigureResult, error) {
+	cfg = cfg.normalized()
+	out := &FigureResult{ID: "fig14", Title: "ablation study (CIFAR100-like)"}
+	for _, eta := range cfg.Etas {
+		wb, err := BuildWorkbench("cifar100", eta, cfg)
+		if err != nil {
+			return nil, err
+		}
+		variants := AblationVariants(wb.ENLDCfg)
+		for _, name := range ablationOrder {
+			e := &core.ENLD{Platform: wb.Platform, Config: variants[name]}
+			agg, proc, work, _, err := runDetector(e, wb.Shards)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, MethodScore{
+				Method: name, Eta: eta, Agg: agg,
+				SetupTime: wb.Platform.SetupTime, MeanProcess: proc, MeanWork: work,
+			})
+		}
+	}
+	out.render(cfg.Out)
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"enld/internal/dataset"
+	"enld/internal/detect"
+	"enld/internal/kdtree"
+	"enld/internal/mat"
+	"enld/internal/metrics"
+	"enld/internal/nn"
+)
+
+// LossRow is one (strategy, eta) cell of Fig. 3: the mean evaluation loss on
+// D_test after one epoch of training with samples added by the strategy.
+type LossRow struct {
+	Strategy string
+	Eta      float64
+	Loss     metrics.Summary
+}
+
+// Fig3Result holds the Fig. 3 comparison of sample-adding strategies.
+type Fig3Result struct {
+	Rows []LossRow
+}
+
+// Loss returns the mean loss of a strategy at a noise rate, or -1 if absent.
+func (r *Fig3Result) Loss(strategy string, eta float64) float64 {
+	for _, row := range r.Rows {
+		if row.Strategy == strategy && row.Eta == eta {
+			return row.Loss.Mean
+		}
+	}
+	return -1
+}
+
+// RunFig3 reproduces Fig. 3: for each noise rate, the evaluation loss on the
+// true-labelled validation set D_test (the noisy samples of each incremental
+// dataset) of (a) the untouched general model ("origin"), and after one
+// epoch of fine-tuning on |D_test| added true-labelled inventory samples
+// chosen (b) at random, (c) nearest in representation space ("nearest-only"),
+// or (d) nearest with matching true label ("nearest-related"). The paper
+// uses this to justify contrastive sampling (Corollary 3): nearest-related
+// additions lower the loss the most.
+func RunFig3(cfg Config) (*Fig3Result, error) {
+	cfg = cfg.normalized()
+	out := &Fig3Result{}
+	for _, eta := range cfg.Etas {
+		wb, err := BuildWorkbench("cifar100", eta, cfg)
+		if err != nil {
+			return nil, err
+		}
+		losses := map[string][]float64{}
+		rng := mat.NewRNG(cfg.Seed ^ 0xf00d)
+		icScores := detect.Score(wb.Platform.Model, wb.Platform.Ic, nil)
+		index, icByClass, err := trueLabelIndex(wb.Platform.Ic, icScores)
+		if err != nil {
+			return nil, err
+		}
+		for _, shard := range wb.Shards {
+			dTest := noisyValidation(shard)
+			if len(dTest) == 0 {
+				continue
+			}
+			testExamples := dataset.ToExamplesTrue(dTest, wb.Spec.Classes)
+			losses["origin"] = append(losses["origin"], nn.MeanLoss(wb.Platform.Model, testExamples))
+
+			testScores := detect.Score(wb.Platform.Model, dTest, nil)
+			for _, strat := range []string{"random", "nearest-only", "nearest-related"} {
+				added := addSamples(strat, dTest, testScores, wb.Platform.Ic, index, icByClass, rng)
+				model := wb.Platform.Model.Clone()
+				trainer := nn.NewTrainer(model, nn.NewSGD(0.01, 0.9, 0))
+				if len(added) > 0 {
+					if _, err := trainer.Run(dataset.ToExamplesTrue(added, wb.Spec.Classes), nn.TrainConfig{
+						Epochs: 1, BatchSize: 32, Seed: rng.Uint64(),
+					}); err != nil {
+						return nil, err
+					}
+				}
+				losses[strat] = append(losses[strat], nn.MeanLoss(model, testExamples))
+			}
+		}
+		for strat, vals := range losses {
+			out.Rows = append(out.Rows, LossRow{Strategy: strat, Eta: eta, Loss: metrics.Summarize(vals)})
+		}
+	}
+	sort.SliceStable(out.Rows, func(i, j int) bool {
+		if out.Rows[i].Eta != out.Rows[j].Eta {
+			return out.Rows[i].Eta < out.Rows[j].Eta
+		}
+		return out.Rows[i].Strategy < out.Rows[j].Strategy
+	})
+	out.render(cfg.Out)
+	return out, nil
+}
+
+// noisyValidation extracts D_test: the genuinely noisy samples of the shard
+// (evaluation-only access to true labels, as in the paper's experiment).
+func noisyValidation(shard dataset.Set) dataset.Set {
+	var out dataset.Set
+	for _, smp := range shard {
+		if smp.IsNoisy() {
+			out = append(out, smp)
+		}
+	}
+	return out
+}
+
+// trueLabelIndex builds a KD-tree over I_c features plus a per-true-label
+// point index.
+func trueLabelIndex(ic dataset.Set, scores *detect.Scores) (*kdtree.Tree, map[int][]kdtree.Point, error) {
+	pts := make([]kdtree.Point, len(ic))
+	byClass := map[int][]kdtree.Point{}
+	for i := range ic {
+		p := kdtree.Point{Vec: scores.Features[i], Payload: i}
+		pts[i] = p
+		byClass[ic[i].True] = append(byClass[ic[i].True], p)
+	}
+	tree, err := kdtree.Build(pts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tree, byClass, nil
+}
+
+// addSamples selects |dTest| inventory samples per the Fig. 3 strategy.
+func addSamples(strategy string, dTest dataset.Set, testScores *detect.Scores,
+	ic dataset.Set, tree *kdtree.Tree, byClass map[int][]kdtree.Point, rng *mat.RNG) dataset.Set {
+	out := make(dataset.Set, 0, len(dTest))
+	switch strategy {
+	case "random":
+		perm := rng.Perm(len(ic))
+		n := len(dTest)
+		if n > len(perm) {
+			n = len(perm)
+		}
+		for _, i := range perm[:n] {
+			out = append(out, ic[i])
+		}
+	case "nearest-only":
+		for i := range dTest {
+			nbrs, err := tree.KNearest(testScores.Features[i], 1)
+			if err != nil || len(nbrs) == 0 {
+				continue
+			}
+			out = append(out, ic[nbrs[0].Point.Payload])
+		}
+	case "nearest-related":
+		for i := range dTest {
+			pts := byClass[dTest[i].True]
+			if len(pts) == 0 {
+				continue
+			}
+			nbrs := kdtree.BruteKNearest(pts, testScores.Features[i], 1)
+			out = append(out, ic[nbrs[0].Point.Payload])
+		}
+	}
+	return out
+}
+
+func (r *Fig3Result) render(w io.Writer) {
+	fmt.Fprintln(w, "== fig3: evaluation loss after one epoch of strategy-added true-labelled samples ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "eta\tstrategy\tloss")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%.1f\t%s\t%.4f±%.3f\n", row.Eta, row.Strategy, row.Loss.Mean, row.Loss.Std)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"enld/internal/baselines"
+	"enld/internal/core"
+	"enld/internal/metrics"
+	"enld/internal/nn"
+)
+
+// runMethodComparison sweeps the §V-A4 method set over cfg.Etas on one
+// preset — the engine behind Figs. 4, 5 and 7.
+func runMethodComparison(id, title, preset string, cfg Config) (*FigureResult, error) {
+	cfg = cfg.normalized()
+	out := &FigureResult{ID: id, Title: title, VsENLD: map[string]metrics.PairedComparison{}}
+	perShardF1 := map[string][]float64{}
+	for _, eta := range cfg.Etas {
+		wb, err := BuildWorkbench(preset, eta, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range standardMethods(wb.Platform, wb.Inventory, wb.ENLDCfg, cfg.Seed+3) {
+			agg, proc, work, dets, err := runDetector(d, wb.Shards)
+			if err != nil {
+				return nil, err
+			}
+			for _, det := range dets {
+				perShardF1[d.Name()] = append(perShardF1[d.Name()], det.F1)
+			}
+			setup := wb.Platform.SetupTime
+			if d.Name() == "topofilter" {
+				setup = 0 // TopoFilter needs no platform initialization
+			}
+			out.Rows = append(out.Rows, MethodScore{
+				Method: d.Name(), Eta: eta, Agg: agg,
+				SetupTime: setup, MeanProcess: proc, MeanWork: work,
+			})
+		}
+	}
+	// Paired sign tests of ENLD against every baseline over the identical
+	// shard set, pooled across noise rates.
+	enldF1 := perShardF1["enld"]
+	for method, f1s := range perShardF1 {
+		if method == "enld" || len(f1s) != len(enldF1) {
+			continue
+		}
+		if cmp, err := metrics.SignTest(enldF1, f1s); err == nil {
+			out.VsENLD[method] = cmp
+		}
+	}
+	out.render(cfg.Out)
+	return out, nil
+}
+
+// RunFig4 reproduces Fig. 4: detection quality of all methods on the
+// EMNIST-like benchmark across noise rates.
+func RunFig4(cfg Config) (*FigureResult, error) {
+	return runMethodComparison("fig4", "methods on EMNIST-like", "emnist", cfg)
+}
+
+// RunFig5 reproduces Fig. 5: the same comparison on the CIFAR100-like
+// benchmark.
+func RunFig5(cfg Config) (*FigureResult, error) {
+	return runMethodComparison("fig5", "methods on CIFAR100-like", "cifar100", cfg)
+}
+
+// RunFig7 reproduces Fig. 7: the same comparison on the TinyImageNet-like
+// benchmark.
+func RunFig7(cfg Config) (*FigureResult, error) {
+	return runMethodComparison("fig7", "methods on TinyImageNet-like", "tinyimagenet", cfg)
+}
+
+// RunFig6 reproduces Fig. 6: ENLD versus TopoFilter on the CIFAR100-like
+// benchmark under the two alternative architectures (SimDenseNet121,
+// SimResNet164). Method names are suffixed with the architecture.
+func RunFig6(cfg Config) (*FigureResult, error) {
+	cfg = cfg.normalized()
+	out := &FigureResult{ID: "fig6", Title: "ENLD vs TopoFilter across architectures (CIFAR100-like)"}
+	for _, arch := range []nn.Arch{nn.SimDenseNet121, nn.SimResNet164} {
+		for _, eta := range cfg.Etas {
+			wb, err := buildWorkbenchWithArch("cifar100", eta, cfg, arch)
+			if err != nil {
+				return nil, err
+			}
+			topo := baselines.TopoFilter{
+				Arch: arch, InputDim: wb.Spec.FeatureDim, Classes: wb.Spec.Classes,
+				Inventory: wb.Inventory,
+				Config:    baselines.DefaultTopoFilterConfig(cfg.Seed + 3),
+			}
+			enld := &core.ENLD{Platform: wb.Platform, Config: wb.ENLDCfg}
+
+			aggT, procT, workT, _, err := runDetector(topo, wb.Shards)
+			if err != nil {
+				return nil, err
+			}
+			aggE, procE, workE, _, err := runDetector(enld, wb.Shards)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows,
+				MethodScore{Method: "topofilter/" + string(arch), Eta: eta, Agg: aggT, MeanProcess: procT, MeanWork: workT},
+				MethodScore{Method: "enld/" + string(arch), Eta: eta, Agg: aggE, SetupTime: wb.Platform.SetupTime, MeanProcess: procE, MeanWork: workE},
+			)
+		}
+	}
+	out.render(cfg.Out)
+	return out, nil
+}
+
+// buildWorkbenchWithArch is BuildWorkbench with an architecture override.
+func buildWorkbenchWithArch(preset string, eta float64, cfg Config, arch nn.Arch) (*Workbench, error) {
+	// Rebuild with a platform of the requested architecture: reuse
+	// BuildWorkbench for the data pipeline, then retrain the platform.
+	cfg = cfg.normalized()
+	wb, err := BuildWorkbench(preset, eta, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pcfg := wb.Platform.Config
+	pcfg.Arch = arch
+	platform, err := core.NewPlatform(wb.Inventory, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	wb.Platform = platform
+	return wb, nil
+}
+
+// TimingRow is one (dataset, method) entry of Fig. 8.
+type TimingRow struct {
+	Dataset     string
+	Method      string
+	Setup       time.Duration
+	MeanProcess time.Duration
+	MeanWork    float64
+}
+
+// Fig8Result is the setup/process-time comparison of Fig. 8, plus the
+// derived ENLD-vs-TopoFilter speedups the paper headlines.
+type Fig8Result struct {
+	Rows []TimingRow
+	// SpeedupWallclock and SpeedupWork are TopoFilter's mean process cost
+	// divided by ENLD's, per dataset, in wall-clock and analytic terms.
+	SpeedupWallclock map[string]float64
+	SpeedupWork      map[string]float64
+}
+
+// RunFig8 reproduces Fig. 8: setup and process time of every method on
+// every dataset, sweeping cfg.Etas and averaging.
+func RunFig8(cfg Config) (*Fig8Result, error) {
+	cfg = cfg.normalized()
+	res := &Fig8Result{
+		SpeedupWallclock: map[string]float64{},
+		SpeedupWork:      map[string]float64{},
+	}
+	figs := []struct {
+		preset string
+		run    func(Config) (*FigureResult, error)
+	}{
+		{"emnist", RunFig4},
+		{"cifar100", RunFig5},
+		{"tinyimagenet", RunFig7},
+	}
+	quiet := cfg
+	quiet.Out = io.Discard
+	for _, f := range figs {
+		fig, err := f.run(quiet)
+		if err != nil {
+			return nil, err
+		}
+		perMethod := map[string]*TimingRow{}
+		order := []string{}
+		for _, row := range fig.Rows {
+			tr, ok := perMethod[row.Method]
+			if !ok {
+				tr = &TimingRow{Dataset: f.preset, Method: row.Method, Setup: row.SetupTime}
+				perMethod[row.Method] = tr
+				order = append(order, row.Method)
+			}
+			tr.MeanProcess += row.MeanProcess / time.Duration(len(cfg.Etas))
+			tr.MeanWork += row.MeanWork / float64(len(cfg.Etas))
+		}
+		for _, m := range order {
+			res.Rows = append(res.Rows, *perMethod[m])
+		}
+		if topo, enld := perMethod["topofilter"], perMethod["enld"]; topo != nil && enld != nil {
+			if enld.MeanProcess > 0 {
+				res.SpeedupWallclock[f.preset] = float64(topo.MeanProcess) / float64(enld.MeanProcess)
+			}
+			if enld.MeanWork > 0 {
+				res.SpeedupWork[f.preset] = topo.MeanWork / enld.MeanWork
+			}
+		}
+	}
+	res.render(cfg.Out)
+	return res, nil
+}
+
+func (r *Fig8Result) render(w io.Writer) {
+	fmt.Fprintln(w, "== fig8: setup and process time per method and dataset ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tmethod\tsetup\tmean process\tmean work")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.0f\n",
+			row.Dataset, row.Method,
+			row.Setup.Round(time.Millisecond),
+			row.MeanProcess.Round(time.Millisecond),
+			row.MeanWork)
+	}
+	tw.Flush()
+	for _, ds := range []string{"emnist", "cifar100", "tinyimagenet"} {
+		if s, ok := r.SpeedupWallclock[ds]; ok {
+			fmt.Fprintf(w, "speedup %s: %.2fx wall-clock, %.2fx analytic work\n",
+				ds, s, r.SpeedupWork[ds])
+		}
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"enld/internal/core"
+	"enld/internal/metrics"
+	"enld/internal/plot"
+)
+
+// IterationPoint is one iteration of the fine-grained NLD trajectory,
+// aggregated over shards.
+type IterationPoint struct {
+	Iteration int
+	Precision metrics.Summary
+	Recall    metrics.Summary
+	F1        metrics.Summary
+	Ambiguous metrics.Summary
+}
+
+// TrajectoryResult holds per-eta iteration trajectories — the data behind
+// Fig. 9 (P/R/F1 over iterations, mean ± std over shards) and Fig. 13(b)
+// (ambiguous-sample counts over iterations).
+type TrajectoryResult struct {
+	ID     string
+	Title  string
+	Series map[float64][]IterationPoint // eta → per-iteration points
+}
+
+// runTrajectories executes ENLD on every shard of the preset at each eta,
+// recording per-iteration detection metrics and ambiguous counts.
+func runTrajectories(id, title, preset string, cfg Config) (*TrajectoryResult, error) {
+	cfg = cfg.normalized()
+	out := &TrajectoryResult{ID: id, Title: title, Series: map[float64][]IterationPoint{}}
+	for _, eta := range cfg.Etas {
+		wb, err := BuildWorkbench(preset, eta, cfg)
+		if err != nil {
+			return nil, err
+		}
+		iters := wb.ENLDCfg.Iterations
+		perIter := make([][]metrics.Detection, iters)
+		ambig := make([][]float64, iters)
+		for _, shard := range wb.Shards {
+			e := &core.ENLD{Platform: wb.Platform, Config: wb.ENLDCfg}
+			res, err := e.DetectFull(shard)
+			if err != nil {
+				return nil, err
+			}
+			for i, snap := range res.Snapshots {
+				perIter[i] = append(perIter[i], metrics.EvaluateDetection(shard, snap.Noisy))
+				ambig[i] = append(ambig[i], float64(snap.AmbiguousCount))
+			}
+		}
+		points := make([]IterationPoint, iters)
+		for i := 0; i < iters; i++ {
+			agg := metrics.AggregateDetections(perIter[i])
+			points[i] = IterationPoint{
+				Iteration: i + 1,
+				Precision: agg.Precision,
+				Recall:    agg.Recall,
+				F1:        agg.F1,
+				Ambiguous: metrics.Summarize(ambig[i]),
+			}
+		}
+		out.Series[eta] = points
+	}
+	out.render(cfg.Out)
+	return out, nil
+}
+
+// RunFig9 reproduces Fig. 9: the noisy-label detection process of ENLD over
+// fine-grained NLD iterations on the CIFAR100-like benchmark.
+func RunFig9(cfg Config) (*TrajectoryResult, error) {
+	return runTrajectories("fig9", "ENLD detection process over iterations (CIFAR100-like)", "cifar100", cfg)
+}
+
+// RunFig13b reproduces Fig. 13(b): the number of ambiguous samples during
+// fine-grained NLD on the CIFAR100-like benchmark. It shares the trajectory
+// machinery with Fig. 9; consumers read the Ambiguous summaries.
+func RunFig13b(cfg Config) (*TrajectoryResult, error) {
+	return runTrajectories("fig13b", "ambiguous samples over iterations (CIFAR100-like)", "cifar100", cfg)
+}
+
+func (r *TrajectoryResult) render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "eta\titer\tprecision\trecall\tf1\t|A|")
+	for _, eta := range sortedKeys(r.Series) {
+		for _, p := range r.Series[eta] {
+			fmt.Fprintf(tw, "%.1f\t%d\t%.4f±%.3f\t%.4f±%.3f\t%.4f±%.3f\t%.1f±%.1f\n",
+				eta, p.Iteration,
+				p.Precision.Mean, p.Precision.Std,
+				p.Recall.Mean, p.Recall.Std,
+				p.F1.Mean, p.F1.Std,
+				p.Ambiguous.Mean, p.Ambiguous.Std)
+		}
+	}
+	tw.Flush()
+	// ASCII rendition of the figure itself: F1 curves per eta (Fig. 9's
+	// rightmost panels), and ambiguous-count curves (Fig. 13b).
+	var f1Series, ambSeries []plot.Series
+	for _, eta := range sortedKeys(r.Series) {
+		f1 := plot.Series{Name: fmt.Sprintf("eta=%.1f", eta)}
+		amb := plot.Series{Name: fmt.Sprintf("eta=%.1f", eta)}
+		for _, p := range r.Series[eta] {
+			f1.Y = append(f1.Y, p.F1.Mean)
+			amb.Y = append(amb.Y, p.Ambiguous.Mean)
+		}
+		f1Series = append(f1Series, f1)
+		ambSeries = append(ambSeries, amb)
+	}
+	plot.Lines(w, "f1 score over iterations", f1Series, plot.Config{})
+	plot.Lines(w, "ambiguous samples over iterations", ambSeries, plot.Config{})
+	fmt.Fprintln(w)
+}
+
+func sortedKeys(m map[float64][]IterationPoint) []float64 {
+	out := make([]float64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"enld/internal/core"
+	"enld/internal/sampling"
+)
+
+// RunFig10 reproduces Fig. 10: fine-grained NLD with each sample-selection
+// policy of §V-A5 (contrastive, random, highest/least confidence, entropy,
+// pseudo) on the CIFAR100-like benchmark across noise rates.
+func RunFig10(cfg Config) (*FigureResult, error) {
+	cfg = cfg.normalized()
+	out := &FigureResult{ID: "fig10", Title: "sample-selection strategies (CIFAR100-like)"}
+	for _, eta := range cfg.Etas {
+		wb, err := BuildWorkbench("cifar100", eta, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, strat := range sampling.All() {
+			ecfg := wb.ENLDCfg
+			ecfg.Strategy = strat
+			e := &core.ENLD{Platform: wb.Platform, Config: ecfg}
+			agg, proc, work, _, err := runDetector(e, wb.Shards)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, MethodScore{
+				Method: strat.Name(), Eta: eta, Agg: agg,
+				SetupTime: wb.Platform.SetupTime, MeanProcess: proc, MeanWork: work,
+			})
+		}
+	}
+	out.render(cfg.Out)
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGoldenRegression pins the end-to-end pipeline to exact metric values
+// for one fixed configuration. Every stochastic component is seeded, so any
+// change to data generation, noise injection, training order, sampling or
+// selection logic shifts these numbers — which is the point: an uninspected
+// diff here means the algorithm changed, not just the code.
+//
+// When an intentional algorithm change lands, re-derive the constants by
+// running the test with -run TestGoldenRegression -v and copying the logged
+// values.
+func TestGoldenRegression(t *testing.T) {
+	cfg := Config{
+		Seed:           12345,
+		DataScale:      0.5,
+		Shards:         2,
+		Etas:           []float64{0.2},
+		PlatformEpochs: 10,
+		Iterations:     3,
+	}
+	wb, err := BuildWorkbench("emnist", 0.2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f1s []float64
+	for _, d := range StandardMethods(wb, cfg.Seed+3) {
+		agg, _, _, _, err := runDetector(d, wb.Shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f1s = append(f1s, agg.F1.Mean)
+		t.Logf("%s F1 = %.10f", d.Name(), agg.F1.Mean)
+	}
+	// Order: default, cl-1, cl-2, topofilter, enld.
+	golden := []float64{
+		0.4810606061, // default
+		0.7166666667, // cl-1
+		0.7166666667, // cl-2
+		0.8533333333, // topofilter
+		0.7352941176, // enld
+	}
+	if len(f1s) != len(golden) {
+		t.Fatalf("%d methods", len(f1s))
+	}
+	for i, want := range golden {
+		if math.Abs(f1s[i]-want) > 1e-6 {
+			t.Errorf("method %d: F1 %.10f, golden %.10f (algorithm behaviour changed; "+
+				"if intentional, update the golden values)", i, f1s[i], want)
+		}
+	}
+}

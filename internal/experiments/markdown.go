@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Markdown renders the figure as a GitHub-flavoured Markdown table, one row
+// per method with a column per noise rate, matching the layout EXPERIMENTS.md
+// uses for paper-versus-measured comparisons.
+func (f *FigureResult) Markdown() string {
+	etas := map[float64]bool{}
+	methods := []string{}
+	seen := map[string]bool{}
+	for _, r := range f.Rows {
+		etas[r.Eta] = true
+		if !seen[r.Method] {
+			seen[r.Method] = true
+			methods = append(methods, r.Method)
+		}
+	}
+	etaList := make([]float64, 0, len(etas))
+	for e := range etas {
+		etaList = append(etaList, e)
+	}
+	sort.Float64s(etaList)
+	sort.Strings(methods)
+
+	var b strings.Builder
+	b.WriteString("| method |")
+	for _, e := range etaList {
+		fmt.Fprintf(&b, " η=%.1f F1 |", e)
+	}
+	b.WriteString(" mean F1 | mean process | mean work |\n|---|")
+	for range etaList {
+		b.WriteString("---|")
+	}
+	b.WriteString("---|---|---|\n")
+	for _, m := range methods {
+		fmt.Fprintf(&b, "| %s |", m)
+		for _, e := range etaList {
+			if v := f.Score(m, e); v >= 0 {
+				fmt.Fprintf(&b, " %.3f |", v)
+			} else {
+				b.WriteString(" — |")
+			}
+		}
+		fmt.Fprintf(&b, " %.3f | %s | %.0f |\n",
+			f.MeanF1(m), f.MeanProcess(m).Round(time.Millisecond), f.MeanWork(m))
+	}
+	if len(f.VsENLD) > 0 {
+		b.WriteString("\n")
+		names := make([]string, 0, len(f.VsENLD))
+		for m := range f.VsENLD {
+			names = append(names, m)
+		}
+		sort.Strings(names)
+		for _, m := range names {
+			cmp := f.VsENLD[m]
+			fmt.Fprintf(&b, "Sign test ENLD vs %s: %d/%d/%d wins/losses/ties, p = %.4f.\n",
+				m, cmp.Wins, cmp.Losses, cmp.Ties, cmp.PValue)
+		}
+	}
+	return b.String()
+}
+
+// Markdown renders the Fig. 8 timing table.
+func (r *Fig8Result) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| dataset | method | setup | mean process | mean work |\n|---|---|---|---|---|\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %.0f |\n",
+			row.Dataset, row.Method,
+			row.Setup.Round(time.Millisecond),
+			row.MeanProcess.Round(time.Millisecond),
+			row.MeanWork)
+	}
+	b.WriteString("\n")
+	for _, ds := range []string{"emnist", "cifar100", "tinyimagenet"} {
+		if s, ok := r.SpeedupWallclock[ds]; ok {
+			fmt.Fprintf(&b, "Speedup on %s: %.2f× wall-clock, %.2f× analytic work.\n",
+				ds, s, r.SpeedupWork[ds])
+		}
+	}
+	return b.String()
+}
+
+// MarkdownExporter is implemented by results that render Markdown tables.
+type MarkdownExporter interface {
+	Markdown() string
+}
+
+// ExportMarkdown returns the result's Markdown rendering, or "" if the
+// result type has none.
+func ExportMarkdown(result interface{}) string {
+	if exp, ok := result.(MarkdownExporter); ok {
+		return exp.Markdown()
+	}
+	return ""
+}
+
+// Markdown renders the Table II accuracies.
+func (r *Table2Result) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| η | origin model | updated model | \\|S_c\\| |\n|---|---|---|---|\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "| %.1f | %.2f%% | %.2f%% | %d |\n",
+			row.Eta, row.Before*100, row.After*100, row.Selected)
+	}
+	return b.String()
+}

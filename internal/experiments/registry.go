@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment and renders it to cfg.Out. The untyped
+// return value is the experiment's structured result (a *FigureResult,
+// *Fig3Result, *Fig8Result, *Fig13aResult, *TrajectoryResult or
+// *Table2Result depending on the experiment).
+type Runner func(cfg Config) (interface{}, error)
+
+// registry maps experiment IDs (as used in DESIGN.md's per-experiment
+// index) to runners.
+var registry = map[string]Runner{
+	"fig3":   func(c Config) (interface{}, error) { return RunFig3(c) },
+	"fig4":   func(c Config) (interface{}, error) { return RunFig4(c) },
+	"fig5":   func(c Config) (interface{}, error) { return RunFig5(c) },
+	"fig6":   func(c Config) (interface{}, error) { return RunFig6(c) },
+	"fig7":   func(c Config) (interface{}, error) { return RunFig7(c) },
+	"fig8":   func(c Config) (interface{}, error) { return RunFig8(c) },
+	"fig9":   func(c Config) (interface{}, error) { return RunFig9(c) },
+	"fig10":  func(c Config) (interface{}, error) { return RunFig10(c) },
+	"fig11":  func(c Config) (interface{}, error) { return RunFig11(c) },
+	"fig12":  func(c Config) (interface{}, error) { return RunFig12(c) },
+	"fig13a": func(c Config) (interface{}, error) { return RunFig13a(c) },
+	"fig13b": func(c Config) (interface{}, error) { return RunFig13b(c) },
+	"fig14":  func(c Config) (interface{}, error) { return RunFig14(c) },
+	"tab2":   func(c Config) (interface{}, error) { return RunTable2(c) },
+	"ext1":   func(c Config) (interface{}, error) { return RunExt1(c) },
+	"ext2":   func(c Config) (interface{}, error) { return RunExt2(c) },
+	"ext3":   func(c Config) (interface{}, error) { return RunExt3(c) },
+}
+
+// IDs returns the known experiment identifiers in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, cfg Config) (interface{}, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(cfg)
+}

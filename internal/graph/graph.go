@@ -1,0 +1,149 @@
+// Package graph provides the k-NN graph and connected-component machinery
+// that the TopoFilter baseline is built on.
+//
+// TopoFilter [Wu et al., NeurIPS 2020] collects clean data by building a
+// k-nearest-neighbour graph over feature representations restricted to each
+// observed class and keeping the largest connected component, on the theory
+// that clean samples of a class form one dense cluster in latent space while
+// mislabelled samples land as isolated vertices or small islands.
+package graph
+
+import (
+	"errors"
+	"sort"
+
+	"enld/internal/kdtree"
+)
+
+// UnionFind is a disjoint-set forest with union by size and path halving.
+type UnionFind struct {
+	parent []int
+	size   []int
+}
+
+// NewUnionFind returns a forest of n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing a and b and reports whether a merge
+// happened (false when they were already joined).
+func (uf *UnionFind) Union(a, b int) bool {
+	ra, rb := uf.Find(a), uf.Find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+	return true
+}
+
+// ComponentSize returns the size of x's component.
+func (uf *UnionFind) ComponentSize(x int) int {
+	return uf.size[uf.Find(x)]
+}
+
+// Components groups element indices by component representative.
+func (uf *UnionFind) Components() map[int][]int {
+	out := make(map[int][]int)
+	for i := range uf.parent {
+		r := uf.Find(i)
+		out[r] = append(out[r], i)
+	}
+	return out
+}
+
+// KNNComponents builds a k-NN graph over vecs and returns the vertex sets of
+// its connected components, largest first by size.
+//
+// With mutual=false every vertex is joined to its k nearest neighbours
+// (symmetrized), which yields large well-connected components. With
+// mutual=true an edge joins i and j only when each is among the other's
+// k nearest neighbours. Mutuality matters for noise filtering: a mislabelled
+// outlier's own k-NN edges point into the clean cluster, but the cluster
+// does not point back, so the outlier stays isolated — the behaviour
+// TopoFilter's clean-component selection relies on. The cost is that mutual
+// graphs fragment sparse clusters at small k, so TopoFilter-style callers
+// should size k to the expected cluster density.
+//
+// It returns an error if vecs is empty or ragged, or k is non-positive.
+func KNNComponents(vecs [][]float64, k int, mutual bool) ([][]int, error) {
+	if len(vecs) == 0 {
+		return nil, errors.New("graph: no vectors")
+	}
+	if k <= 0 {
+		return nil, errors.New("graph: non-positive k")
+	}
+	pts := make([]kdtree.Point, len(vecs))
+	for i, v := range vecs {
+		pts[i] = kdtree.Point{Vec: v, Payload: i}
+	}
+	tree, err := kdtree.Build(pts)
+	if err != nil {
+		return nil, err
+	}
+	// First pass: record each vertex's k-NN set.
+	nbrSets := make([]map[int]bool, len(vecs))
+	for i, v := range vecs {
+		// Query k+1 because the vertex itself is its own nearest neighbour.
+		nbrs, err := tree.KNearest(v, k+1)
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[int]bool, k)
+		for _, nb := range nbrs {
+			if nb.Point.Payload != i {
+				set[nb.Point.Payload] = true
+			}
+		}
+		nbrSets[i] = set
+	}
+	// Second pass: union pairs, requiring reciprocity in mutual mode.
+	uf := NewUnionFind(len(vecs))
+	for i, set := range nbrSets {
+		for j := range set {
+			if !mutual || nbrSets[j][i] {
+				uf.Union(i, j)
+			}
+		}
+	}
+	comps := uf.Components()
+	out := make([][]int, 0, len(comps))
+	for _, members := range comps {
+		out = append(out, members)
+	}
+	// Largest first; stable tie-break on first member for determinism.
+	sortComponents(out)
+	return out, nil
+}
+
+// sortComponents orders components by (size desc, first member asc) and each
+// component's members ascending, giving a fully deterministic result.
+func sortComponents(comps [][]int) {
+	for i := range comps {
+		sort.Ints(comps[i])
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+}

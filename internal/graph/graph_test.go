@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"enld/internal/mat"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	uf := NewUnionFind(5)
+	for i := 0; i < 5; i++ {
+		if uf.Find(i) != i {
+			t.Fatalf("singleton %d has root %d", i, uf.Find(i))
+		}
+		if uf.ComponentSize(i) != 1 {
+			t.Fatal("singleton size != 1")
+		}
+	}
+	if !uf.Union(0, 1) {
+		t.Fatal("first union reported no-op")
+	}
+	if uf.Union(1, 0) {
+		t.Fatal("repeat union reported merge")
+	}
+	uf.Union(2, 3)
+	uf.Union(0, 2)
+	if uf.ComponentSize(3) != 4 {
+		t.Fatalf("component size = %d", uf.ComponentSize(3))
+	}
+	if uf.Find(0) != uf.Find(3) {
+		t.Fatal("0 and 3 not connected")
+	}
+	if uf.Find(4) == uf.Find(0) {
+		t.Fatal("4 wrongly connected")
+	}
+	comps := uf.Components()
+	if len(comps) != 2 {
+		t.Fatalf("%d components", len(comps))
+	}
+}
+
+func TestKNNComponentsTwoClusters(t *testing.T) {
+	rng := mat.NewRNG(1)
+	var vecs [][]float64
+	// Two tight clusters far apart: 30 points near (0,0), 20 near (100,100).
+	for i := 0; i < 30; i++ {
+		vecs = append(vecs, []float64{rng.Norm() * 0.5, rng.Norm() * 0.5})
+	}
+	for i := 0; i < 20; i++ {
+		vecs = append(vecs, []float64{100 + rng.Norm()*0.5, 100 + rng.Norm()*0.5})
+	}
+	comps, err := KNNComponents(vecs, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("%d components, want 2", len(comps))
+	}
+	if len(comps[0]) != 30 || len(comps[1]) != 20 {
+		t.Fatalf("component sizes %d, %d", len(comps[0]), len(comps[1]))
+	}
+	// Largest-first ordering and membership correctness.
+	for _, idx := range comps[0] {
+		if idx >= 30 {
+			t.Fatalf("far point %d in near cluster", idx)
+		}
+	}
+}
+
+func TestKNNComponentsIsolatesOutlier(t *testing.T) {
+	rng := mat.NewRNG(2)
+	var vecs [][]float64
+	for i := 0; i < 25; i++ {
+		vecs = append(vecs, []float64{rng.Norm() * 0.3, rng.Norm() * 0.3})
+	}
+	vecs = append(vecs, []float64{500, 500}) // the mislabelled outlier
+	comps, err := KNNComponents(vecs, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutual k-NN: the outlier's edges into the cluster are not reciprocated,
+	// so it must form its own singleton component — the property TopoFilter's
+	// clean-component selection depends on.
+	if len(comps[0]) != 25 {
+		t.Fatalf("largest component %d, want 25", len(comps[0]))
+	}
+	last := comps[len(comps)-1]
+	if len(last) != 1 || last[0] != 25 {
+		t.Fatalf("outlier not isolated: %v", comps)
+	}
+}
+
+func TestKNNComponentsSingleVertex(t *testing.T) {
+	comps, err := KNNComponents([][]float64{{1, 2}}, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 1 || len(comps[0]) != 1 {
+		t.Fatalf("comps = %v", comps)
+	}
+}
+
+func TestKNNComponentsErrors(t *testing.T) {
+	if _, err := KNNComponents(nil, 2, false); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := KNNComponents([][]float64{{1}}, 0, false); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KNNComponents([][]float64{{1}, {1, 2}}, 1, false); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+func TestMutualSubsetOfDirected(t *testing.T) {
+	// Mutual graphs can only have fewer or equal-size components merged, so
+	// the directed construction's largest component is at least as large.
+	rng := mat.NewRNG(9)
+	vecs := make([][]float64, 40)
+	for i := range vecs {
+		vecs[i] = rng.NormVec(make([]float64, 3), 0, 1)
+	}
+	directed, err := KNNComponents(vecs, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutual, err := KNNComponents(vecs, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mutual) < len(directed) {
+		t.Fatalf("mutual graph has fewer components (%d) than directed (%d)",
+			len(mutual), len(directed))
+	}
+	if len(directed[0]) < len(mutual[0]) {
+		t.Fatalf("directed largest %d < mutual largest %d", len(directed[0]), len(mutual[0]))
+	}
+}
+
+// Property: components partition the vertex set.
+func TestComponentsPartitionProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		k := int(kRaw%5) + 1
+		rng := mat.NewRNG(seed)
+		vecs := make([][]float64, n)
+		for i := range vecs {
+			vecs[i] = rng.NormVec(make([]float64, 3), 0, 1)
+		}
+		comps, err := KNNComponents(vecs, k, seed%2 == 0)
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, n)
+		total := 0
+		for _, c := range comps {
+			for _, v := range c {
+				if v < 0 || v >= n || seen[v] {
+					return false
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		// Largest-first ordering.
+		for i := 1; i < len(comps); i++ {
+			if len(comps[i]) > len(comps[i-1]) {
+				return false
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union-find component sizes always sum to n.
+func TestUnionFindProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, ops uint8) bool {
+		n := int(nRaw%50) + 2
+		uf := NewUnionFind(n)
+		rng := mat.NewRNG(seed)
+		for i := 0; i < int(ops); i++ {
+			uf.Union(rng.Intn(n), rng.Intn(n))
+		}
+		total := 0
+		for _, members := range uf.Components() {
+			total += len(members)
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

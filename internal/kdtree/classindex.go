@@ -1,0 +1,68 @@
+package kdtree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ClassIndex maintains one KD-tree per label over a pool of labelled feature
+// vectors. This is the "KD-Tree structures for each category in H" of
+// §IV-D's implementation note: contrastive sampling queries the k nearest
+// high-quality samples *of a specific candidate label*, so indexing per
+// class both shrinks each tree and removes a post-filter.
+type ClassIndex struct {
+	trees map[int]*Tree
+	sizes map[int]int
+}
+
+// BuildClassIndex groups points by their label and builds one tree per
+// label. Labels with no points simply have no tree.
+func BuildClassIndex(points map[int][]Point) (*ClassIndex, error) {
+	ci := &ClassIndex{trees: make(map[int]*Tree), sizes: make(map[int]int)}
+	for label, pts := range points {
+		if len(pts) == 0 {
+			continue
+		}
+		t, err := Build(pts)
+		if err != nil {
+			return nil, fmt.Errorf("kdtree: class %d: %w", label, err)
+		}
+		ci.trees[label] = t
+		ci.sizes[label] = len(pts)
+	}
+	return ci, nil
+}
+
+// KNearest returns the k nearest points of the given label, nearest-first.
+// It returns nil (no error) if the label has no indexed points, which the
+// contrastive sampler treats as "no contrastive samples available for this
+// candidate label".
+func (ci *ClassIndex) KNearest(label int, query []float64, k int) ([]Neighbor, error) {
+	t, ok := ci.trees[label]
+	if !ok {
+		return nil, nil
+	}
+	return t.KNearest(query, k)
+}
+
+// Labels returns the labels that have at least one indexed point, sorted.
+func (ci *ClassIndex) Labels() []int {
+	out := make([]int, 0, len(ci.trees))
+	for l := range ci.trees {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Size returns the number of indexed points for label.
+func (ci *ClassIndex) Size(label int) int { return ci.sizes[label] }
+
+// TotalSize returns the number of indexed points across all labels.
+func (ci *ClassIndex) TotalSize() int {
+	total := 0
+	for _, n := range ci.sizes {
+		total += n
+	}
+	return total
+}

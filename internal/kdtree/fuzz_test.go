@@ -1,0 +1,52 @@
+package kdtree
+
+import (
+	"math"
+	"testing"
+
+	"enld/internal/mat"
+)
+
+// FuzzKNearest builds a tree from fuzzer-derived points and checks the
+// query result against the brute-force scan. Run with
+// `go test -fuzz FuzzKNearest ./internal/kdtree` to explore; the seed corpus
+// runs in normal test mode.
+func FuzzKNearest(f *testing.F) {
+	f.Add(uint64(1), uint8(10), uint8(3), uint8(2))
+	f.Add(uint64(42), uint8(1), uint8(1), uint8(1))
+	f.Add(uint64(7), uint8(200), uint8(9), uint8(5))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, kRaw, dimRaw uint8) {
+		n := int(nRaw)%200 + 1
+		k := int(kRaw)%12 + 1
+		dim := int(dimRaw)%8 + 1
+		rng := mat.NewRNG(seed)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{Vec: rng.NormVec(make([]float64, dim), 0, 2), Payload: i}
+		}
+		tree, err := Build(pts)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		query := rng.NormVec(make([]float64, dim), 0, 3)
+		got, err := tree.KNearest(query, k)
+		if err != nil {
+			t.Fatalf("query: %v", err)
+		}
+		want := BruteKNearest(pts, query, k)
+		if len(got) != len(want) {
+			t.Fatalf("got %d results, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].SqDist-want[i].SqDist) > 1e-9 {
+				t.Fatalf("rank %d: dist %v, want %v", i, got[i].SqDist, want[i].SqDist)
+			}
+		}
+		// Sorted nearest-first.
+		for i := 1; i < len(got); i++ {
+			if got[i].SqDist < got[i-1].SqDist {
+				t.Fatal("results not sorted")
+			}
+		}
+	})
+}

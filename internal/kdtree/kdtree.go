@@ -1,0 +1,179 @@
+// Package kdtree implements a static k-d tree over float64 vectors with
+// k-nearest-neighbour queries.
+//
+// Contrastive sampling (§IV-D of the paper) performs repeated k-nearest
+// queries from ambiguous samples into the high-quality sample pool. The
+// naive scan costs O(c·|A|·|H'|); the paper builds per-class KD-trees to cut
+// the query cost to O(k·|A|·log|H'|), and so does this reproduction (see
+// ClassIndex). A brute-force reference implementation is included both for
+// differential testing and for the complexity benchmarks.
+package kdtree
+
+import (
+	"container/heap"
+	"errors"
+	"sort"
+
+	"enld/internal/mat"
+)
+
+// Point pairs a vector with an opaque payload index (typically the sample's
+// position in its owning set).
+type Point struct {
+	Vec     []float64
+	Payload int
+}
+
+// Tree is an immutable k-d tree. Build once, query from any number of
+// goroutines concurrently.
+type Tree struct {
+	dim   int
+	nodes []node
+	root  int
+}
+
+type node struct {
+	point       Point
+	axis        int
+	left, right int // -1 when absent
+}
+
+// ErrDimensionMismatch is returned for queries whose vector length differs
+// from the tree's dimensionality.
+var ErrDimensionMismatch = errors.New("kdtree: query dimension mismatch")
+
+// Build constructs a tree over the given points. It returns an error if the
+// points are empty or have inconsistent dimensions. The input slice is not
+// retained; vectors are referenced, not copied.
+func Build(points []Point) (*Tree, error) {
+	if len(points) == 0 {
+		return nil, errors.New("kdtree: no points")
+	}
+	dim := len(points[0].Vec)
+	if dim == 0 {
+		return nil, errors.New("kdtree: zero-dimensional points")
+	}
+	for _, p := range points {
+		if len(p.Vec) != dim {
+			return nil, errors.New("kdtree: inconsistent point dimensions")
+		}
+	}
+	t := &Tree{dim: dim, nodes: make([]node, 0, len(points))}
+	pts := make([]Point, len(points))
+	copy(pts, points)
+	t.root = t.build(pts, 0)
+	return t, nil
+}
+
+// build recursively partitions pts by the median along the cycling axis and
+// returns the index of the created node (-1 for empty).
+func (t *Tree) build(pts []Point, depth int) int {
+	if len(pts) == 0 {
+		return -1
+	}
+	axis := depth % t.dim
+	// nth_element-style partition: full sort is O(n log n) per level which
+	// is fine for the static build sizes here and keeps the code simple.
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Vec[axis] < pts[j].Vec[axis] })
+	mid := len(pts) / 2
+	idx := len(t.nodes)
+	t.nodes = append(t.nodes, node{point: pts[mid], axis: axis})
+	left := t.build(pts[:mid], depth+1)
+	right := t.build(pts[mid+1:], depth+1)
+	t.nodes[idx].left = left
+	t.nodes[idx].right = right
+	return idx
+}
+
+// Len returns the number of points in the tree.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// Dim returns the tree's dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Neighbor is one k-NN result.
+type Neighbor struct {
+	Point  Point
+	SqDist float64
+}
+
+// neighborHeap is a max-heap on squared distance, keeping the k best seen.
+type neighborHeap []Neighbor
+
+func (h neighborHeap) Len() int            { return len(h) }
+func (h neighborHeap) Less(i, j int) bool  { return h[i].SqDist > h[j].SqDist }
+func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *neighborHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	out := old[n-1]
+	*h = old[:n-1]
+	return out
+}
+
+// KNearest returns the k points nearest to query in Euclidean distance,
+// ordered nearest-first. If the tree holds fewer than k points, all points
+// are returned.
+func (t *Tree) KNearest(query []float64, k int) ([]Neighbor, error) {
+	if len(query) != t.dim {
+		return nil, ErrDimensionMismatch
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	h := make(neighborHeap, 0, k+1)
+	t.search(t.root, query, k, &h)
+	out := make([]Neighbor, len(h))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Neighbor)
+	}
+	return out, nil
+}
+
+func (t *Tree) search(idx int, query []float64, k int, h *neighborHeap) {
+	if idx < 0 {
+		return
+	}
+	n := &t.nodes[idx]
+	d := mat.SqDist(query, n.point.Vec)
+	if h.Len() < k {
+		heap.Push(h, Neighbor{Point: n.point, SqDist: d})
+	} else if d < (*h)[0].SqDist {
+		heap.Pop(h)
+		heap.Push(h, Neighbor{Point: n.point, SqDist: d})
+	}
+	diff := query[n.axis] - n.point.Vec[n.axis]
+	first, second := n.left, n.right
+	if diff > 0 {
+		first, second = n.right, n.left
+	}
+	t.search(first, query, k, h)
+	// Only descend the far side if the splitting plane is closer than the
+	// current k-th best.
+	if h.Len() < k || diff*diff < (*h)[0].SqDist {
+		t.search(second, query, k, h)
+	}
+}
+
+// BruteKNearest is the O(n) reference implementation used by differential
+// tests and the complexity benchmarks.
+func BruteKNearest(points []Point, query []float64, k int) []Neighbor {
+	if k <= 0 || len(points) == 0 {
+		return nil
+	}
+	all := make([]Neighbor, len(points))
+	for i, p := range points {
+		all[i] = Neighbor{Point: p, SqDist: mat.SqDist(query, p.Vec)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].SqDist != all[j].SqDist {
+			return all[i].SqDist < all[j].SqDist
+		}
+		return all[i].Point.Payload < all[j].Point.Payload
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}

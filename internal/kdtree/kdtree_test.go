@@ -1,0 +1,233 @@
+package kdtree
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"enld/internal/mat"
+)
+
+func randomPoints(n, dim int, seed uint64) []Point {
+	rng := mat.NewRNG(seed)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{Vec: rng.NormVec(make([]float64, dim), 0, 1), Payload: i}
+	}
+	return pts
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("empty build accepted")
+	}
+	if _, err := Build([]Point{{Vec: nil}}); err == nil {
+		t.Error("zero-dim build accepted")
+	}
+	if _, err := Build([]Point{{Vec: []float64{1}}, {Vec: []float64{1, 2}}}); err == nil {
+		t.Error("ragged build accepted")
+	}
+}
+
+func TestKNearestSmall(t *testing.T) {
+	pts := []Point{
+		{Vec: []float64{0, 0}, Payload: 0},
+		{Vec: []float64{1, 0}, Payload: 1},
+		{Vec: []float64{0, 1}, Payload: 2},
+		{Vec: []float64{5, 5}, Payload: 3},
+	}
+	tree, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tree.KNearest([]float64{0.1, 0.1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Point.Payload != 0 {
+		t.Fatalf("KNearest = %+v", got)
+	}
+	// Results are ordered nearest-first.
+	if got[0].SqDist > got[1].SqDist {
+		t.Fatal("results not sorted by distance")
+	}
+}
+
+func TestKNearestExceedsSize(t *testing.T) {
+	pts := randomPoints(3, 2, 1)
+	tree, _ := Build(pts)
+	got, err := tree.KNearest([]float64{0, 0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d results", len(got))
+	}
+}
+
+func TestKNearestZeroK(t *testing.T) {
+	tree, _ := Build(randomPoints(5, 2, 2))
+	got, err := tree.KNearest([]float64{0, 0}, 0)
+	if err != nil || got != nil {
+		t.Fatalf("k=0: %v, %v", got, err)
+	}
+}
+
+func TestKNearestDimensionMismatch(t *testing.T) {
+	tree, _ := Build(randomPoints(5, 3, 3))
+	if _, err := tree.KNearest([]float64{0, 0}, 1); err != ErrDimensionMismatch {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestDifferentialAgainstBruteForce is the core correctness test: the tree
+// must return exactly the same neighbour set as the O(n) scan.
+func TestDifferentialAgainstBruteForce(t *testing.T) {
+	for _, dim := range []int{1, 2, 5, 16} {
+		pts := randomPoints(300, dim, uint64(dim))
+		tree, err := Build(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := mat.NewRNG(uint64(100 + dim))
+		for trial := 0; trial < 30; trial++ {
+			q := rng.NormVec(make([]float64, dim), 0, 1.5)
+			for _, k := range []int{1, 3, 10} {
+				got, err := tree.KNearest(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := BruteKNearest(pts, q, k)
+				if len(got) != len(want) {
+					t.Fatalf("dim=%d k=%d: %d results, want %d", dim, k, len(got), len(want))
+				}
+				// Compare distance multisets (payload order may differ on ties).
+				for i := range got {
+					if math.Abs(got[i].SqDist-want[i].SqDist) > 1e-12 {
+						t.Fatalf("dim=%d k=%d rank=%d: dist %v, want %v",
+							dim, k, i, got[i].SqDist, want[i].SqDist)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := []Point{
+		{Vec: []float64{1, 1}, Payload: 0},
+		{Vec: []float64{1, 1}, Payload: 1},
+		{Vec: []float64{1, 1}, Payload: 2},
+	}
+	tree, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tree.KNearest([]float64{1, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("duplicates lost: %d results", len(got))
+	}
+	payloads := map[int]bool{}
+	for _, n := range got {
+		payloads[n.Point.Payload] = true
+	}
+	if len(payloads) != 3 {
+		t.Fatalf("payloads %v", payloads)
+	}
+}
+
+func TestTreeMetadata(t *testing.T) {
+	pts := randomPoints(42, 4, 5)
+	tree, _ := Build(pts)
+	if tree.Len() != 42 || tree.Dim() != 4 {
+		t.Fatalf("Len=%d Dim=%d", tree.Len(), tree.Dim())
+	}
+}
+
+func TestClassIndex(t *testing.T) {
+	points := map[int][]Point{
+		0: randomPoints(50, 3, 10),
+		2: randomPoints(30, 3, 11),
+	}
+	ci, err := BuildClassIndex(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := ci.Labels()
+	if len(labels) != 2 || labels[0] != 0 || labels[1] != 2 {
+		t.Fatalf("Labels = %v", labels)
+	}
+	if ci.Size(0) != 50 || ci.Size(2) != 30 || ci.Size(1) != 0 {
+		t.Fatal("sizes wrong")
+	}
+	if ci.TotalSize() != 80 {
+		t.Fatalf("TotalSize = %d", ci.TotalSize())
+	}
+	q := []float64{0, 0, 0}
+	got, err := ci.KNearest(0, q, 5)
+	if err != nil || len(got) != 5 {
+		t.Fatalf("class query: %d results, err=%v", len(got), err)
+	}
+	want := BruteKNearest(points[0], q, 5)
+	for i := range got {
+		if math.Abs(got[i].SqDist-want[i].SqDist) > 1e-12 {
+			t.Fatal("class index disagrees with brute force")
+		}
+	}
+	// Missing label returns nil, nil.
+	got, err = ci.KNearest(7, q, 5)
+	if err != nil || got != nil {
+		t.Fatalf("missing label: %v, %v", got, err)
+	}
+	// Empty class slices are skipped.
+	ci2, err := BuildClassIndex(map[int][]Point{3: {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ci2.Labels()) != 0 {
+		t.Fatal("empty class indexed")
+	}
+}
+
+// Property: for random point sets and queries, tree results always match the
+// brute-force distances exactly.
+func TestKNearestProperty(t *testing.T) {
+	f := func(seed uint64, kRaw, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		k := int(kRaw%10) + 1
+		pts := randomPoints(n, 3, seed)
+		tree, err := Build(pts)
+		if err != nil {
+			return false
+		}
+		q := mat.NewRNG(seed^0xdead).NormVec(make([]float64, 3), 0, 2)
+		got, err := tree.KNearest(q, k)
+		if err != nil {
+			return false
+		}
+		want := BruteKNearest(pts, q, k)
+		if len(got) != len(want) {
+			return false
+		}
+		gd := make([]float64, len(got))
+		wd := make([]float64, len(want))
+		for i := range got {
+			gd[i], wd[i] = got[i].SqDist, want[i].SqDist
+		}
+		sort.Float64s(gd)
+		sort.Float64s(wd)
+		for i := range gd {
+			if math.Abs(gd[i]-wd[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+package lake
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Status aggregates a running platform's state for the monitoring endpoint.
+type Status struct {
+	// Store statistics.
+	StoreName    string       `json:"store_name"`
+	StoreSamples int          `json:"store_samples"`
+	Labels       []LabelCount `json:"labels,omitempty"`
+
+	// Task statistics.
+	TasksProcessed int     `json:"tasks_processed"`
+	TasksFailed    int     `json:"tasks_failed"`
+	MeanF1         float64 `json:"mean_f1"`
+	MeanProcessSec float64 `json:"mean_process_sec"`
+	MeanQueuedSec  float64 `json:"mean_queued_sec"`
+
+	// Recent holds the newest task reports, most recent first.
+	Recent []ReportSummary `json:"recent,omitempty"`
+}
+
+// ReportSummary is the JSON shape of one processed task.
+type ReportSummary struct {
+	TaskID     int     `json:"task_id"`
+	Size       int     `json:"size"`
+	Noisy      int     `json:"noisy"`
+	F1         float64 `json:"f1"`
+	ProcessSec float64 `json:"process_sec"`
+	QueuedSec  float64 `json:"queued_sec"`
+	Failed     bool    `json:"failed,omitempty"`
+}
+
+// StatusTracker accumulates task reports and serves them over HTTP. It is
+// safe for concurrent use: workers record reports while the endpoint reads.
+type StatusTracker struct {
+	mu      sync.Mutex
+	store   *Store
+	reports []Report
+	// keepRecent bounds the recent-report ring.
+	keepRecent int
+}
+
+// NewStatusTracker returns a tracker over an optional store (nil is allowed;
+// store statistics are then omitted).
+func NewStatusTracker(store *Store) *StatusTracker {
+	return &StatusTracker{store: store, keepRecent: 20}
+}
+
+// Record adds a processed task report.
+func (t *StatusTracker) Record(rep Report) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reports = append(t.reports, rep)
+}
+
+// Snapshot builds the current status.
+func (t *StatusTracker) Snapshot() Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var st Status
+	if t.store != nil {
+		meta := t.store.Meta()
+		st.StoreName = meta.Name
+		st.StoreSamples = t.store.Len()
+		st.Labels = t.store.LabelHistogram()
+	}
+	var f1Sum float64
+	var procSum, queueSum time.Duration
+	ok := 0
+	for _, rep := range t.reports {
+		st.TasksProcessed++
+		if rep.Err != nil {
+			st.TasksFailed++
+			continue
+		}
+		ok++
+		f1Sum += rep.Detection.F1
+		procSum += rep.Process
+		queueSum += rep.Queued
+	}
+	if ok > 0 {
+		st.MeanF1 = f1Sum / float64(ok)
+		st.MeanProcessSec = procSum.Seconds() / float64(ok)
+		st.MeanQueuedSec = queueSum.Seconds() / float64(ok)
+	}
+	// Most recent first, bounded.
+	recent := append([]Report(nil), t.reports...)
+	sort.SliceStable(recent, func(i, j int) bool { return recent[i].TaskID > recent[j].TaskID })
+	if len(recent) > t.keepRecent {
+		recent = recent[:t.keepRecent]
+	}
+	for _, rep := range recent {
+		rs := ReportSummary{
+			TaskID:     rep.TaskID,
+			Size:       rep.Size,
+			F1:         rep.Detection.F1,
+			ProcessSec: rep.Process.Seconds(),
+			QueuedSec:  rep.Queued.Seconds(),
+			Failed:     rep.Err != nil,
+		}
+		if rep.Result != nil {
+			rs.Noisy = len(rep.Result.Noisy)
+		}
+		st.Recent = append(st.Recent, rs)
+	}
+	return st
+}
+
+// Handler returns an http.Handler serving the status as JSON at any path.
+// Mount it on a mux (e.g. /statusz) to monitor a running lake simulation.
+func (t *StatusTracker) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(t.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package lake
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"enld/internal/dataset"
+	"enld/internal/detect"
+	"enld/internal/metrics"
+)
+
+func trackerWithData(t *testing.T) *StatusTracker {
+	t.Helper()
+	st, err := NewStore(testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Add(dataset.Set{sample(1, 0), sample(2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewStatusTracker(st)
+	res := detect.NewResult()
+	res.MarkNoisy(5)
+	res.MarkClean(6)
+	tr.Record(Report{
+		TaskID: 0, Size: 2, Result: res,
+		Detection: metrics.Detection{F1: 0.8},
+		Process:   100 * time.Millisecond, Queued: 10 * time.Millisecond,
+	})
+	tr.Record(Report{TaskID: 1, Size: 3, Err: errFake})
+	return tr
+}
+
+var errFake = &fakeErr{}
+
+type fakeErr struct{}
+
+func (*fakeErr) Error() string { return "fake" }
+
+func TestSnapshot(t *testing.T) {
+	tr := trackerWithData(t)
+	st := tr.Snapshot()
+	if st.StoreName != "t" || st.StoreSamples != 2 {
+		t.Fatalf("store stats: %+v", st)
+	}
+	if st.TasksProcessed != 2 || st.TasksFailed != 1 {
+		t.Fatalf("task stats: %+v", st)
+	}
+	if st.MeanF1 != 0.8 {
+		t.Fatalf("mean f1 = %v", st.MeanF1)
+	}
+	if len(st.Recent) != 2 || st.Recent[0].TaskID != 1 {
+		t.Fatalf("recent = %+v", st.Recent)
+	}
+	if st.Recent[1].Noisy != 1 {
+		t.Fatalf("noisy count = %d", st.Recent[1].Noisy)
+	}
+}
+
+func TestSnapshotNilStore(t *testing.T) {
+	tr := NewStatusTracker(nil)
+	st := tr.Snapshot()
+	if st.StoreName != "" || st.StoreSamples != 0 {
+		t.Fatalf("nil store stats: %+v", st)
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	tr := trackerWithData(t)
+	srv := httptest.NewServer(tr.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TasksProcessed != 2 {
+		t.Fatalf("decoded %+v", st)
+	}
+}
+
+func TestHandlerRejectsPost(t *testing.T) {
+	tr := NewStatusTracker(nil)
+	srv := httptest.NewServer(tr.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestTrackerConcurrent(t *testing.T) {
+	tr := NewStatusTracker(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tr.Record(Report{TaskID: id, Detection: metrics.Detection{F1: 0.5}})
+			tr.Snapshot()
+		}(i)
+	}
+	wg.Wait()
+	if st := tr.Snapshot(); st.TasksProcessed != 20 {
+		t.Fatalf("processed %d", st.TasksProcessed)
+	}
+}
+
+func TestRecentBounded(t *testing.T) {
+	tr := NewStatusTracker(nil)
+	for i := 0; i < 50; i++ {
+		tr.Record(Report{TaskID: i})
+	}
+	st := tr.Snapshot()
+	if len(st.Recent) != 20 {
+		t.Fatalf("recent = %d", len(st.Recent))
+	}
+	if st.Recent[0].TaskID != 49 {
+		t.Fatalf("most recent = %d", st.Recent[0].TaskID)
+	}
+}

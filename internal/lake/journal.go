@@ -1,0 +1,156 @@
+package lake
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// EntryKind classifies journal entries.
+type EntryKind string
+
+// Journal entry kinds.
+const (
+	// EntryDetection records the outcome of one detection task.
+	EntryDetection EntryKind = "detection"
+	// EntryRelabel records an accepted label correction.
+	EntryRelabel EntryKind = "relabel"
+	// EntryRemoval records samples dropped from the inventory.
+	EntryRemoval EntryKind = "removal"
+	// EntryModelUpdate records an Algorithm-4 general-model update.
+	EntryModelUpdate EntryKind = "model-update"
+)
+
+// Entry is one durable record of a platform decision. Data-quality
+// judgements are destructive downstream (samples get dropped, labels
+// rewritten, models replaced), so the platform journals every decision for
+// audit and replay.
+type Entry struct {
+	Seq  uint64
+	Time time.Time
+	Kind EntryKind
+
+	// TaskID identifies the detection task for EntryDetection entries.
+	TaskID int
+	// NoisyIDs / CleanIDs carry the partition of a detection entry, the
+	// removed IDs of a removal entry, or the affected ID of a relabel.
+	NoisyIDs []int
+	CleanIDs []int
+	// Label is the new label of a relabel entry.
+	Label int
+	// Note carries free-form context (model name, operator, reason).
+	Note string
+}
+
+// Journal is an append-only gob log of platform decisions. It is safe for
+// concurrent use. Entries receive monotonically increasing sequence numbers
+// on append.
+type Journal struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+	w   io.Writer
+	seq uint64
+}
+
+// NewJournal returns a journal appending to w. If w also implements
+// io.Reader the caller is responsible for positioning; Journal never reads.
+func NewJournal(w io.Writer) (*Journal, error) {
+	if w == nil {
+		return nil, errors.New("lake: nil journal writer")
+	}
+	return &Journal{enc: gob.NewEncoder(w), w: w}, nil
+}
+
+// Append writes an entry, assigning its sequence number and timestamp, and
+// returns the assigned sequence.
+func (j *Journal) Append(e Entry) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	e.Seq = j.seq
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	if err := j.enc.Encode(e); err != nil {
+		j.seq--
+		return 0, fmt.Errorf("lake: journal append: %w", err)
+	}
+	return e.Seq, nil
+}
+
+// AppendDetection journals a detection task's outcome.
+func (j *Journal) AppendDetection(taskID int, noisy, clean map[int]bool, note string) (uint64, error) {
+	return j.Append(Entry{
+		Kind:     EntryDetection,
+		TaskID:   taskID,
+		NoisyIDs: sortedIDs(noisy),
+		CleanIDs: sortedIDs(clean),
+		Note:     note,
+	})
+}
+
+// ReadJournal decodes all entries from r until EOF, verifying that sequence
+// numbers are strictly increasing. A truncated trailing record (torn write)
+// is reported via err while still returning the entries read before it.
+func ReadJournal(r io.Reader) ([]Entry, error) {
+	dec := gob.NewDecoder(r)
+	var out []Entry
+	var lastSeq uint64
+	for {
+		var e Entry
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return out, fmt.Errorf("lake: journal read after seq %d: %w", lastSeq, err)
+		}
+		if e.Seq <= lastSeq {
+			return out, fmt.Errorf("lake: journal sequence regression: %d after %d", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		out = append(out, e)
+	}
+}
+
+// Replay applies journal entries to a store: removal entries drop samples,
+// relabel entries rewrite labels. Detection and model-update entries are
+// informational and skipped. It returns how many entries mutated the store.
+func Replay(entries []Entry, store *Store) (applied int, err error) {
+	for _, e := range entries {
+		switch e.Kind {
+		case EntryRemoval:
+			ids := make(map[int]bool, len(e.NoisyIDs))
+			for _, id := range e.NoisyIDs {
+				ids[id] = true
+			}
+			if store.Remove(ids) > 0 {
+				applied++
+			}
+		case EntryRelabel:
+			for _, id := range e.NoisyIDs {
+				if err := store.Relabel(id, e.Label); err != nil {
+					return applied, fmt.Errorf("lake: replay seq %d: %w", e.Seq, err)
+				}
+			}
+			applied++
+		case EntryDetection, EntryModelUpdate:
+			// Informational only.
+		default:
+			return applied, fmt.Errorf("lake: replay seq %d: unknown kind %q", e.Seq, e.Kind)
+		}
+	}
+	return applied, nil
+}
+
+func sortedIDs(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,345 @@
+package lake
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"enld/internal/dataset"
+	"enld/internal/detect"
+	"enld/internal/mat"
+	"enld/internal/nn"
+)
+
+func testMeta() StoreMeta {
+	return StoreMeta{Name: "t", Classes: 3, FeatureDim: 2}
+}
+
+func sample(id, label int) dataset.Sample {
+	return dataset.Sample{ID: id, X: []float64{1, 2}, Observed: label, True: label}
+}
+
+func TestNewStoreValidation(t *testing.T) {
+	if _, err := NewStore(StoreMeta{Classes: 1, FeatureDim: 2}); err == nil {
+		t.Error("1-class store accepted")
+	}
+	if _, err := NewStore(StoreMeta{Classes: 3, FeatureDim: 0}); err == nil {
+		t.Error("0-dim store accepted")
+	}
+}
+
+func TestStoreAddAndQuery(t *testing.T) {
+	st, err := NewStore(testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Add(dataset.Set{sample(1, 0), sample(2, 1), sample(3, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 3 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	got, ok := st.Get(2)
+	if !ok || got.Observed != 1 {
+		t.Fatalf("Get(2) = %+v, %v", got, ok)
+	}
+	if _, ok := st.Get(99); ok {
+		t.Fatal("Get(99) found")
+	}
+	if byLabel := st.ByLabel(1); len(byLabel) != 2 {
+		t.Fatalf("ByLabel(1) = %d", len(byLabel))
+	}
+	hist := st.LabelHistogram()
+	if len(hist) != 2 || hist[0].Label != 0 || hist[0].Count != 1 || hist[1].Count != 2 {
+		t.Fatalf("histogram = %v", hist)
+	}
+}
+
+func TestStoreAddRejections(t *testing.T) {
+	st, _ := NewStore(testMeta())
+	if err := st.Add(dataset.Set{{ID: 1, X: []float64{1}, Observed: 0}}); err == nil {
+		t.Error("wrong dim accepted")
+	}
+	if err := st.Add(dataset.Set{{ID: 1, X: []float64{1, 2}, Observed: 9}}); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	if err := st.Add(dataset.Set{sample(1, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Add(dataset.Set{sample(1, 1)}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	// Atomicity: a batch with one bad sample must not be partially applied.
+	if err := st.Add(dataset.Set{sample(5, 0), {ID: 6, X: []float64{1}, Observed: 0}}); err == nil {
+		t.Error("bad batch accepted")
+	}
+	if _, ok := st.Get(5); ok {
+		t.Error("partial batch applied")
+	}
+	// Missing labels are allowed.
+	if err := st.Add(dataset.Set{{ID: 7, X: []float64{1, 2}, Observed: dataset.Missing}}); err != nil {
+		t.Errorf("missing label rejected: %v", err)
+	}
+}
+
+func TestStoreRelabelAndRemove(t *testing.T) {
+	st, _ := NewStore(testMeta())
+	if err := st.Add(dataset.Set{sample(1, 0), sample(2, 1), sample(3, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Relabel(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := st.Get(2)
+	if got.Observed != 2 {
+		t.Fatal("relabel lost")
+	}
+	if err := st.Relabel(2, 9); err == nil {
+		t.Error("out-of-range relabel accepted")
+	}
+	if err := st.Relabel(99, 0); err == nil {
+		t.Error("unknown relabel accepted")
+	}
+	if n := st.Remove(map[int]bool{1: true, 99: true}); n != 1 {
+		t.Fatalf("Remove = %d", n)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len after remove = %d", st.Len())
+	}
+	if _, ok := st.Get(1); ok {
+		t.Fatal("removed sample still present")
+	}
+	// Index rebuilt correctly.
+	if got, ok := st.Get(3); !ok || got.Observed != 2 {
+		t.Fatal("index corrupted after remove")
+	}
+	if n := st.Remove(nil); n != 0 {
+		t.Fatal("Remove(nil) != 0")
+	}
+}
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	st, _ := NewStore(testMeta())
+	if err := st.Add(dataset.Set{sample(1, 0), sample(2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 || loaded.Meta() != st.Meta() {
+		t.Fatal("round trip lost data")
+	}
+	if _, err := LoadStore(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// flagOdd is a trivial detector marking odd IDs noisy.
+type flagOdd struct{ delay time.Duration }
+
+func (flagOdd) Name() string { return "flag-odd" }
+
+func (f flagOdd) Detect(d dataset.Set) (*detect.Result, error) {
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	res := detect.NewResult()
+	for _, smp := range d {
+		if smp.ID%2 == 1 {
+			res.MarkNoisy(smp.ID)
+		} else {
+			res.MarkClean(smp.ID)
+		}
+	}
+	res.Process = f.delay
+	return res, nil
+}
+
+// failing always errors.
+type failing struct{}
+
+func (failing) Name() string { return "failing" }
+func (failing) Detect(dataset.Set) (*detect.Result, error) {
+	return nil, errors.New("boom")
+}
+
+func shards(n, size int) []dataset.Set {
+	out := make([]dataset.Set, n)
+	id := 0
+	for i := range out {
+		for j := 0; j < size; j++ {
+			s := sample(id, id%3)
+			if id%2 == 1 {
+				s.True = (s.Observed + 1) % 3 // odd IDs are genuinely noisy
+			}
+			out[i] = append(out[i], s)
+			id++
+		}
+	}
+	return out
+}
+
+func TestServiceProcessesAllRequests(t *testing.T) {
+	svc, err := NewService(flagOdd{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	reports := svc.Run(ctx, Feed(ctx, shards(7, 4), 0))
+	if len(reports) != 7 {
+		t.Fatalf("%d reports", len(reports))
+	}
+	for i, rep := range reports {
+		if rep.TaskID != i {
+			t.Fatalf("reports not ordered: %v", rep.TaskID)
+		}
+		if rep.Err != nil {
+			t.Fatal(rep.Err)
+		}
+		if rep.Size != 4 {
+			t.Fatalf("size = %d", rep.Size)
+		}
+		// flagOdd is exactly right on this workload.
+		if rep.Detection.F1 != 1 {
+			t.Fatalf("task %d F1 = %v", rep.TaskID, rep.Detection.F1)
+		}
+	}
+}
+
+func TestServiceReportsErrors(t *testing.T) {
+	svc, _ := NewService(failing{}, 1)
+	ctx := context.Background()
+	reports := svc.Run(ctx, Feed(ctx, shards(2, 3), 0))
+	if len(reports) != 2 {
+		t.Fatalf("%d reports", len(reports))
+	}
+	for _, rep := range reports {
+		if rep.Err == nil {
+			t.Fatal("error not reported")
+		}
+	}
+}
+
+func TestServiceContextCancel(t *testing.T) {
+	svc, _ := NewService(flagOdd{delay: 5 * time.Millisecond}, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(8 * time.Millisecond)
+		cancel()
+	}()
+	reports := svc.Run(ctx, Feed(ctx, shards(100, 2), 0))
+	if len(reports) == 0 || len(reports) >= 100 {
+		t.Fatalf("cancel processed %d tasks", len(reports))
+	}
+}
+
+func TestNewServiceValidation(t *testing.T) {
+	if _, err := NewService(nil, 1); err == nil {
+		t.Error("nil detector accepted")
+	}
+	if _, err := NewService(flagOdd{}, 0); err == nil {
+		t.Error("0 workers accepted")
+	}
+}
+
+func TestFeedPacing(t *testing.T) {
+	ctx := context.Background()
+	start := time.Now()
+	ch := Feed(ctx, shards(3, 1), 2*time.Millisecond)
+	n := 0
+	for range ch {
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("fed %d", n)
+	}
+	if time.Since(start) < 4*time.Millisecond {
+		t.Fatal("pacing not applied")
+	}
+}
+
+func TestServiceOnReportCallback(t *testing.T) {
+	svc, err := NewService(flagOdd{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	svc.OnReport = func(rep Report) {
+		mu.Lock()
+		seen[rep.TaskID] = true
+		mu.Unlock()
+	}
+	ctx := context.Background()
+	reports := svc.Run(ctx, Feed(ctx, shards(5, 2), 0))
+	if len(reports) != 5 || len(seen) != 5 {
+		t.Fatalf("reports=%d callbacks=%d", len(reports), len(seen))
+	}
+}
+
+// realDetector adapts a shared nn.Network the way baselines do, to verify
+// the service's concurrency contract end-to-end under the race detector.
+type realDetector struct{ model *nn.Network }
+
+func (realDetector) Name() string { return "real" }
+
+func (r realDetector) Detect(d dataset.Set) (*detect.Result, error) {
+	res := detect.NewResult()
+	scores := detect.Score(r.model.Clone(), d, &res.Meter)
+	for i, smp := range d {
+		if scores.Predicted[i] == smp.Observed {
+			res.MarkClean(smp.ID)
+		} else {
+			res.MarkNoisy(smp.ID)
+		}
+	}
+	return res, nil
+}
+
+func TestServiceConcurrentModelAccess(t *testing.T) {
+	model := nn.NewNetwork([]int{2, 4, 3}, mat.NewRNG(1))
+	svc, err := NewService(realDetector{model: model}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	reports := svc.Run(ctx, Feed(ctx, shards(12, 5), 0))
+	if len(reports) != 12 {
+		t.Fatalf("%d reports", len(reports))
+	}
+	for _, rep := range reports {
+		if rep.Err != nil {
+			t.Fatal(rep.Err)
+		}
+	}
+}
+
+// panicking blows up on every call.
+type panicking struct{}
+
+func (panicking) Name() string { return "panicking" }
+func (panicking) Detect(dataset.Set) (*detect.Result, error) {
+	panic("detector bug")
+}
+
+func TestServiceContainsDetectorPanic(t *testing.T) {
+	svc, _ := NewService(panicking{}, 2)
+	ctx := context.Background()
+	reports := svc.Run(ctx, Feed(ctx, shards(4, 2), 0))
+	if len(reports) != 4 {
+		t.Fatalf("%d reports after panics", len(reports))
+	}
+	for _, rep := range reports {
+		if rep.Err == nil {
+			t.Fatal("panic not converted to error")
+		}
+	}
+}

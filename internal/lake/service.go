@@ -1,0 +1,167 @@
+package lake
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"enld/internal/dataset"
+	"enld/internal/detect"
+	"enld/internal/metrics"
+)
+
+// Request is one incoming noisy-label detection task.
+type Request struct {
+	// TaskID identifies the request in reports.
+	TaskID int
+	// Data is the incremental dataset to screen.
+	Data dataset.Set
+}
+
+// Report is the outcome of one processed request.
+type Report struct {
+	TaskID int
+	Size   int
+	// Result is the detector's partition of the dataset.
+	Result *detect.Result
+	// Detection scores the result against ground truth when the request's
+	// samples carry true labels (synthetic workloads always do).
+	Detection metrics.Detection
+	// Queued is how long the request waited before a worker picked it up;
+	// Process is the detector's own processing time.
+	Queued  time.Duration
+	Process time.Duration
+	Err     error
+}
+
+// Service processes detection requests with a fixed detector and a bounded
+// worker pool, in the arrival order the platform scenario prescribes.
+// Workers run concurrently, so the detector must be safe for concurrent
+// Detect calls (every detector in this repository is: each call clones the
+// shared general model).
+type Service struct {
+	detector detect.Detector
+	workers  int
+
+	// OnReport, when set, is invoked from worker goroutines as each task
+	// completes — before Run returns — so live dashboards (StatusTracker)
+	// can observe progress. The callback must be safe for concurrent use.
+	OnReport func(Report)
+}
+
+// NewService returns a service running detector on workers goroutines.
+func NewService(detector detect.Detector, workers int) (*Service, error) {
+	if detector == nil {
+		return nil, errors.New("lake: nil detector")
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("lake: worker count %d", workers)
+	}
+	return &Service{detector: detector, workers: workers}, nil
+}
+
+// Run consumes requests until the channel closes or ctx is cancelled, and
+// returns one report per processed request, ordered by TaskID. A cancelled
+// context abandons queued requests but waits for in-flight ones.
+func (s *Service) Run(ctx context.Context, requests <-chan Request) []Report {
+	type stamped struct {
+		req     Request
+		arrived time.Time
+	}
+	work := make(chan stamped)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var reports []Report
+
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for st := range work {
+				queued := time.Since(st.arrived)
+				rep := s.process(st.req)
+				rep.Queued = queued
+				if s.OnReport != nil {
+					s.OnReport(rep)
+				}
+				mu.Lock()
+				reports = append(reports, rep)
+				mu.Unlock()
+			}
+		}()
+	}
+
+feed:
+	for {
+		select {
+		case <-ctx.Done():
+			break feed
+		case req, ok := <-requests:
+			if !ok {
+				break feed
+			}
+			work <- stamped{req: req, arrived: time.Now()}
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	sortReports(reports)
+	return reports
+}
+
+// process runs the detector on one request. A panicking detector is
+// contained: the panic becomes the report's error rather than killing the
+// platform's worker pool.
+func (s *Service) process(req Request) (rep Report) {
+	rep = Report{TaskID: req.TaskID, Size: len(req.Data)}
+	defer func() {
+		if r := recover(); r != nil {
+			rep.Err = fmt.Errorf("lake: task %d: detector panic: %v", req.TaskID, r)
+		}
+	}()
+	res, err := s.detector.Detect(req.Data)
+	if err != nil {
+		rep.Err = fmt.Errorf("lake: task %d: %w", req.TaskID, err)
+		return rep
+	}
+	rep.Result = res
+	rep.Process = res.Process
+	rep.Detection = metrics.EvaluateDetection(req.Data, res.Noisy)
+	return rep
+}
+
+func sortReports(reports []Report) {
+	for i := 1; i < len(reports); i++ {
+		for j := i; j > 0 && reports[j].TaskID < reports[j-1].TaskID; j-- {
+			reports[j], reports[j-1] = reports[j-1], reports[j]
+		}
+	}
+}
+
+// Feed converts pre-sharded incremental datasets into a request channel,
+// optionally pacing arrivals by interval (0 means as fast as consumed).
+// The channel closes after the last shard. Cancel ctx to stop early.
+func Feed(ctx context.Context, shards []dataset.Set, interval time.Duration) <-chan Request {
+	out := make(chan Request)
+	go func() {
+		defer close(out)
+		for i, shard := range shards {
+			if interval > 0 && i > 0 {
+				select {
+				case <-time.After(interval):
+				case <-ctx.Done():
+					return
+				}
+			}
+			select {
+			case out <- Request{TaskID: i, Data: shard}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}

@@ -1,0 +1,205 @@
+// Package lake simulates the data-platform side of the paper's deployment
+// scenario (§I, §IV-A): an inventory store holding the platform's labelled
+// data, a stream of incremental datasets arriving over time, and a service
+// that runs a noisy-label detector over each arrival while recording the
+// setup-versus-process timing split of §V-A3.
+package lake
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"enld/internal/dataset"
+)
+
+// StoreMeta describes the task whose data a store holds.
+type StoreMeta struct {
+	Name       string
+	Classes    int
+	FeatureDim int
+}
+
+// Store is the platform's inventory: a labelled sample collection with
+// class-level access and gob persistence. It is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	meta    StoreMeta
+	samples dataset.Set
+	byID    map[int]int // sample ID → index in samples
+}
+
+// NewStore returns an empty store for the described task.
+func NewStore(meta StoreMeta) (*Store, error) {
+	if meta.Classes < 2 || meta.FeatureDim < 1 {
+		return nil, fmt.Errorf("lake: invalid store meta %+v", meta)
+	}
+	return &Store{meta: meta, byID: make(map[int]int)}, nil
+}
+
+// Meta returns the store's task description.
+func (s *Store) Meta() StoreMeta {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.meta
+}
+
+// Add inserts samples, rejecting dimension mismatches, out-of-range labels
+// and duplicate IDs. On error the store is unchanged.
+func (s *Store) Add(set dataset.Set) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, smp := range set {
+		if len(smp.X) != s.meta.FeatureDim {
+			return fmt.Errorf("lake: sample %d has dim %d, store expects %d", smp.ID, len(smp.X), s.meta.FeatureDim)
+		}
+		if smp.Observed != dataset.Missing && (smp.Observed < 0 || smp.Observed >= s.meta.Classes) {
+			return fmt.Errorf("lake: sample %d label %d out of range", smp.ID, smp.Observed)
+		}
+		if _, dup := s.byID[smp.ID]; dup {
+			return fmt.Errorf("lake: duplicate sample ID %d", smp.ID)
+		}
+	}
+	for _, smp := range set {
+		s.byID[smp.ID] = len(s.samples)
+		s.samples = append(s.samples, smp)
+	}
+	return nil
+}
+
+// Len returns the number of stored samples.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.samples)
+}
+
+// All returns a copy of the stored samples.
+func (s *Store) All() dataset.Set {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.samples.Clone()
+}
+
+// Get returns the sample with the given ID.
+func (s *Store) Get(id int) (dataset.Sample, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx, ok := s.byID[id]
+	if !ok {
+		return dataset.Sample{}, false
+	}
+	return s.samples[idx], true
+}
+
+// ByLabel returns copies of the samples observed as label.
+func (s *Store) ByLabel(label int) dataset.Set {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out dataset.Set
+	for _, smp := range s.samples {
+		if smp.Observed == label {
+			out = append(out, smp)
+		}
+	}
+	return out
+}
+
+// Relabel updates the observed label of the sample with the given ID — the
+// store-side effect of accepting a detection result or a pseudo label.
+func (s *Store) Relabel(id, label int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, ok := s.byID[id]
+	if !ok {
+		return fmt.Errorf("lake: relabel unknown ID %d", id)
+	}
+	if label != dataset.Missing && (label < 0 || label >= s.meta.Classes) {
+		return fmt.Errorf("lake: relabel %d to out-of-range label %d", id, label)
+	}
+	s.samples[idx].Observed = label
+	return nil
+}
+
+// Remove deletes the samples with the given IDs, returning how many were
+// present — the store-side effect of dropping detected-noisy data.
+func (s *Store) Remove(ids map[int]bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(ids) == 0 {
+		return 0
+	}
+	kept := s.samples[:0]
+	removed := 0
+	for _, smp := range s.samples {
+		if ids[smp.ID] {
+			removed++
+			continue
+		}
+		kept = append(kept, smp)
+	}
+	s.samples = kept
+	s.byID = make(map[int]int, len(kept))
+	for i, smp := range kept {
+		s.byID[smp.ID] = i
+	}
+	return removed
+}
+
+// LabelHistogram returns observed-label counts, sorted by label.
+func (s *Store) LabelHistogram() []LabelCount {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	counts := map[int]int{}
+	for _, smp := range s.samples {
+		counts[smp.Observed]++
+	}
+	out := make([]LabelCount, 0, len(counts))
+	for l, c := range counts {
+		out = append(out, LabelCount{Label: l, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// LabelCount pairs a label with its sample count.
+type LabelCount struct {
+	Label int
+	Count int
+}
+
+// storeSnapshot is the gob wire format.
+type storeSnapshot struct {
+	Meta    StoreMeta
+	Samples dataset.Set
+}
+
+// Save writes the store to w in gob format.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	snap := storeSnapshot{Meta: s.meta, Samples: s.samples.Clone()}
+	s.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("lake: save: %w", err)
+	}
+	return nil
+}
+
+// LoadStore reads a store previously written by Save.
+func LoadStore(r io.Reader) (*Store, error) {
+	var snap storeSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("lake: load: %w", err)
+	}
+	st, err := NewStore(snap.Meta)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Add(snap.Samples); err != nil {
+		return nil, errors.New("lake: load: corrupt snapshot: " + err.Error())
+	}
+	return st, nil
+}

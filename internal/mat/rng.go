@@ -1,0 +1,159 @@
+// Package mat provides the dense linear-algebra kernels, statistics helpers
+// and deterministic random sources that the rest of the repository is built
+// on. Everything operates on float64 slices; matrices are row-major.
+//
+// The package is deliberately small and allocation-conscious: the training
+// loops in internal/nn call into these kernels on every mini-batch, so the
+// hot paths (Dot, Axpy, GemV) avoid bounds-check-hostile patterns and never
+// allocate.
+package mat
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator based on SplitMix64.
+// It is not safe for concurrent use; create one per goroutine with Split.
+//
+// SplitMix64 is chosen over math/rand because every stochastic component in
+// this repository must be reproducible from a single seed across runs and
+// platforms, including after the standard library reshuffles its generator.
+type RNG struct {
+	state uint64
+	// spare holds a cached second normal variate from the last Box-Muller
+	// draw; spareOK reports whether it is valid.
+	spare   float64
+	spareOK bool
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split derives an independent generator from r. The derived stream is
+// decorrelated from r's future output, which makes it safe to hand to a
+// concurrently running worker.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("mat: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal variate via the Box-Muller transform.
+func (r *RNG) Norm() float64 {
+	if r.spareOK {
+		r.spareOK = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.spareOK = true
+	return u * m
+}
+
+// NormVec fills dst with independent normal variates of the given mean and
+// standard deviation and returns dst.
+func (r *RNG) NormVec(dst []float64, mean, std float64) []float64 {
+	for i := range dst {
+		dst[i] = mean + std*r.Norm()
+	}
+	return dst
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes p in place with a Fisher-Yates shuffle.
+func (r *RNG) Shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Beta returns a variate from the Beta(a, b) distribution using Jöhnk's
+// algorithm for small shape parameters and gamma sampling otherwise. The
+// mixup augmentation in internal/nn draws Beta(0.2, 0.2) variates, which is
+// exactly the small-shape regime Jöhnk's method handles well.
+func (r *RNG) Beta(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		panic("mat: Beta with non-positive shape")
+	}
+	if a <= 1 && b <= 1 {
+		// Jöhnk's algorithm.
+		for {
+			u := math.Pow(r.Float64(), 1/a)
+			v := math.Pow(r.Float64(), 1/b)
+			if s := u + v; s > 0 && s <= 1 {
+				return u / s
+			}
+		}
+	}
+	x := r.Gamma(a)
+	y := r.Gamma(b)
+	return x / (x + y)
+}
+
+// Gamma returns a variate from the Gamma(shape, 1) distribution using the
+// Marsaglia-Tsang method.
+func (r *RNG) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("mat: Gamma with non-positive shape")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		return r.Gamma(shape+1) * math.Pow(r.Float64(), 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Norm()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package mat
+
+import "math"
+
+// Dot returns the inner product of a and b. It panics if the lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes dst[i] += alpha*x[i] for all i.
+func Axpy(alpha float64, x, dst []float64) {
+	if len(x) != len(dst) {
+		panic("mat: Axpy length mismatch")
+	}
+	for i, v := range x {
+		dst[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Add computes dst[i] = a[i] + b[i].
+func Add(dst, a, b []float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("mat: Add length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Sub computes dst[i] = a[i] - b[i].
+func Sub(dst, a, b []float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("mat: Sub length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// Copy copies src into dst and returns dst. It panics if lengths differ.
+func Copy(dst, src []float64) []float64 {
+	if len(dst) != len(src) {
+		panic("mat: Copy length mismatch")
+	}
+	copy(dst, src)
+	return dst
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Lerp computes dst[i] = t*a[i] + (1-t)*b[i], the convex combination used by
+// mixup augmentation (Eq. 1 and Eq. 2 of the paper).
+func Lerp(dst, a, b []float64, t float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("mat: Lerp length mismatch")
+	}
+	u := 1 - t
+	for i := range dst {
+		dst[i] = t*a[i] + u*b[i]
+	}
+}
+
+// SqDist returns the squared Euclidean distance between a and b.
+func SqDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: SqDist length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance ||a-b|| (Eq. 7 of the paper).
+func Dist(a, b []float64) float64 {
+	return math.Sqrt(SqDist(a, b))
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// ArgMax returns the index of the largest element of x, or -1 for empty x.
+// Ties resolve to the lowest index, matching the deterministic behaviour the
+// detection pipeline needs when comparing predicted and observed labels.
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(x); i++ {
+		if x[i] > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Max returns the largest element of x. It panics on empty input.
+func Max(x []float64) float64 {
+	if len(x) == 0 {
+		panic("mat: Max of empty slice")
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of the elements of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of x, or 0 for empty x.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Sum(x) / float64(len(x))
+}
+
+// Std returns the population standard deviation of x, or 0 for fewer than
+// two elements.
+func Std(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// Softmax writes the softmax of logits into dst and returns dst. The
+// computation subtracts the maximum logit first for numerical stability, so
+// it is safe on arbitrarily large logits.
+func Softmax(dst, logits []float64) []float64 {
+	if len(dst) != len(logits) {
+		panic("mat: Softmax length mismatch")
+	}
+	m := Max(logits)
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - m)
+		dst[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return dst
+}
+
+// LogSumExp returns log(sum(exp(x))) computed stably.
+func LogSumExp(x []float64) float64 {
+	m := Max(x)
+	var s float64
+	for _, v := range x {
+		s += math.Exp(v - m)
+	}
+	return m + math.Log(s)
+}
+
+// Entropy returns the Shannon entropy (nats) of the probability vector p.
+// Zero probabilities contribute zero, following the usual 0·log 0 = 0
+// convention. The Entropy sampling policy of §V-A5 ranks samples by this
+// value.
+func Entropy(p []float64) float64 {
+	var h float64
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+)
+
+// PairedComparison summarizes a paired sign test between two methods
+// evaluated on the same incremental datasets.
+type PairedComparison struct {
+	// Wins counts datasets where A strictly beat B; Losses the reverse;
+	// Ties the rest.
+	Wins, Losses, Ties int
+	// PValue is the two-sided sign-test p-value under the null hypothesis
+	// that wins and losses are equally likely (ties dropped).
+	PValue float64
+}
+
+// SignTest runs a two-sided paired sign test on per-dataset scores of two
+// methods. It returns an error if the slices differ in length or are empty.
+// The experiment harness uses it to report whether ENLD's advantage over a
+// baseline across incremental datasets is statistically meaningful rather
+// than an artifact of a few shards.
+func SignTest(a, b []float64) (PairedComparison, error) {
+	if len(a) != len(b) {
+		return PairedComparison{}, errors.New("metrics: sign test with mismatched lengths")
+	}
+	if len(a) == 0 {
+		return PairedComparison{}, errors.New("metrics: sign test with no observations")
+	}
+	var cmp PairedComparison
+	for i := range a {
+		switch {
+		case a[i] > b[i]:
+			cmp.Wins++
+		case a[i] < b[i]:
+			cmp.Losses++
+		default:
+			cmp.Ties++
+		}
+	}
+	n := cmp.Wins + cmp.Losses
+	if n == 0 {
+		cmp.PValue = 1
+		return cmp, nil
+	}
+	// Two-sided binomial tail: P(X <= min) + P(X >= max) for X ~ Bin(n, ½).
+	k := cmp.Wins
+	if cmp.Losses < k {
+		k = cmp.Losses
+	}
+	var tail float64
+	for i := 0; i <= k; i++ {
+		tail += binomPMF(n, i)
+	}
+	p := 2 * tail
+	if cmp.Wins == cmp.Losses {
+		// Symmetric case double-counts the centre term.
+		p -= binomPMF(n, k)
+	}
+	if p > 1 {
+		p = 1
+	}
+	cmp.PValue = p
+	return cmp, nil
+}
+
+// binomPMF returns C(n, k) / 2^n computed in log space for stability.
+func binomPMF(n, k int) float64 {
+	return math.Exp(lnChoose(n, k) - float64(n)*math.Ln2)
+}
+
+// lnChoose returns ln C(n, k) via log-gamma.
+func lnChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSignTestErrors(t *testing.T) {
+	if _, err := SignTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := SignTest(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestSignTestAllTies(t *testing.T) {
+	cmp, err := SignTest([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Ties != 3 || cmp.PValue != 1 {
+		t.Fatalf("%+v", cmp)
+	}
+}
+
+func TestSignTestClearWinner(t *testing.T) {
+	a := make([]float64, 12)
+	b := make([]float64, 12)
+	for i := range a {
+		a[i] = 1
+		b[i] = 0
+	}
+	cmp, err := SignTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Wins != 12 || cmp.Losses != 0 {
+		t.Fatalf("%+v", cmp)
+	}
+	// 12/12 wins: two-sided p = 2 * (1/2)^12 ≈ 0.00049.
+	want := 2 * math.Pow(0.5, 12)
+	if math.Abs(cmp.PValue-want) > 1e-12 {
+		t.Fatalf("p = %v, want %v", cmp.PValue, want)
+	}
+}
+
+func TestSignTestBalanced(t *testing.T) {
+	a := []float64{1, 0, 1, 0}
+	b := []float64{0, 1, 0, 1}
+	cmp, err := SignTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Wins != 2 || cmp.Losses != 2 {
+		t.Fatalf("%+v", cmp)
+	}
+	// Perfectly balanced: p must be 1 (and never exceed it).
+	if math.Abs(cmp.PValue-1) > 1e-12 {
+		t.Fatalf("p = %v", cmp.PValue)
+	}
+}
+
+func TestSignTestKnownValue(t *testing.T) {
+	// 5 wins, 1 loss: two-sided p = 2*(C(6,0)+C(6,1))/2^6 = 2*7/64 = 0.21875.
+	a := []float64{1, 1, 1, 1, 1, 0}
+	b := []float64{0, 0, 0, 0, 0, 1}
+	cmp, err := SignTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cmp.PValue-0.21875) > 1e-12 {
+		t.Fatalf("p = %v, want 0.21875", cmp.PValue)
+	}
+}
+
+func TestBinomPMFSumsToOne(t *testing.T) {
+	for _, n := range []int{1, 5, 20, 100} {
+		var sum float64
+		for k := 0; k <= n; k++ {
+			sum += binomPMF(n, k)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("n=%d: pmf sums to %v", n, sum)
+		}
+	}
+	if binomPMF(5, 9) != 0 || binomPMF(5, -1) != 0 {
+		t.Fatal("out-of-range pmf not zero")
+	}
+}

@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"enld/internal/mat"
+)
+
+// snapshot is the gob-serializable form of a Network. Only parameters and
+// layer sizes are persisted; scratch buffers are rebuilt on load.
+type snapshot struct {
+	Sizes   []int
+	Weights [][]float64
+	Biases  [][]float64
+}
+
+// Save writes the network's architecture and parameters to w in gob format.
+func (n *Network) Save(w io.Writer) error {
+	s := snapshot{Sizes: n.sizes}
+	for l, wm := range n.Weights {
+		s.Weights = append(s.Weights, append([]float64(nil), wm.Data...))
+		s.Biases = append(s.Biases, append([]float64(nil), n.Biases[l]...))
+	}
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("nn: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a network previously written by Save.
+func Load(r io.Reader) (*Network, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: load: %w", err)
+	}
+	if len(s.Sizes) < 2 {
+		return nil, errors.New("nn: load: malformed snapshot (sizes)")
+	}
+	if len(s.Weights) != len(s.Sizes)-1 || len(s.Biases) != len(s.Sizes)-1 {
+		return nil, errors.New("nn: load: malformed snapshot (layer count)")
+	}
+	n := &Network{sizes: append([]int(nil), s.Sizes...)}
+	for l := 0; l+1 < len(s.Sizes); l++ {
+		rows, cols := s.Sizes[l+1], s.Sizes[l]
+		if len(s.Weights[l]) != rows*cols || len(s.Biases[l]) != rows {
+			return nil, fmt.Errorf("nn: load: malformed snapshot at layer %d", l)
+		}
+		w := mat.NewMatrix(rows, cols)
+		copy(w.Data, s.Weights[l])
+		n.Weights = append(n.Weights, w)
+		n.Biases = append(n.Biases, append([]float64(nil), s.Biases[l]...))
+	}
+	n.allocScratch()
+	return n, nil
+}

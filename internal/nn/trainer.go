@@ -1,0 +1,161 @@
+package nn
+
+import (
+	"errors"
+	"strconv"
+
+	"enld/internal/mat"
+)
+
+// Example is one training example: an input vector and a target distribution
+// over classes. Hard labels are encoded one-hot with OneHot; mixup produces
+// two-hot soft targets.
+type Example struct {
+	X      []float64
+	Target []float64
+}
+
+// OneHot returns a one-hot target vector of the given length.
+// It panics if label is out of range.
+func OneHot(label, classes int) []float64 {
+	if label < 0 || label >= classes {
+		panic("nn: OneHot label out of range")
+	}
+	t := make([]float64, classes)
+	t[label] = 1
+	return t
+}
+
+// TrainConfig controls a training run.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	// Mixup enables mixup augmentation (Eq. 1–2) with Beta(MixupAlpha,
+	// MixupAlpha) mixing coefficients. The paper fixes α = 0.2.
+	Mixup      bool
+	MixupAlpha float64
+	// Seed drives the shuffle order and mixup draws.
+	Seed uint64
+}
+
+// DefaultMixupAlpha is the paper's Beta-distribution parameter for mixup.
+const DefaultMixupAlpha = 0.2
+
+// Trainer runs mini-batch training of a Network with a given optimizer.
+type Trainer struct {
+	Net *Network
+	Opt Optimizer
+
+	grads *Grads
+	mixX  []float64
+	mixT  []float64
+}
+
+// NewTrainer returns a trainer bound to net and opt.
+func NewTrainer(net *Network, opt Optimizer) *Trainer {
+	return &Trainer{
+		Net:   net,
+		Opt:   opt,
+		grads: net.NewGrads(),
+		mixX:  make([]float64, net.InputDim()),
+		mixT:  make([]float64, net.Classes()),
+	}
+}
+
+// EpochStats reports what happened during one pass over the data.
+type EpochStats struct {
+	MeanLoss     float64
+	SamplesSeen  int
+	BatchUpdates int
+}
+
+// Run trains for cfg.Epochs passes over examples and returns per-epoch stats.
+// It returns an error if the example set is empty or malformed.
+func (t *Trainer) Run(examples []Example, cfg TrainConfig) ([]EpochStats, error) {
+	if len(examples) == 0 {
+		return nil, errors.New("nn: Run with no examples")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	alpha := cfg.MixupAlpha
+	if alpha <= 0 {
+		alpha = DefaultMixupAlpha
+	}
+	for i, ex := range examples {
+		if len(ex.X) != t.Net.InputDim() || len(ex.Target) != t.Net.Classes() {
+			return nil, errors.New("nn: malformed example at index " + strconv.Itoa(i))
+		}
+	}
+	rng := mat.NewRNG(cfg.Seed)
+	stats := make([]EpochStats, 0, cfg.Epochs)
+	for e := 0; e < cfg.Epochs; e++ {
+		stats = append(stats, t.epoch(examples, cfg, alpha, rng))
+	}
+	return stats, nil
+}
+
+func (t *Trainer) epoch(examples []Example, cfg TrainConfig, alpha float64, rng *mat.RNG) EpochStats {
+	order := rng.Perm(len(examples))
+	var st EpochStats
+	var lossSum float64
+	for start := 0; start < len(order); start += cfg.BatchSize {
+		end := start + cfg.BatchSize
+		if end > len(order) {
+			end = len(order)
+		}
+		t.grads.Zero()
+		for _, idx := range order[start:end] {
+			ex := examples[idx]
+			if cfg.Mixup {
+				// Mix with a uniformly chosen partner (Eq. 1–2):
+				//   x̂ = λ·x_i + (1−λ)·x_j,  ŷ = λ·y_i + (1−λ)·y_j.
+				partner := examples[order[rng.Intn(len(order))]]
+				lambda := rng.Beta(alpha, alpha)
+				mat.Lerp(t.mixX, ex.X, partner.X, lambda)
+				mat.Lerp(t.mixT, ex.Target, partner.Target, lambda)
+				lossSum += t.Net.Backward(t.grads, t.mixX, t.mixT)
+			} else {
+				lossSum += t.Net.Backward(t.grads, ex.X, ex.Target)
+			}
+			st.SamplesSeen++
+		}
+		t.Opt.Step(t.Net, t.grads, end-start)
+		st.BatchUpdates++
+	}
+	if st.SamplesSeen > 0 {
+		st.MeanLoss = lossSum / float64(st.SamplesSeen)
+	}
+	return st
+}
+
+// MeanLoss evaluates the average cross-entropy loss of net on examples
+// without updating parameters.
+func MeanLoss(net *Network, examples []Example) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, ex := range examples {
+		sum += net.Loss(ex.X, ex.Target)
+	}
+	return sum / float64(len(examples))
+}
+
+// Accuracy returns the fraction of examples whose predicted class matches
+// the argmax of their target distribution.
+func Accuracy(net *Network, examples []Example) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, ex := range examples {
+		if net.Predict(ex.X) == mat.ArgMax(ex.Target) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples))
+}

@@ -1,0 +1,136 @@
+package noise
+
+import (
+	"fmt"
+
+	"enld/internal/dataset"
+)
+
+// Classifier is the slice of model behaviour probability estimation needs:
+// the predicted label argmax M(x, θ). internal/nn.Network satisfies it.
+type Classifier interface {
+	Predict(x []float64) int
+}
+
+// Joint is the estimated joint count matrix J of Eq. 3–4:
+// J[i][j] = |{x : ỹ(x) = i, argmax M(x, θ) = j}|.
+type Joint [][]int
+
+// EstimateJoint counts the joint distribution of observed labels and model
+// predictions over s (Eq. 3–4), following the assumption of [INCV] that the
+// predicted label and the true label share a distribution. Samples with
+// missing labels are skipped.
+func EstimateJoint(s dataset.Set, model Classifier, classes int) (Joint, error) {
+	if classes < 2 {
+		return nil, fmt.Errorf("noise: estimate with %d classes", classes)
+	}
+	j := make(Joint, classes)
+	for i := range j {
+		j[i] = make([]int, classes)
+	}
+	for _, smp := range s {
+		if smp.Observed == dataset.Missing {
+			continue
+		}
+		if smp.Observed < 0 || smp.Observed >= classes {
+			return nil, fmt.Errorf("noise: observed label %d outside [0, %d)", smp.Observed, classes)
+		}
+		pred := model.Predict(smp.X)
+		if pred < 0 || pred >= classes {
+			return nil, fmt.Errorf("noise: model predicted %d outside [0, %d)", pred, classes)
+		}
+		j[smp.Observed][pred]++
+	}
+	return j, nil
+}
+
+// Conditional is the estimated conditional probability matrix
+// P̃[i][j] = P̃(y* = j | ỹ = i) of Eq. 5.
+type Conditional [][]float64
+
+// Conditional normalizes the joint counts row-wise (Eq. 5). Rows with no
+// observations fall back to a point mass on the observed label itself, the
+// only unbiased choice absent evidence.
+func (j Joint) Conditional() Conditional {
+	p := make(Conditional, len(j))
+	for i, row := range j {
+		p[i] = make([]float64, len(row))
+		total := 0
+		for _, c := range row {
+			total += c
+		}
+		if total == 0 {
+			p[i][i] = 1
+			continue
+		}
+		for k, c := range row {
+			p[i][k] = float64(c) / float64(total)
+		}
+	}
+	return p
+}
+
+// Sample draws a candidate true label for observed label i from P̃(·|ỹ=i),
+// restricted to the allowed label set. This is random_label(i, P̃, ·) in
+// Algorithm 2: contrastive sampling estimates the ambiguous sample's true
+// label before querying neighbours of that label. If the restricted
+// distribution has no mass, it falls back to i itself when allowed, else to
+// the first allowed label.
+func (p Conditional) Sample(i int, allowed map[int]bool, rnd interface{ Float64() float64 }) int {
+	if i < 0 || i >= len(p) {
+		return fallbackLabel(i, allowed)
+	}
+	var total float64
+	for j, prob := range p[i] {
+		if allowed == nil || allowed[j] {
+			total += prob
+		}
+	}
+	if total <= 0 {
+		return fallbackLabel(i, allowed)
+	}
+	u := rnd.Float64() * total
+	var acc float64
+	for j, prob := range p[i] {
+		if allowed != nil && !allowed[j] {
+			continue
+		}
+		acc += prob
+		if u < acc {
+			return j
+		}
+	}
+	return fallbackLabel(i, allowed)
+}
+
+func fallbackLabel(i int, allowed map[int]bool) int {
+	if allowed == nil || allowed[i] {
+		return i
+	}
+	best := -1
+	for j := range allowed {
+		if best == -1 || j < best {
+			best = j
+		}
+	}
+	if best == -1 {
+		return i
+	}
+	return best
+}
+
+// TrueRate returns the empirical noise rate of s: the fraction of samples
+// whose observed label differs from the true label (missing counts as
+// noisy). Evaluation-only helper.
+func TrueRate(s dataset.Set) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	noisy := 0
+	for _, smp := range s {
+		if smp.IsNoisy() {
+			noisy++
+		}
+	}
+	return float64(noisy) / float64(len(s))
+}

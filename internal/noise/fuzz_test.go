@@ -1,0 +1,93 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"enld/internal/dataset"
+	"enld/internal/mat"
+)
+
+// FuzzApply checks that arbitrary (valid) noise rates and class counts never
+// break the transition-matrix invariants: labels stay in range, true labels
+// are untouched, and the empirical flip rate tracks eta.
+func FuzzApply(f *testing.F) {
+	f.Add(uint64(1), uint8(40), uint8(4), false)
+	f.Add(uint64(9), uint8(89), uint8(2), true)
+	f.Fuzz(func(t *testing.T, seed uint64, etaRaw, classesRaw uint8, symmetric bool) {
+		eta := float64(etaRaw%95) / 100
+		classes := int(classesRaw)%20 + 2
+		var tm TransitionMatrix
+		var err error
+		if symmetric {
+			tm, err = Symmetric(classes, eta)
+		} else {
+			tm, err = Pair(classes, eta)
+		}
+		if err != nil {
+			t.Fatalf("matrix: %v", err)
+		}
+		if err := tm.Validate(); err != nil {
+			t.Fatalf("validate: %v", err)
+		}
+		const n = 2000
+		set := make(dataset.Set, n)
+		for i := range set {
+			set[i] = dataset.Sample{ID: i, True: i % classes, Observed: i % classes}
+		}
+		noisy, err := Apply(set, tm, mat.NewRNG(seed))
+		if err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+		for i, s := range set {
+			if s.True != i%classes {
+				t.Fatal("true label mutated")
+			}
+			if s.Observed < 0 || s.Observed >= classes {
+				t.Fatalf("observed label %d out of range", s.Observed)
+			}
+		}
+		if rate := float64(noisy) / n; math.Abs(rate-eta) > 0.08 {
+			t.Fatalf("empirical rate %v for eta %v", rate, eta)
+		}
+	})
+}
+
+// FuzzConditionalSample checks the estimated-probability sampler never
+// returns a label outside the allowed set when the set is non-empty.
+func FuzzConditionalSample(f *testing.F) {
+	f.Add(uint64(3), uint8(5), uint8(2), uint8(0b1011))
+	f.Fuzz(func(t *testing.T, seed uint64, classesRaw, rowRaw, allowedMask uint8) {
+		classes := int(classesRaw)%8 + 2
+		rng := mat.NewRNG(seed)
+		// Random row-stochastic conditional.
+		cond := make(Conditional, classes)
+		for i := range cond {
+			cond[i] = make([]float64, classes)
+			var sum float64
+			for j := range cond[i] {
+				cond[i][j] = rng.Float64()
+				sum += cond[i][j]
+			}
+			for j := range cond[i] {
+				cond[i][j] /= sum
+			}
+		}
+		allowed := map[int]bool{}
+		for j := 0; j < classes; j++ {
+			if allowedMask&(1<<uint(j%8)) != 0 {
+				allowed[j] = true
+			}
+		}
+		if len(allowed) == 0 {
+			return
+		}
+		row := int(rowRaw) % classes
+		for trial := 0; trial < 50; trial++ {
+			got := cond.Sample(row, allowed, rng)
+			if !allowed[got] {
+				t.Fatalf("sampled %d outside allowed %v", got, allowed)
+			}
+		}
+	})
+}

@@ -1,0 +1,152 @@
+// Package plot renders small deterministic ASCII line charts. The
+// experiment harness uses it to draw the paper's trajectory figures (Fig. 9,
+// Fig. 13b) directly in the terminal next to their numeric tables, so a
+// reproduction run can be eyeballed against the paper's curve shapes
+// without any plotting dependency.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of y-values; x is implicit (0, 1, 2, ...).
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// markers cycles through per-series point symbols.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Config controls chart geometry.
+type Config struct {
+	Width  int // plot columns (default 60)
+	Height int // plot rows (default 12)
+}
+
+// Lines renders the series as an ASCII chart with a y-axis scale, x-axis
+// index labels and a legend. Series of different lengths are allowed; NaN
+// values are skipped. Rendering is fully deterministic.
+func Lines(w io.Writer, title string, series []Series, cfg Config) {
+	if cfg.Width <= 0 {
+		cfg.Width = 60
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 12
+	}
+	maxLen := 0
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Y) > maxLen {
+			maxLen = len(s.Y)
+		}
+		for _, v := range s.Y {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < yMin {
+				yMin = v
+			}
+			if v > yMax {
+				yMax = v
+			}
+		}
+	}
+	if maxLen == 0 || math.IsInf(yMin, 1) {
+		fmt.Fprintf(w, "%s: (no data)\n", title)
+		return
+	}
+	if yMin == yMax {
+		// Flat data: widen the range so the line sits mid-chart.
+		yMin -= 0.5
+		yMax += 0.5
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	toCol := func(i int) int {
+		if maxLen == 1 {
+			return 0
+		}
+		return i * (cfg.Width - 1) / (maxLen - 1)
+	}
+	toRow := func(v float64) int {
+		frac := (v - yMin) / (yMax - yMin)
+		r := int(math.Round(float64(cfg.Height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= cfg.Height {
+			r = cfg.Height - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		prevCol, prevRow := -1, -1
+		for i, v := range s.Y {
+			if math.IsNaN(v) {
+				prevCol = -1
+				continue
+			}
+			col, row := toCol(i), toRow(v)
+			if prevCol >= 0 {
+				drawSegment(grid, prevCol, prevRow, col, row, '.')
+			}
+			grid[row][col] = m
+			prevCol, prevRow = col, row
+		}
+	}
+
+	fmt.Fprintln(w, title)
+	for r, line := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.3f", yMax)
+		case cfg.Height - 1:
+			label = fmt.Sprintf("%8.3f", yMin)
+		case (cfg.Height - 1) / 2:
+			label = fmt.Sprintf("%8.3f", (yMax+yMin)/2)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", cfg.Width))
+	fmt.Fprintf(w, "%s  1%s%d\n", strings.Repeat(" ", 8),
+		strings.Repeat(" ", cfg.Width-2-len(fmt.Sprint(maxLen))), maxLen)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", 8), strings.Join(legend, "   "))
+}
+
+// drawSegment connects two points with a light dotted line, leaving existing
+// non-space cells (markers) intact.
+func drawSegment(grid [][]byte, c0, r0, c1, r1 int, ch byte) {
+	steps := abs(c1-c0) + abs(r1-r0)
+	if steps == 0 {
+		return
+	}
+	for s := 1; s < steps; s++ {
+		c := c0 + (c1-c0)*s/steps
+		r := r0 + (r1-r0)*s/steps
+		if grid[r][c] == ' ' {
+			grid[r][c] = ch
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,102 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, title string, series []Series, cfg Config) string {
+	t.Helper()
+	var buf bytes.Buffer
+	Lines(&buf, title, series, cfg)
+	return buf.String()
+}
+
+func TestLinesBasic(t *testing.T) {
+	out := render(t, "test chart", []Series{
+		{Name: "rising", Y: []float64{0, 1, 2, 3}},
+		{Name: "falling", Y: []float64{3, 2, 1, 0}},
+	}, Config{Width: 20, Height: 6})
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "* rising") || !strings.Contains(out, "o falling") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	// Axis labels show the data range.
+	if !strings.Contains(out, "3.000") || !strings.Contains(out, "0.000") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestLinesRisingShape(t *testing.T) {
+	out := render(t, "shape", []Series{{Name: "s", Y: []float64{0, 1, 2}}}, Config{Width: 11, Height: 5})
+	lines := strings.Split(out, "\n")
+	// Row 1 (after title) is the top of the plot: the last point belongs
+	// there; the bottom plot row holds the first point.
+	top := lines[1]
+	bottom := lines[5]
+	if !strings.Contains(top, "*") {
+		t.Fatalf("max not at top:\n%s", out)
+	}
+	if !strings.Contains(bottom, "*") {
+		t.Fatalf("min not at bottom:\n%s", out)
+	}
+	if strings.Index(bottom, "*") >= strings.Index(top, "*") {
+		t.Fatalf("rising series not rising:\n%s", out)
+	}
+}
+
+func TestLinesEmptyAndDegenerate(t *testing.T) {
+	out := render(t, "empty", nil, Config{})
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart: %q", out)
+	}
+	out = render(t, "nan", []Series{{Name: "n", Y: []float64{math.NaN()}}}, Config{})
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("all-NaN chart: %q", out)
+	}
+	// Flat series must still render.
+	out = render(t, "flat", []Series{{Name: "f", Y: []float64{2, 2, 2}}}, Config{Width: 10, Height: 4})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series not drawn:\n%s", out)
+	}
+}
+
+func TestLinesSkipsNaN(t *testing.T) {
+	out := render(t, "gap", []Series{{Name: "g", Y: []float64{1, math.NaN(), 3}}}, Config{Width: 10, Height: 4})
+	// Two data markers plus one in the legend.
+	if strings.Count(out, "*") != 3 {
+		t.Fatalf("expected 2 data markers + legend:\n%s", out)
+	}
+}
+
+func TestLinesDeterministic(t *testing.T) {
+	series := []Series{{Name: "a", Y: []float64{0.1, 0.5, 0.3, 0.9}}}
+	a := render(t, "d", series, Config{})
+	b := render(t, "d", series, Config{})
+	if a != b {
+		t.Fatal("rendering not deterministic")
+	}
+}
+
+func TestLinesSinglePoint(t *testing.T) {
+	out := render(t, "one", []Series{{Name: "p", Y: []float64{5}}}, Config{Width: 10, Height: 4})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not drawn:\n%s", out)
+	}
+}
+
+func TestManySeriesMarkerCycle(t *testing.T) {
+	series := make([]Series, 7)
+	for i := range series {
+		series[i] = Series{Name: string(rune('a' + i)), Y: []float64{float64(i), float64(i + 1)}}
+	}
+	out := render(t, "many", series, Config{Width: 12, Height: 8})
+	// 7 series with 6 markers: the cycle reuses '*'.
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "* g") {
+		t.Fatalf("marker cycle broken:\n%s", out)
+	}
+}
