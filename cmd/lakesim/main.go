@@ -4,9 +4,15 @@
 // chosen detector, reporting queueing delay, process time and detection
 // quality per task — the deployment scenario of §I and §IV-A.
 //
-// Usage:
+// The simulation can be run under deterministic fault injection (transient
+// failures, panics, latency, corrupted shards) with the full resilience
+// stack engaged — per-task deadlines, retry with backoff, a circuit breaker
+// degrading to the default baseline, and journal-based crash recovery:
 //
 //	lakesim -dataset cifar100 -eta 0.2 -workers 2 -interval 100ms
+//	lakesim -fail-rate 0.2 -panic-rate 0.05 -retries 2 \
+//	        -breaker-threshold 3 -fallback \
+//	        -platform lake.platform -journal lake.journal -resume
 package main
 
 import (
@@ -17,35 +23,46 @@ import (
 	"os"
 	"time"
 
+	"enld/internal/baselines"
+	"enld/internal/core"
+	"enld/internal/detect"
 	"enld/internal/experiments"
+	"enld/internal/fault"
 	"enld/internal/lake"
 	"enld/internal/metrics"
 )
 
-// appendJournal records each completed task in the audit journal at path,
-// if one was requested.
-func appendJournal(path string, reports []lake.Report) error {
-	if path == "" {
-		return nil
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	j, err := lake.NewJournal(f)
-	if err != nil {
-		return err
-	}
-	for _, rep := range reports {
-		if rep.Err != nil || rep.Result == nil {
-			continue
-		}
-		if _, err := j.AppendDetection(rep.TaskID, rep.Result.Noisy, rep.Result.Clean, "lakesim"); err != nil {
-			return err
+// buildWorkbench prepares the workload, restoring the platform from
+// platformPath when a previous run saved one there (crash recovery: no
+// setup-phase retraining) and saving it after a fresh setup otherwise.
+func buildWorkbench(preset string, eta float64, cfg experiments.Config, platformPath string) (*experiments.Workbench, error) {
+	if platformPath != "" {
+		if f, err := os.Open(platformPath); err == nil {
+			defer f.Close()
+			p, err := core.LoadPlatform(f)
+			if err != nil {
+				return nil, fmt.Errorf("load platform %s: %w", platformPath, err)
+			}
+			fmt.Printf("platform restored from %s (setup skipped)\n", platformPath)
+			return experiments.BuildWorkbenchFrom(preset, eta, cfg, p)
 		}
 	}
-	return nil
+	wb, err := experiments.BuildWorkbench(preset, eta, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if platformPath != "" {
+		f, err := os.Create(platformPath)
+		if err != nil {
+			return nil, fmt.Errorf("save platform: %w", err)
+		}
+		defer f.Close()
+		if err := wb.Platform.Save(f); err != nil {
+			return nil, fmt.Errorf("save platform: %w", err)
+		}
+		fmt.Printf("platform saved to %s\n", platformPath)
+	}
+	return wb, nil
 }
 
 func main() {
@@ -61,17 +78,59 @@ func main() {
 		timeout  = flag.Duration("timeout", 10*time.Minute, "overall simulation deadline")
 		journal  = flag.String("journal", "", "append an audit journal of detection decisions to this file")
 		httpAddr = flag.String("http", "", "serve a JSON status endpoint on this address (e.g. :8080)")
+
+		// Fault injection (internal/fault): deterministic chaos on the
+		// chosen detector.
+		failRate    = flag.Float64("fail-rate", 0, "probability a detection call fails transiently")
+		panicRate   = flag.Float64("panic-rate", 0, "probability a detection call panics")
+		slowRate    = flag.Float64("slow-rate", 0, "probability a detection call is slowed by -slow-latency")
+		slowLatency = flag.Duration("slow-latency", 200*time.Millisecond, "latency added to slowed calls")
+		corruptRate = flag.Float64("corrupt-rate", 0, "probability a shard's labels are scrambled before detection")
+		faultSeed   = flag.Uint64("fault-seed", 42, "seed for the fault-injection decision stream")
+
+		// Resilience policy (internal/lake).
+		taskTimeout = flag.Duration("task-timeout", 0, "per-task detector deadline (0 = none)")
+		retries     = flag.Int("retries", 0, "max retries of transient failures per task")
+		retryBase   = flag.Duration("retry-base", 20*time.Millisecond, "first retry backoff (doubles per retry)")
+		breakerN    = flag.Int("breaker-threshold", 0, "consecutive failures tripping the circuit breaker (0 = no breaker)")
+		breakerCool = flag.Duration("breaker-cooldown", time.Second, "open-breaker cooldown before a half-open probe")
+		fallback    = flag.Bool("fallback", false, "degrade failed tasks to the default baseline detector")
+
+		// Crash recovery.
+		platformPath = flag.String("platform", "", "platform snapshot file: loaded if present (skipping setup), saved after setup otherwise")
+		resume       = flag.Bool("resume", false, "skip task IDs already recorded in the -journal file")
 	)
 	flag.Parse()
 
 	cfg := experiments.Config{Seed: *seed, DataScale: *scale, Shards: *shards}
-	wb, err := experiments.BuildWorkbench(*preset, *eta, cfg)
+	wb, err := buildWorkbench(*preset, *eta, cfg, *platformPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lakesim:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("platform ready: %s eta=%.2f, inventory=%d, setup=%s\n",
 		*preset, *eta, len(wb.Inventory), wb.Platform.SetupTime.Round(time.Millisecond))
+
+	// Recover the journal before serving: the intact prefix tells a
+	// restarted run which tasks are already durable.
+	var jnl *lake.Journal
+	done := map[int]bool{}
+	if *journal != "" {
+		var entries []lake.Entry
+		jnl, entries, err = lake.RecoverJournalFile(*journal)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lakesim: journal:", err)
+			os.Exit(1)
+		}
+		defer jnl.Close()
+		if *resume {
+			done = lake.DoneTasks(entries)
+			if len(done) > 0 {
+				fmt.Printf("journal %s: %d entries recovered, skipping %d completed tasks\n",
+					*journal, len(entries), len(done))
+			}
+		}
+	}
 
 	tracker := lake.NewStatusTracker(nil)
 	if *httpAddr != "" {
@@ -89,19 +148,73 @@ func main() {
 		if d.Name() != *method {
 			continue
 		}
-		svc, err := lake.NewService(d, *workers)
+		detector := detect.Detector(d)
+		var injector *fault.Injector
+		if *failRate > 0 || *panicRate > 0 || *slowRate > 0 || *corruptRate > 0 {
+			injector, err = fault.New(detector, fault.Config{
+				Seed:        *faultSeed,
+				FailRate:    *failRate,
+				PanicRate:   *panicRate,
+				SlowRate:    *slowRate,
+				Latency:     *slowLatency,
+				CorruptRate: *corruptRate,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lakesim:", err)
+				os.Exit(1)
+			}
+			detector = injector
+			fmt.Printf("fault injection on: fail=%.2f panic=%.2f slow=%.2f corrupt=%.2f seed=%d\n",
+				*failRate, *panicRate, *slowRate, *corruptRate, *faultSeed)
+		}
+
+		policy := lake.Policy{
+			TaskTimeout:      *taskTimeout,
+			MaxRetries:       *retries,
+			RetryBase:        *retryBase,
+			RetrySeed:        *seed,
+			BreakerThreshold: *breakerN,
+			BreakerCooldown:  *breakerCool,
+		}
+		if *fallback {
+			policy.Fallback = baselines.Default{Model: wb.Platform.Model}
+		}
+		svc, err := lake.NewServiceWithPolicy(detector, *workers, policy)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lakesim:", err)
 			os.Exit(1)
 		}
-		svc.OnReport = tracker.Record
+		if b := svc.Breaker(); b != nil {
+			tracker.AttachBreaker(b)
+			b.OnTransition(func(from, to lake.BreakerState) {
+				fmt.Printf("breaker: %s -> %s\n", from, to)
+			})
+		}
+		svc.SkipCompleted(done)
+		// Journal each task as it completes (not after the run), so a crash
+		// mid-run loses at most the in-flight tasks.
+		svc.OnReport = func(rep lake.Report) {
+			tracker.Record(rep)
+			if jnl == nil || rep.Err != nil || rep.Result == nil {
+				return
+			}
+			note := "lakesim"
+			if rep.Degraded {
+				note = "lakesim-degraded"
+			}
+			if _, err := jnl.AppendDetection(rep.TaskID, rep.Result.Noisy, rep.Result.Clean, note); err != nil {
+				fmt.Fprintln(os.Stderr, "lakesim: journal:", err)
+			}
+		}
+
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
 		reports := svc.Run(ctx, lake.Feed(ctx, wb.Shards, *interval))
-		summarize(reports)
-		if err := appendJournal(*journal, reports); err != nil {
-			fmt.Fprintln(os.Stderr, "lakesim: journal:", err)
-			os.Exit(1)
+		summarize(reports, len(wb.Shards), len(done), svc.Breaker())
+		if injector != nil {
+			st := injector.Stats()
+			fmt.Printf("faults injected: calls=%d failures=%d panics=%d slowdowns=%d corruptions=%d\n",
+				st.Calls, st.Failures, st.Panics, st.Slowdowns, st.Corruptions)
 		}
 		return
 	}
@@ -109,30 +222,60 @@ func main() {
 	os.Exit(2)
 }
 
-func summarize(reports []lake.Report) {
+func summarize(reports []lake.Report, total, skipped int, breaker *lake.Breaker) {
 	var dets []metrics.Detection
 	var queued, process time.Duration
-	failures := 0
+	succeeded, degraded, deadLettered, retries := 0, 0, 0, 0
 	for _, rep := range reports {
-		if rep.Err != nil {
-			failures++
+		retries += rep.Retries
+		switch {
+		case rep.DeadLettered:
+			deadLettered++
+			fmt.Printf("task %2d DEAD-LETTERED after %d retries: %v\n", rep.TaskID, rep.Retries, rep.Err)
+			continue
+		case rep.Err != nil:
+			deadLettered++
 			fmt.Printf("task %2d FAILED: %v\n", rep.TaskID, rep.Err)
 			continue
+		case rep.Degraded:
+			degraded++
+		default:
+			succeeded++
 		}
 		dets = append(dets, rep.Detection)
 		queued += rep.Queued
 		process += rep.Process
-		fmt.Printf("task %2d: size=%4d queued=%-8s process=%-8s P=%.4f R=%.4f F1=%.4f\n",
+		tag := ""
+		if rep.Degraded {
+			tag = " DEGRADED"
+		}
+		if rep.Retries > 0 {
+			tag += fmt.Sprintf(" (retries=%d)", rep.Retries)
+		}
+		fmt.Printf("task %2d: size=%4d queued=%-8s process=%-8s P=%.4f R=%.4f F1=%.4f%s\n",
 			rep.TaskID, rep.Size,
 			rep.Queued.Round(time.Millisecond), rep.Process.Round(time.Millisecond),
-			rep.Detection.Precision, rep.Detection.Recall, rep.Detection.F1)
+			rep.Detection.Precision, rep.Detection.Recall, rep.Detection.F1, tag)
+	}
+
+	fmt.Printf("\naccounting: %d tasks = %d succeeded + %d degraded + %d dead-lettered + %d skipped (recovered)",
+		total, succeeded, degraded, deadLettered, skipped)
+	if lost := total - succeeded - degraded - deadLettered - skipped; lost > 0 {
+		fmt.Printf(" — %d LOST (cancelled before processing)", lost)
+	}
+	fmt.Println()
+	if retries > 0 {
+		fmt.Printf("transient retries consumed: %d\n", retries)
+	}
+	if breaker != nil {
+		fmt.Printf("breaker: state=%s trips=%d\n", breaker.State(), breaker.Trips())
 	}
 	if len(dets) == 0 {
 		fmt.Println("no tasks completed")
 		return
 	}
 	n := time.Duration(len(dets))
-	fmt.Printf("\n%d tasks (%d failed): %s, mean queued %s, mean process %s\n",
-		len(reports), failures, metrics.AggregateDetections(dets),
+	fmt.Printf("%d tasks (%d failed): %s, mean queued %s, mean process %s\n",
+		len(reports), deadLettered, metrics.AggregateDetections(dets),
 		(queued / n).Round(time.Millisecond), (process / n).Round(time.Millisecond))
 }

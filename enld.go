@@ -38,6 +38,7 @@ import (
 	"enld/internal/core"
 	"enld/internal/dataset"
 	"enld/internal/detect"
+	"enld/internal/fault"
 	"enld/internal/lake"
 	"enld/internal/mat"
 	"enld/internal/metrics"
@@ -231,6 +232,19 @@ type (
 	JournalEntry = lake.Entry
 	// StatusTracker aggregates task reports for the HTTP status endpoint.
 	StatusTracker = lake.StatusTracker
+	// Policy configures the service's resilience behaviour: per-task
+	// deadlines, transient-failure retries, circuit breaking and fallback
+	// degradation.
+	Policy = lake.Policy
+	// Breaker is the circuit breaker over the primary detector.
+	Breaker = lake.Breaker
+	// BreakerState is one of closed, open, half-open.
+	BreakerState = lake.BreakerState
+	// FaultInjector wraps a detector with deterministic chaos for
+	// resilience testing.
+	FaultInjector = fault.Injector
+	// FaultConfig sets the injector's seed and fault rates.
+	FaultConfig = fault.Config
 )
 
 var (
@@ -238,8 +252,14 @@ var (
 	NewStore = lake.NewStore
 	// LoadStore reads a store written with Store.Save.
 	LoadStore = lake.LoadStore
-	// NewService binds a detector to a worker pool.
-	NewService = lake.NewService
+	// NewService binds a detector to a worker pool; NewServiceWithPolicy
+	// adds resilience behaviour (deadlines, retries, breaker, fallback).
+	NewService           = lake.NewService
+	NewServiceWithPolicy = lake.NewServiceWithPolicy
+	// NewBreaker builds a standalone circuit breaker.
+	NewBreaker = lake.NewBreaker
+	// NewFaultInjector wraps a detector with seed-driven fault injection.
+	NewFaultInjector = fault.New
 	// Feed converts shards into a paced request stream.
 	Feed = lake.Feed
 	// NewJournal opens an append-only decision journal.
@@ -247,6 +267,12 @@ var (
 	// ReadJournal decodes a journal; ReplayJournal applies it to a store.
 	ReadJournal   = lake.ReadJournal
 	ReplayJournal = lake.Replay
+	// ReadJournalLenient tolerates a torn trailing record (crash
+	// mid-append); RecoverJournalFile compacts and reopens a journal file
+	// for appending; DoneTasks extracts the recoverable task-ID set.
+	ReadJournalLenient = lake.ReadJournalLenient
+	RecoverJournalFile = lake.RecoverJournalFile
+	DoneTasks          = lake.DoneTasks
 	// NewStatusTracker creates a status aggregator for live monitoring.
 	NewStatusTracker = lake.NewStatusTracker
 )

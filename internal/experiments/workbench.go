@@ -43,6 +43,24 @@ func presetShardSpec(preset string) (dataset.ShardSpec, int) {
 // BuildWorkbench prepares the named preset ("emnist", "cifar100",
 // "tinyimagenet") at noise rate eta under cfg.
 func BuildWorkbench(preset string, eta float64, cfg Config) (*Workbench, error) {
+	return buildWorkbench(preset, eta, cfg, nil)
+}
+
+// BuildWorkbenchFrom is BuildWorkbench with a previously saved platform
+// (core.LoadPlatform) substituted for the setup phase — the crash-recovery
+// path: a restarted service resumes serving without retraining the general
+// model. Dataset generation is deterministic from cfg.Seed, so the rebuilt
+// shards are byte-identical to the original run's, which is what makes
+// journal-based task skipping sound. The platform must match the preset's
+// class count and feature dimension.
+func BuildWorkbenchFrom(preset string, eta float64, cfg Config, platform *core.Platform) (*Workbench, error) {
+	if platform == nil {
+		return nil, fmt.Errorf("experiments: nil platform")
+	}
+	return buildWorkbench(preset, eta, cfg, platform)
+}
+
+func buildWorkbench(preset string, eta float64, cfg Config, platform *core.Platform) (*Workbench, error) {
 	cfg = cfg.normalized()
 	specs := dataset.Presets(cfg.Seed)
 	spec, ok := specs[preset]
@@ -90,11 +108,16 @@ func BuildWorkbench(preset string, eta float64, cfg Config) (*Workbench, error) 
 		return nil, err
 	}
 
-	pcfg := core.DefaultPlatformConfig(spec.Classes, spec.FeatureDim, cfg.Seed+1)
-	pcfg.Epochs = cfg.PlatformEpochs
-	platform, err := core.NewPlatform(inventory, pcfg)
-	if err != nil {
-		return nil, err
+	if platform == nil {
+		pcfg := core.DefaultPlatformConfig(spec.Classes, spec.FeatureDim, cfg.Seed+1)
+		pcfg.Epochs = cfg.PlatformEpochs
+		platform, err = core.NewPlatform(inventory, pcfg)
+		if err != nil {
+			return nil, err
+		}
+	} else if platform.Config.Classes != spec.Classes || platform.Config.InputDim != spec.FeatureDim {
+		return nil, fmt.Errorf("experiments: saved platform (classes=%d dim=%d) does not match preset %q (classes=%d dim=%d)",
+			platform.Config.Classes, platform.Config.InputDim, preset, spec.Classes, spec.FeatureDim)
 	}
 
 	ecfg := core.DefaultConfig(cfg.Seed + 2)

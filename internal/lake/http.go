@@ -22,8 +22,23 @@ type Status struct {
 	MeanProcessSec float64 `json:"mean_process_sec"`
 	MeanQueuedSec  float64 `json:"mean_queued_sec"`
 
+	// Resilience statistics: degraded tasks served by the fallback
+	// detector, dead-lettered tasks that exhausted every path, and total
+	// transient-failure retries consumed across all tasks.
+	TasksDegraded   int `json:"tasks_degraded"`
+	TasksDeadLetter int `json:"tasks_dead_lettered"`
+	TotalRetries    int `json:"total_retries"`
+	// Breaker reports the circuit breaker, when one is attached.
+	Breaker *BreakerStatus `json:"breaker,omitempty"`
+
 	// Recent holds the newest task reports, most recent first.
 	Recent []ReportSummary `json:"recent,omitempty"`
+}
+
+// BreakerStatus is the JSON shape of the circuit breaker's state.
+type BreakerStatus struct {
+	State string `json:"state"`
+	Trips int    `json:"trips"`
 }
 
 // ReportSummary is the JSON shape of one processed task.
@@ -35,6 +50,12 @@ type ReportSummary struct {
 	ProcessSec float64 `json:"process_sec"`
 	QueuedSec  float64 `json:"queued_sec"`
 	Failed     bool    `json:"failed,omitempty"`
+	// Error carries the failure cause, not just the Failed bit, so the
+	// status endpoint shows why a task failed.
+	Error        string `json:"error,omitempty"`
+	Retries      int    `json:"retries,omitempty"`
+	Degraded     bool   `json:"degraded,omitempty"`
+	DeadLettered bool   `json:"dead_lettered,omitempty"`
 }
 
 // StatusTracker accumulates task reports and serves them over HTTP. It is
@@ -42,6 +63,7 @@ type ReportSummary struct {
 type StatusTracker struct {
 	mu      sync.Mutex
 	store   *Store
+	breaker *Breaker
 	reports []Report
 	// keepRecent bounds the recent-report ring.
 	keepRecent int
@@ -51,6 +73,14 @@ type StatusTracker struct {
 // store statistics are then omitted).
 func NewStatusTracker(store *Store) *StatusTracker {
 	return &StatusTracker{store: store, keepRecent: 20}
+}
+
+// AttachBreaker makes snapshots report the circuit breaker's live state and
+// trip count. A nil breaker (policy without one) is ignored.
+func (t *StatusTracker) AttachBreaker(b *Breaker) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.breaker = b
 }
 
 // Record adds a processed task report.
@@ -71,11 +101,21 @@ func (t *StatusTracker) Snapshot() Status {
 		st.StoreSamples = t.store.Len()
 		st.Labels = t.store.LabelHistogram()
 	}
+	if t.breaker != nil {
+		st.Breaker = &BreakerStatus{State: t.breaker.State().String(), Trips: t.breaker.Trips()}
+	}
 	var f1Sum float64
 	var procSum, queueSum time.Duration
 	ok := 0
 	for _, rep := range t.reports {
 		st.TasksProcessed++
+		st.TotalRetries += rep.Retries
+		if rep.Degraded {
+			st.TasksDegraded++
+		}
+		if rep.DeadLettered {
+			st.TasksDeadLetter++
+		}
 		if rep.Err != nil {
 			st.TasksFailed++
 			continue
@@ -98,12 +138,18 @@ func (t *StatusTracker) Snapshot() Status {
 	}
 	for _, rep := range recent {
 		rs := ReportSummary{
-			TaskID:     rep.TaskID,
-			Size:       rep.Size,
-			F1:         rep.Detection.F1,
-			ProcessSec: rep.Process.Seconds(),
-			QueuedSec:  rep.Queued.Seconds(),
-			Failed:     rep.Err != nil,
+			TaskID:       rep.TaskID,
+			Size:         rep.Size,
+			F1:           rep.Detection.F1,
+			ProcessSec:   rep.Process.Seconds(),
+			QueuedSec:    rep.Queued.Seconds(),
+			Failed:       rep.Err != nil,
+			Retries:      rep.Retries,
+			Degraded:     rep.Degraded,
+			DeadLettered: rep.DeadLettered,
+		}
+		if rep.Err != nil {
+			rs.Error = rep.Err.Error()
 		}
 		if rep.Result != nil {
 			rs.Noisy = len(rep.Result.Noisy)

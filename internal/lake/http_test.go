@@ -31,7 +31,7 @@ func trackerWithData(t *testing.T) *StatusTracker {
 		Detection: metrics.Detection{F1: 0.8},
 		Process:   100 * time.Millisecond, Queued: 10 * time.Millisecond,
 	})
-	tr.Record(Report{TaskID: 1, Size: 3, Err: errFake})
+	tr.Record(Report{TaskID: 1, Size: 3, Err: errFake, Retries: 2, DeadLettered: true})
 	return tr
 }
 
@@ -58,6 +58,34 @@ func TestSnapshot(t *testing.T) {
 	}
 	if st.Recent[1].Noisy != 1 {
 		t.Fatalf("noisy count = %d", st.Recent[1].Noisy)
+	}
+	// Error fidelity: the summary carries the cause, not just a bit.
+	if st.Recent[0].Error != "fake" || !st.Recent[0].Failed || !st.Recent[0].DeadLettered {
+		t.Fatalf("failed summary = %+v", st.Recent[0])
+	}
+	if st.Recent[1].Error != "" {
+		t.Fatalf("successful summary has error %q", st.Recent[1].Error)
+	}
+	if st.TotalRetries != 2 || st.TasksDeadLetter != 1 || st.TasksDegraded != 0 {
+		t.Fatalf("resilience stats: %+v", st)
+	}
+}
+
+func TestSnapshotDegradedAndBreaker(t *testing.T) {
+	tr := NewStatusTracker(nil)
+	tr.Record(Report{TaskID: 0, Degraded: true, Detection: metrics.Detection{F1: 0.5}})
+	b := NewBreaker(1, time.Minute)
+	b.Failure()
+	tr.AttachBreaker(b)
+	st := tr.Snapshot()
+	if st.TasksDegraded != 1 {
+		t.Fatalf("degraded = %d", st.TasksDegraded)
+	}
+	if st.Breaker == nil || st.Breaker.State != "open" || st.Breaker.Trips != 1 {
+		t.Fatalf("breaker status = %+v", st.Breaker)
+	}
+	if !st.Recent[0].Degraded {
+		t.Fatalf("recent = %+v", st.Recent[0])
 	}
 }
 

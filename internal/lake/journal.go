@@ -1,10 +1,12 @@
 package lake
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -82,6 +84,85 @@ func (j *Journal) Append(e Entry) (uint64, error) {
 	return e.Seq, nil
 }
 
+// appendPreserving re-encodes an already-sequenced entry during recovery
+// compaction, keeping its original Seq and Time, and advances the journal's
+// counter so subsequent Appends continue the sequence.
+func (j *Journal) appendPreserving(e Entry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.enc.Encode(e); err != nil {
+		return fmt.Errorf("lake: journal rewrite seq %d: %w", e.Seq, err)
+	}
+	j.seq = e.Seq
+	return nil
+}
+
+// Close closes the underlying writer when it is an io.Closer (journals
+// opened by RecoverJournalFile own their file); otherwise it is a no-op.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if c, ok := j.w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// RecoverJournalFile opens the journal at path for crash-safe resumption.
+// It reads the intact entry prefix (tolerating a torn trailing record from
+// a crash mid-append), rewrites that prefix to a temporary file, atomically
+// renames it over path, and returns a Journal that keeps appending to the
+// compacted file with sequence numbers continuing where the prefix ended.
+//
+// The rewrite is not optional bookkeeping: a gob stream cannot be extended
+// by a fresh encoder (the decoder rejects the duplicate type definitions),
+// so reopening a journal for O_APPEND would corrupt it for every future
+// reader. Compaction both drops torn bytes and restarts a single coherent
+// encoder stream. A missing file starts an empty journal. Callers should
+// Close the returned journal when done.
+func RecoverJournalFile(path string) (*Journal, []Entry, error) {
+	var entries []Entry
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		entries, _, err = ReadJournalLenient(bytes.NewReader(data))
+		if err != nil {
+			return nil, nil, fmt.Errorf("lake: recover journal %s: %w", path, err)
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh journal.
+	default:
+		return nil, nil, fmt.Errorf("lake: recover journal: %w", err)
+	}
+
+	tmp := path + ".recover"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lake: recover journal: %w", err)
+	}
+	j, err := NewJournal(f)
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		if err := j.appendPreserving(e); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return nil, nil, err
+		}
+	}
+	// Rename over the damaged original; the open handle follows the file,
+	// so the journal keeps appending to the now-canonical path.
+	if err := os.Rename(tmp, path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, nil, fmt.Errorf("lake: recover journal: %w", err)
+	}
+	return j, entries, nil
+}
+
 // AppendDetection journals a detection task's outcome.
 func (j *Journal) AppendDetection(taskID int, noisy, clean map[int]bool, note string) (uint64, error) {
 	return j.Append(Entry{
@@ -91,6 +172,38 @@ func (j *Journal) AppendDetection(taskID int, noisy, clean map[int]bool, note st
 		CleanIDs: sortedIDs(clean),
 		Note:     note,
 	})
+}
+
+// ReadJournalLenient decodes entries from r until EOF, tolerating a
+// truncated trailing record: a decode error after a valid prefix is treated
+// as a torn write (crash mid-append) and reported via torn=true rather than
+// an error, with the intact prefix returned. A sequence regression is still
+// a hard error — that is corruption replay must not paper over.
+func ReadJournalLenient(r io.Reader) (entries []Entry, torn bool, err error) {
+	entries, err = ReadJournal(r)
+	if err == nil {
+		return entries, false, nil
+	}
+	if errors.Is(err, errSeqRegression) {
+		return entries, false, err
+	}
+	return entries, true, nil
+}
+
+// errSeqRegression tags non-monotonic sequence numbers, which lenient
+// recovery must not tolerate.
+var errSeqRegression = errors.New("journal sequence regression")
+
+// DoneTasks returns the set of task IDs with a detection entry — the tasks
+// a restarted service may skip because their outcome is already durable.
+func DoneTasks(entries []Entry) map[int]bool {
+	done := make(map[int]bool)
+	for _, e := range entries {
+		if e.Kind == EntryDetection {
+			done[e.TaskID] = true
+		}
+	}
+	return done
 }
 
 // ReadJournal decodes all entries from r until EOF, verifying that sequence
@@ -109,7 +222,7 @@ func ReadJournal(r io.Reader) ([]Entry, error) {
 			return out, fmt.Errorf("lake: journal read after seq %d: %w", lastSeq, err)
 		}
 		if e.Seq <= lastSeq {
-			return out, fmt.Errorf("lake: journal sequence regression: %d after %d", e.Seq, lastSeq)
+			return out, fmt.Errorf("lake: %w: %d after %d", errSeqRegression, e.Seq, lastSeq)
 		}
 		lastSeq = e.Seq
 		out = append(out, e)

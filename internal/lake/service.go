@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"enld/internal/dataset"
 	"enld/internal/detect"
+	"enld/internal/mat"
 	"enld/internal/metrics"
 )
 
@@ -34,7 +36,22 @@ type Report struct {
 	Queued  time.Duration
 	Process time.Duration
 	Err     error
+	// Retries is how many extra primary attempts the task consumed on
+	// transient failures before succeeding, degrading or dead-lettering.
+	Retries int
+	// Degraded marks a result produced by the fallback detector after the
+	// primary path failed or was bypassed by an open circuit breaker. A
+	// degraded result is real output, but never ENLD-quality output.
+	Degraded bool
+	// DeadLettered marks a task that exhausted every path — retries and
+	// fallback included — and carries only an error. No task is silently
+	// dropped: it either succeeds, degrades, or dead-letters.
+	DeadLettered bool
 }
+
+// ErrBreakerOpen reports a task bypassing the primary detector because the
+// circuit breaker is open.
+var ErrBreakerOpen = errors.New("lake: circuit breaker open")
 
 // Service processes detection requests with a fixed detector and a bounded
 // worker pool, in the arrival order the platform scenario prescribes.
@@ -44,6 +61,16 @@ type Report struct {
 type Service struct {
 	detector detect.Detector
 	workers  int
+	policy   Policy
+	breaker  *Breaker
+
+	// retryMu guards retryRNG, the shared jitter source.
+	retryMu  sync.Mutex
+	retryRNG *mat.RNG
+
+	// skip holds task IDs already completed in a previous incarnation
+	// (recovered from the journal); Run drops them without processing.
+	skip map[int]bool
 
 	// OnReport, when set, is invoked from worker goroutines as each task
 	// completes — before Run returns — so live dashboards (StatusTracker)
@@ -51,15 +78,54 @@ type Service struct {
 	OnReport func(Report)
 }
 
-// NewService returns a service running detector on workers goroutines.
+// NewService returns a service running detector on workers goroutines with
+// the zero (fail-fast) policy.
 func NewService(detector detect.Detector, workers int) (*Service, error) {
+	return NewServiceWithPolicy(detector, workers, Policy{})
+}
+
+// NewServiceWithPolicy returns a service with resilience behaviour per
+// policy.
+func NewServiceWithPolicy(detector detect.Detector, workers int, policy Policy) (*Service, error) {
 	if detector == nil {
 		return nil, errors.New("lake: nil detector")
 	}
 	if workers < 1 {
 		return nil, fmt.Errorf("lake: worker count %d", workers)
 	}
-	return &Service{detector: detector, workers: workers}, nil
+	policy, err := policy.normalized()
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		detector: detector,
+		workers:  workers,
+		policy:   policy,
+		retryRNG: mat.NewRNG(policy.RetrySeed ^ 0xd1b54a32d192ed03),
+	}
+	if policy.BreakerThreshold > 0 {
+		s.breaker = NewBreaker(policy.BreakerThreshold, policy.BreakerCooldown)
+	}
+	return s, nil
+}
+
+// Breaker returns the service's circuit breaker, or nil when the policy
+// disables it. Callers may observe state and register transition hooks.
+func (s *Service) Breaker() *Breaker { return s.breaker }
+
+// SkipCompleted marks task IDs as already completed (e.g. recovered from a
+// journal after a crash); Run drops matching requests without reprocessing.
+// Call before Run.
+func (s *Service) SkipCompleted(ids map[int]bool) {
+	if len(ids) == 0 {
+		return
+	}
+	s.skip = make(map[int]bool, len(ids))
+	for id, done := range ids {
+		if done {
+			s.skip[id] = true
+		}
+	}
 }
 
 // Run consumes requests until the channel closes or ctx is cancelled, and
@@ -81,7 +147,7 @@ func (s *Service) Run(ctx context.Context, requests <-chan Request) []Report {
 			defer wg.Done()
 			for st := range work {
 				queued := time.Since(st.arrived)
-				rep := s.process(st.req)
+				rep := s.process(ctx, st.req)
 				rep.Queued = queued
 				if s.OnReport != nil {
 					s.OnReport(rep)
@@ -102,6 +168,9 @@ feed:
 			if !ok {
 				break feed
 			}
+			if s.skip[req.TaskID] {
+				continue
+			}
 			work <- stamped{req: req, arrived: time.Now()}
 		}
 	}
@@ -112,33 +181,125 @@ feed:
 	return reports
 }
 
-// process runs the detector on one request. A panicking detector is
-// contained: the panic becomes the report's error rather than killing the
-// platform's worker pool.
-func (s *Service) process(req Request) (rep Report) {
-	rep = Report{TaskID: req.TaskID, Size: len(req.Data)}
-	defer func() {
-		if r := recover(); r != nil {
-			rep.Err = fmt.Errorf("lake: task %d: detector panic: %v", req.TaskID, r)
+// process runs one request through the full resilience pipeline: primary
+// detector (breaker-gated, deadline-bounded, retried on transient errors),
+// then the fallback detector, then the dead-letter report. A panicking
+// detector is contained: the panic becomes an attempt error rather than
+// killing the worker pool.
+func (s *Service) process(ctx context.Context, req Request) Report {
+	rep := Report{TaskID: req.TaskID, Size: len(req.Data)}
+
+	primaryErr := ErrBreakerOpen
+	if s.breaker == nil || s.breaker.Allow() {
+		var res *detect.Result
+		res, rep.Retries, primaryErr = s.attemptWithRetry(ctx, req)
+		if primaryErr == nil {
+			if s.breaker != nil {
+				s.breaker.Success()
+			}
+			fill(&rep, req, res)
+			return rep
 		}
-	}()
-	res, err := s.detector.Detect(req.Data)
-	if err != nil {
-		rep.Err = fmt.Errorf("lake: task %d: %w", req.TaskID, err)
-		return rep
+		if s.breaker != nil {
+			s.breaker.Failure()
+		}
 	}
-	rep.Result = res
-	rep.Process = res.Process
-	rep.Detection = metrics.EvaluateDetection(req.Data, res.Noisy)
+
+	if s.policy.Fallback != nil {
+		res, err := s.attempt(s.policy.Fallback, req)
+		if err == nil {
+			rep.Degraded = true
+			fill(&rep, req, res)
+			return rep
+		}
+		primaryErr = errors.Join(primaryErr, fmt.Errorf("fallback: %w", err))
+	}
+
+	rep.DeadLettered = true
+	rep.Err = fmt.Errorf("lake: task %d: %w", req.TaskID, primaryErr)
 	return rep
 }
 
-func sortReports(reports []Report) {
-	for i := 1; i < len(reports); i++ {
-		for j := i; j > 0 && reports[j].TaskID < reports[j-1].TaskID; j-- {
-			reports[j], reports[j-1] = reports[j-1], reports[j]
+// fill completes a report from a successful detection result.
+func fill(rep *Report, req Request, res *detect.Result) {
+	rep.Result = res
+	rep.Process = res.Process
+	rep.Detection = metrics.EvaluateDetection(req.Data, res.Noisy)
+}
+
+// attemptWithRetry runs the primary detector, retrying transient failures
+// up to the policy's budget with exponential backoff and jitter. It returns
+// the retry count actually consumed.
+func (s *Service) attemptWithRetry(ctx context.Context, req Request) (*detect.Result, int, error) {
+	var err error
+	for attempt := 0; ; attempt++ {
+		var res *detect.Result
+		res, err = s.attempt(s.detector, req)
+		if err == nil {
+			return res, attempt, nil
+		}
+		if attempt >= s.policy.MaxRetries || !transientErr(err) {
+			return nil, attempt, err
+		}
+		delay := s.policy.backoff(attempt) + s.jitter()
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			// Shutting down: don't burn the backoff budget, report the
+			// last failure.
+			return nil, attempt, err
 		}
 	}
+}
+
+// jitter draws a uniform delay in [0, RetryBase) to decorrelate concurrent
+// workers' retry schedules.
+func (s *Service) jitter() time.Duration {
+	s.retryMu.Lock()
+	defer s.retryMu.Unlock()
+	return time.Duration(s.retryRNG.Float64() * float64(s.policy.RetryBase))
+}
+
+// attempt runs one deadline-bounded detector call. With no TaskTimeout the
+// call runs inline; otherwise it runs in a goroutine and a timeout converts
+// a stuck detector into a report error — the abandoned goroutine finishes
+// (and is discarded) in the background instead of wedging the worker.
+func (s *Service) attempt(det detect.Detector, req Request) (*detect.Result, error) {
+	if s.policy.TaskTimeout <= 0 {
+		return runDetect(det, req)
+	}
+	type outcome struct {
+		res *detect.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := runDetect(det, req)
+		done <- outcome{res: res, err: err}
+	}()
+	timer := time.NewTimer(s.policy.TaskTimeout)
+	defer timer.Stop()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-timer.C:
+		return nil, fmt.Errorf("detector %w after %s", context.DeadlineExceeded, s.policy.TaskTimeout)
+	}
+}
+
+// runDetect invokes the detector with panic containment. Errors are
+// returned raw; the dead-letter path prefixes the task ID exactly once.
+func runDetect(det detect.Detector, req Request) (res *detect.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("detector panic: %v", r)
+		}
+	}()
+	return det.Detect(req.Data)
+}
+
+func sortReports(reports []Report) {
+	sort.Slice(reports, func(i, j int) bool { return reports[i].TaskID < reports[j].TaskID })
 }
 
 // Feed converts pre-sharded incremental datasets into a request channel,
