@@ -119,12 +119,26 @@ func benchWorkbench(b *testing.B) *experiments.Workbench {
 
 // BenchmarkDetect measures per-request detection cost of each method on an
 // identical incremental dataset — the per-task process-time comparison
-// behind Fig. 8.
+// behind Fig. 8. The enld-workers variants pin ENLD's data-parallel scaling
+// (same detections at every worker count); benchsummary pairs workers=1
+// against workers=4 in BENCH_ci.json.
 func BenchmarkDetect(b *testing.B) {
 	wb := benchWorkbench(b)
 	shard := wb.Shards[0]
 	for _, d := range experiments.StandardMethods(wb, 99) {
 		b.Run(d.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Detect(shard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, workers := range []int{1, 4} {
+		cfg := wb.ENLDCfg
+		cfg.Workers = workers
+		d := &core.ENLD{Platform: wb.Platform, Config: cfg}
+		b.Run("enld-workers="+itoa(workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := d.Detect(shard); err != nil {
 					b.Fatal(err)
@@ -177,6 +191,17 @@ func BenchmarkKNN(b *testing.B) {
 				}
 			}
 		})
+		b.Run("into/n="+itoa(n), func(b *testing.B) {
+			// The allocation-free variant the parallel sampling fan-out uses:
+			// one warmed-up scratch per worker.
+			var s kdtree.Scratch
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tree.KNearestInto(&s, query, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 		b.Run("brute/n="+itoa(n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				kdtree.BruteKNearest(pts, query, k)
@@ -203,7 +228,11 @@ func BenchmarkKDTreeBuild(b *testing.B) {
 }
 
 // BenchmarkTrainEpoch measures one epoch of the neural substrate — the unit
-// of work both TopoFilter's training and ENLD's fine-tuning are built from.
+// of work both TopoFilter's training and ENLD's fine-tuning are built from —
+// at several gradient-worker counts. Weights come out bit-identical at every
+// count (see nn.TrainConfig.Workers), so the sub-benchmarks measure pure
+// scheduling overhead/speedup; benchsummary pairs workers=1 against
+// workers=4 in BENCH_ci.json.
 func BenchmarkTrainEpoch(b *testing.B) {
 	rng := mat.NewRNG(7)
 	net, err := nn.Build(nn.SimResNet110, 48, 100, rng)
@@ -217,17 +246,23 @@ func BenchmarkTrainEpoch(b *testing.B) {
 			Target: nn.OneHot(i%100, 100),
 		}
 	}
-	trainer := nn.NewTrainer(net, nn.NewSGD(0.01, 0.9, 1e-4))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := trainer.Run(examples, nn.TrainConfig{Epochs: 1, BatchSize: 32, Seed: uint64(i)}); err != nil {
-			b.Fatal(err)
-		}
+	for _, workers := range []int{1, 4} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			trainer := nn.NewTrainer(net, nn.NewSGD(0.01, 0.9, 1e-4))
+			for i := 0; i < b.N; i++ {
+				if _, err := trainer.Run(examples, nn.TrainConfig{
+					Epochs: 1, BatchSize: 32, Seed: uint64(i), Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
 // BenchmarkForward measures inference cost — the unit behind the ambiguous/
-// high-quality re-scoring of each ENLD iteration.
+// high-quality re-scoring of each ENLD iteration: one sample at a time
+// (single) and a whole shard-sized batch fanned out over workers.
 func BenchmarkForward(b *testing.B) {
 	rng := mat.NewRNG(8)
 	net, err := nn.Build(nn.SimResNet110, 48, 100, rng)
@@ -235,9 +270,21 @@ func BenchmarkForward(b *testing.B) {
 		b.Fatal(err)
 	}
 	x := rng.NormVec(make([]float64, 48), 0, 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		net.Evaluate(x)
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			net.Evaluate(x)
+		}
+	})
+	xs := make([][]float64, 256)
+	for i := range xs {
+		xs[i] = rng.NormVec(make([]float64, 48), 0, 1)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run("batch-workers="+itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				net.EvaluateBatch(xs, workers)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,187 @@
+// Command benchsummary turns `go test -bench` output into a machine-readable
+// BENCH_ci.json: one entry per benchmark with its ns/op, plus the
+// parallel-scaling speedup pairs the CI perf gate tracks (workers=1 versus
+// workers=4 for the training, detection and batch-inference hot paths).
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkTrainEpoch|BenchmarkDetect|BenchmarkKNN|BenchmarkForward' \
+//	    -benchtime 1x -run '^$' . | benchsummary -out BENCH_ci.json
+//
+// Speedups are a hardware property: on a single-core runner the workers=4
+// variants measure pure pool overhead and the ratio sits near (or below) 1.
+// The committed BENCH_ci.json is the latest recorded run; CI regenerates it
+// per PR and uploads the result as an artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result.
+type Entry struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped,
+	// e.g. "BenchmarkTrainEpoch/workers=4".
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// Speedup is the ratio of a sequential baseline over its parallel variant.
+type Speedup struct {
+	Name     string `json:"name"`
+	Base     string `json:"base"`
+	Parallel string `json:"parallel"`
+	// Speedup is base ns/op divided by parallel ns/op: >1 means the
+	// parallel variant is faster.
+	Speedup float64 `json:"speedup"`
+}
+
+// Summary is the BENCH_ci.json document.
+type Summary struct {
+	// GoMaxProcs records the parallelism of the machine that produced the
+	// numbers — speedups are meaningless without it.
+	GoMaxProcs int       `json:"go_maxprocs"`
+	GoVersion  string    `json:"go_version"`
+	Benchmarks []Entry   `json:"benchmarks"`
+	Speedups   []Speedup `json:"speedups"`
+}
+
+// speedupPairs lists the (base, parallel) benchmark pairs the CI perf gate
+// tracks.
+var speedupPairs = [][3]string{
+	{"train-epoch", "BenchmarkTrainEpoch/workers=1", "BenchmarkTrainEpoch/workers=4"},
+	{"detect-enld", "BenchmarkDetect/enld-workers=1", "BenchmarkDetect/enld-workers=4"},
+	{"forward-batch", "BenchmarkForward/batch-workers=1", "BenchmarkForward/batch-workers=4"},
+}
+
+// benchLine matches one `go test -bench` result line: name, iteration count,
+// ns/op. Extra metrics (B/op, allocs/op) are ignored.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// cpuSuffix matches the trailing -GOMAXPROCS marker go test appends to each
+// benchmark name (omitted entirely when GOMAXPROCS is 1).
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse reads benchmark output and returns the entries in input order. The
+// -GOMAXPROCS name suffix is stripped only when every line carries the same
+// one: go appends it uniformly per run, so a non-uniform trailing -N (as in
+// the cl-1/cl-2 method names on a single-core run, where go omits the
+// suffix) is part of the benchmark's own name.
+func parse(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchsummary: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		out = append(out, Entry{Name: m[1], NsPerOp: ns})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	uniform := ""
+	for i, e := range out {
+		suffix := cpuSuffix.FindString(e.Name)
+		if i == 0 {
+			uniform = suffix
+		}
+		if suffix == "" || suffix != uniform {
+			uniform = ""
+			break
+		}
+	}
+	if uniform != "" {
+		for i := range out {
+			out[i].Name = strings.TrimSuffix(out[i].Name, uniform)
+		}
+	}
+	return out, nil
+}
+
+// summarize assembles the document, computing every tracked speedup whose
+// both ends are present.
+func summarize(entries []Entry) Summary {
+	byName := make(map[string]float64, len(entries))
+	for _, e := range entries {
+		byName[e.Name] = e.NsPerOp
+	}
+	s := Summary{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Benchmarks: entries,
+	}
+	for _, pair := range speedupPairs {
+		base, okB := byName[pair[1]]
+		par, okP := byName[pair[2]]
+		if !okB || !okP || par == 0 {
+			continue
+		}
+		s.Speedups = append(s.Speedups, Speedup{
+			Name: pair[0], Base: pair[1], Parallel: pair[2], Speedup: base / par,
+		})
+	}
+	return s
+}
+
+func main() {
+	var (
+		in  = flag.String("in", "", "benchmark output file (default: stdin)")
+		out = flag.String("out", "BENCH_ci.json", "JSON summary destination")
+	)
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsummary:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+	entries, err := parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsummary:", err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchsummary: no benchmark lines found")
+		os.Exit(1)
+	}
+	summary := summarize(entries)
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsummary:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsummary:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d benchmarks", *out, len(summary.Benchmarks))
+	var parts []string
+	for _, sp := range summary.Speedups {
+		parts = append(parts, fmt.Sprintf("%s %.2fx", sp.Name, sp.Speedup))
+	}
+	if len(parts) > 0 {
+		fmt.Printf(", speedups: %s", strings.Join(parts, ", "))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: enld
+BenchmarkTrainEpoch/workers=1-8         	       1	200000000 ns/op
+BenchmarkTrainEpoch/workers=4-8         	       1	100000000 ns/op
+BenchmarkDetect/enld-8                  	       1	400000000 ns/op
+BenchmarkDetect/enld-workers=1-8        	       1	300000000 ns/op
+BenchmarkDetect/enld-workers=4-8        	       1	150000000 ns/op
+BenchmarkForward/single-8               	 1000000	      1234 ns/op
+BenchmarkKNN/into/n=1024-8              	  500000	      2500 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	enld	12.345s
+`
+
+// singleCoreOutput is GOMAXPROCS=1 output: go omits the -N suffix, so the
+// trailing digits of cl-1/cl-2 are method names and must survive parsing.
+const singleCoreOutput = `BenchmarkDetect/cl-1 	       1	300000000 ns/op
+BenchmarkDetect/cl-2 	       1	310000000 ns/op
+BenchmarkTrainEpoch/workers=1 	       1	200000000 ns/op
+`
+
+func TestParse(t *testing.T) {
+	entries, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 7 {
+		t.Fatalf("%d entries: %+v", len(entries), entries)
+	}
+	if entries[0].Name != "BenchmarkTrainEpoch/workers=1" || entries[0].NsPerOp != 2e8 {
+		t.Fatalf("first entry %+v", entries[0])
+	}
+	// The -GOMAXPROCS suffix is stripped, B/op columns are ignored.
+	if entries[6].Name != "BenchmarkKNN/into/n=1024" || entries[6].NsPerOp != 2500 {
+		t.Fatalf("last entry %+v", entries[6])
+	}
+}
+
+func TestParseSingleCoreKeepsNames(t *testing.T) {
+	entries, err := parse(strings.NewReader(singleCoreOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"BenchmarkDetect/cl-1", "BenchmarkDetect/cl-2", "BenchmarkTrainEpoch/workers=1"}
+	if len(entries) != len(want) {
+		t.Fatalf("%d entries", len(entries))
+	}
+	for i, name := range want {
+		if entries[i].Name != name {
+			t.Errorf("entry %d named %q, want %q", i, entries[i].Name, name)
+		}
+	}
+}
+
+func TestSummarizeSpeedups(t *testing.T) {
+	entries, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := summarize(entries)
+	if s.GoMaxProcs < 1 || s.GoVersion == "" {
+		t.Fatalf("environment not recorded: %+v", s)
+	}
+	want := map[string]float64{"train-epoch": 2.0, "detect-enld": 2.0}
+	found := map[string]float64{}
+	for _, sp := range s.Speedups {
+		found[sp.Name] = sp.Speedup
+	}
+	for name, ratio := range want {
+		if found[name] != ratio {
+			t.Errorf("speedup %s = %v, want %v", name, found[name], ratio)
+		}
+	}
+	// forward-batch has no workers=1/4 pair in the sample; it must be absent
+	// rather than zero or NaN.
+	if _, ok := found["forward-batch"]; ok {
+		t.Error("forward-batch speedup computed from missing data")
+	}
+}

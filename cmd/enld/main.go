@@ -22,20 +22,21 @@ import (
 
 func main() {
 	var (
-		preset = flag.String("dataset", "cifar100", "workload preset: emnist, cifar100, tinyimagenet")
-		eta    = flag.Float64("eta", 0.2, "pair-noise rate in [0, 1)")
-		method = flag.String("method", "enld", "default, cl-1, cl-2, topofilter, enld, or all")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		scale  = flag.Float64("scale", 1.0, "dataset size factor")
-		shards = flag.Int("shards", 0, "incremental dataset count (0 = paper count)")
-		iters  = flag.Int("iters", 0, "ENLD iterations t (0 = paper default)")
-		noise  = flag.String("noise", "pair", "label-noise model: pair (paper) or symmetric")
+		preset  = flag.String("dataset", "cifar100", "workload preset: emnist, cifar100, tinyimagenet")
+		eta     = flag.Float64("eta", 0.2, "pair-noise rate in [0, 1)")
+		method  = flag.String("method", "enld", "default, cl-1, cl-2, topofilter, enld, or all")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		scale   = flag.Float64("scale", 1.0, "dataset size factor")
+		shards  = flag.Int("shards", 0, "incremental dataset count (0 = paper count)")
+		iters   = flag.Int("iters", 0, "ENLD iterations t (0 = paper default)")
+		noise   = flag.String("noise", "pair", "label-noise model: pair (paper) or symmetric")
+		workers = flag.Int("workers", 0, "data-parallel workers for training/scoring/k-NN (0 = all cores); results are identical at any count")
 	)
 	flag.Parse()
 
 	cfg := experiments.Config{
 		Seed: *seed, DataScale: *scale, Shards: *shards, Iterations: *iters,
-		Noise: experiments.NoiseKind(*noise),
+		Noise: experiments.NoiseKind(*noise), Workers: *workers,
 	}
 	wb, err := experiments.BuildWorkbench(*preset, *eta, cfg)
 	if err != nil {

@@ -25,16 +25,18 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+") or 'all'")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		scale  = flag.Float64("scale", 1.0, "dataset size factor")
-		shards = flag.Int("shards", 0, "incremental dataset count (0 = paper count)")
-		epochs = flag.Int("epochs", 0, "platform training epochs (0 = default)")
-		iters  = flag.Int("iters", 0, "ENLD iterations t (0 = paper default per dataset)")
-		etas   = flag.String("etas", "", "comma-separated noise rates (default 0.1,0.2,0.3,0.4)")
-		csvDir = flag.String("csv", "", "also write results as CSV files into this directory")
-		noise  = flag.String("noise", "pair", "label-noise model: pair (paper) or symmetric")
-		md     = flag.Bool("md", false, "also print results as Markdown tables")
+		run     = flag.String("run", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+") or 'all'")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		scale   = flag.Float64("scale", 1.0, "dataset size factor")
+		shards  = flag.Int("shards", 0, "incremental dataset count (0 = paper count)")
+		epochs  = flag.Int("epochs", 0, "platform training epochs (0 = default)")
+		iters   = flag.Int("iters", 0, "ENLD iterations t (0 = paper default per dataset)")
+		etas    = flag.String("etas", "", "comma-separated noise rates (default 0.1,0.2,0.3,0.4)")
+		csvDir  = flag.String("csv", "", "also write results as CSV files into this directory")
+		noise   = flag.String("noise", "pair", "label-noise model: pair (paper) or symmetric")
+		md      = flag.Bool("md", false, "also print results as Markdown tables")
+		workers = flag.Int("workers", 1, "experiments run concurrently (0 = all cores); rendered output stays in experiment order")
+		dataW   = flag.Int("data-workers", 1, "data-parallel workers inside each experiment (0 = all cores); results are identical at any count")
 	)
 	flag.Parse()
 
@@ -45,6 +47,7 @@ func main() {
 		PlatformEpochs: *epochs,
 		Iterations:     *iters,
 		Noise:          experiments.NoiseKind(*noise),
+		Workers:        *dataW,
 		Out:            os.Stdout,
 	}
 	if *etas != "" {
@@ -62,22 +65,22 @@ func main() {
 	if *run == "all" {
 		ids = experiments.IDs()
 	}
-	for _, id := range ids {
-		start := time.Now()
-		result, err := experiments.Run(id, cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-			os.Exit(1)
-		}
-		if err := experiments.ExportCSV(result, *csvDir); err != nil {
+	start := time.Now()
+	results, err := experiments.RunConcurrent(ids, cfg, *workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	for i, id := range ids {
+		if err := experiments.ExportCSV(results[i], *csvDir); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
 			os.Exit(1)
 		}
 		if *md {
-			if table := experiments.ExportMarkdown(result); table != "" {
+			if table := experiments.ExportMarkdown(results[i]); table != "" {
 				fmt.Println(table)
 			}
 		}
-		fmt.Printf("[%s done in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	fmt.Printf("[%d experiment(s) done in %s]\n", len(ids), time.Since(start).Round(time.Millisecond))
 }

@@ -74,6 +74,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "dataset size factor")
 		shards   = flag.Int("shards", 0, "incremental dataset count (0 = paper count)")
 		workers  = flag.Int("workers", 2, "concurrent detection workers")
+		taskW    = flag.Int("task-workers", 1, "data-parallel workers inside each detection task (0 = all cores); per-task results are identical at any count")
 		interval = flag.Duration("interval", 50*time.Millisecond, "arrival pacing between datasets")
 		timeout  = flag.Duration("timeout", 10*time.Minute, "overall simulation deadline")
 		journal  = flag.String("journal", "", "append an audit journal of detection decisions to this file")
@@ -102,7 +103,7 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, DataScale: *scale, Shards: *shards}
+	cfg := experiments.Config{Seed: *seed, DataScale: *scale, Shards: *shards, Workers: *taskW}
 	wb, err := buildWorkbench(*preset, *eta, cfg, *platformPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lakesim:", err)

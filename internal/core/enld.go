@@ -53,6 +53,11 @@ type Config struct {
 	// noise regime. Iterations remains the upper bound.
 	AutoStop bool
 
+	// Workers bounds the data-parallel workers used for training, scoring
+	// and the k-NN fan-out (0 = all cores). Detection results are identical
+	// at every worker count; see nn.TrainConfig.Workers for the contract.
+	Workers int
+
 	Seed uint64
 }
 
@@ -171,6 +176,10 @@ func (e *ENLD) DetectFull(d dataset.Set) (*FullResult, error) {
 
 	voteThreshold := cfg.Steps/2 + 1
 	stableIters := 0
+	dInputs := make([][]float64, len(d))
+	for i, smp := range d {
+		dInputs[i] = smp.X
+	}
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		count := make([]int, len(d))
 		for step := 0; step < cfg.Steps; step++ {
@@ -178,9 +187,10 @@ func (e *ENLD) DetectFull(d dataset.Set) (*FullResult, error) {
 				return nil, err
 			}
 			// Selection pass: compare predictions with observed labels.
+			preds := model.PredictBatch(dInputs, cfg.Workers)
+			res.Meter.ForwardPasses += int64(len(d))
 			for i, smp := range d {
-				pred := model.Predict(smp.X)
-				res.Meter.ForwardPasses++
+				pred := preds[i]
 				if smp.Observed == dataset.Missing {
 					votes := pseudoVotes[i]
 					if votes == nil {
@@ -286,8 +296,8 @@ type nldRun struct {
 // (Definition 1 plus the mean-confidence filter of §IV-E), and runs the
 // sampling strategy to produce a fresh contrastive set C.
 func (r *nldRun) resample() error {
-	dScores := detect.Score(r.model, r.d, &r.res.Meter)
-	iScores := detect.Score(r.model, r.iPrime, &r.res.Meter)
+	dScores := detect.ScoreParallel(r.model, r.d, &r.res.Meter, r.cfg.Workers)
+	iScores := detect.ScoreParallel(r.model, r.iPrime, &r.res.Meter, r.cfg.Workers)
 
 	r.ambIdx = detect.Ambiguous(r.d, dScores.Predicted)
 	r.hqIdx = highQualityFiltered(r.iPrime, iScores)
@@ -335,6 +345,7 @@ func (r *nldRun) resample() error {
 		K:                  r.cfg.K,
 		RNG:                r.rng,
 		Meter:              &r.res.Meter,
+		Workers:            r.cfg.Workers,
 	}
 	if len(amb) == 0 || len(pool) == 0 {
 		r.contrastive = nil
@@ -373,6 +384,7 @@ func (r *nldRun) trainEpoch() error {
 		Epochs:    1,
 		BatchSize: r.cfg.BatchSize,
 		Seed:      r.rng.Uint64(),
+		Workers:   r.cfg.Workers,
 	})
 	if err != nil {
 		return fmt.Errorf("core: fine-tune epoch: %w", err)
@@ -409,21 +421,27 @@ func (r *nldRun) warmup() error {
 // validationAccuracy is the fraction of D's labelled samples whose predicted
 // label matches the observed label under the current model.
 func (r *nldRun) validationAccuracy() float64 {
-	total, agree := 0, 0
+	xs := make([][]float64, 0, len(r.d))
+	labels := make([]int, 0, len(r.d))
 	for _, smp := range r.d {
 		if smp.Observed == dataset.Missing {
 			continue
 		}
-		total++
-		if r.model.Predict(smp.X) == smp.Observed {
-			agree++
-		}
-		r.res.Meter.ForwardPasses++
+		xs = append(xs, smp.X)
+		labels = append(labels, smp.Observed)
 	}
-	if total == 0 {
+	if len(xs) == 0 {
 		return 0
 	}
-	return float64(agree) / float64(total)
+	preds := r.model.PredictBatch(xs, r.cfg.Workers)
+	r.res.Meter.ForwardPasses += int64(len(xs))
+	agree := 0
+	for i, p := range preds {
+		if p == labels[i] {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(xs))
 }
 
 // highQualityFiltered returns the indices of set forming H': samples whose

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestENLDParallelIdentical is the end-to-end differential test of the
+// data-parallel hot paths: a full DetectFull run must produce identical
+// detections, pseudo labels, inventory selections and analytic-work counts
+// at worker counts 1, 2 and 8. Training, scoring, the selection passes and
+// the k-NN fan-out all run through the worker pool, so any
+// schedule-dependent arithmetic or RNG consumption would surface here.
+func TestENLDParallelIdentical(t *testing.T) {
+	w := newWorkload(t, 0.25, false, 7)
+	run := func(workers int) *FullResult {
+		cfg := DefaultConfig(77)
+		cfg.Iterations = 3
+		cfg.Workers = workers
+		e := &ENLD{Platform: w.platform, Config: cfg}
+		res, err := e.DetectFull(w.incr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(1)
+	if len(seq.Noisy)+len(seq.Clean) != len(w.incr) {
+		t.Fatal("sequential run did not partition the dataset")
+	}
+	for _, workers := range []int{2, 8} {
+		par := run(workers)
+		if !sameIDSet(par.Noisy, seq.Noisy) {
+			t.Errorf("workers=%d: noisy set differs (%d vs %d)", workers, len(par.Noisy), len(seq.Noisy))
+		}
+		if !sameIDSet(par.Clean, seq.Clean) {
+			t.Errorf("workers=%d: clean set differs", workers)
+		}
+		if !sameIDSet(par.SelectedInventory, seq.SelectedInventory) {
+			t.Errorf("workers=%d: selected inventory differs", workers)
+		}
+		if len(par.PseudoLabels) != len(seq.PseudoLabels) {
+			t.Errorf("workers=%d: %d pseudo labels, want %d", workers, len(par.PseudoLabels), len(seq.PseudoLabels))
+		}
+		for id, label := range seq.PseudoLabels {
+			if par.PseudoLabels[id] != label {
+				t.Errorf("workers=%d: pseudo label for %d is %d, want %d", workers, id, par.PseudoLabels[id], label)
+			}
+		}
+		if par.Meter != seq.Meter {
+			t.Errorf("workers=%d: meter %+v, want %+v", workers, par.Meter, seq.Meter)
+		}
+		if len(par.Snapshots) != len(seq.Snapshots) {
+			t.Fatalf("workers=%d: %d snapshots, want %d", workers, len(par.Snapshots), len(seq.Snapshots))
+		}
+		for i, snap := range seq.Snapshots {
+			got := par.Snapshots[i]
+			if got.AmbiguousCount != snap.AmbiguousCount || got.ContrastiveSize != snap.ContrastiveSize {
+				t.Errorf("workers=%d: snapshot %d is {A=%d C=%d}, want {A=%d C=%d}", workers, i,
+					got.AmbiguousCount, got.ContrastiveSize, snap.AmbiguousCount, snap.ContrastiveSize)
+			}
+			if !sameIDSet(got.Noisy, snap.Noisy) {
+				t.Errorf("workers=%d: snapshot %d noisy set differs", workers, i)
+			}
+		}
+	}
+}

@@ -42,6 +42,11 @@ type PlatformConfig struct {
 	// 0.2 (applied when positive).
 	MixupAlpha float64
 
+	// Workers bounds the data-parallel gradient workers of general-model
+	// training (0 = all cores); results are bit-identical at every count
+	// (see nn.TrainConfig.Workers).
+	Workers int
+
 	Seed uint64
 }
 
@@ -134,6 +139,7 @@ func (p *Platform) trainGeneral(model *nn.Network, set dataset.Set, seed uint64)
 		Mixup:      p.Config.MixupAlpha > 0,
 		MixupAlpha: p.Config.MixupAlpha,
 		Seed:       seed,
+		Workers:    p.Config.Workers,
 	})
 	if err != nil {
 		return fmt.Errorf("core: general model training: %w", err)

@@ -65,23 +65,31 @@ type Scores struct {
 // Score runs the model over every sample of d and caches the outputs.
 // It charges one forward pass per sample to meter (if non-nil).
 func Score(model *nn.Network, d dataset.Set, meter *cost.Meter) *Scores {
+	return ScoreParallel(model, d, meter, 1)
+}
+
+// ScoreParallel is Score with the forward passes fanned out over workers
+// (0 = all cores). Results are identical at every worker count: each sample's
+// outputs land in that sample's slot, and the derived statistics are computed
+// per sample with no cross-sample arithmetic.
+func ScoreParallel(model *nn.Network, d dataset.Set, meter *cost.Meter, workers int) *Scores {
 	s := &Scores{
-		Confidences: make([][]float64, len(d)),
-		Features:    make([][]float64, len(d)),
-		Predicted:   make([]int, len(d)),
-		MaxConf:     make([]float64, len(d)),
-		Entropy:     make([]float64, len(d)),
+		Predicted: make([]int, len(d)),
+		MaxConf:   make([]float64, len(d)),
+		Entropy:   make([]float64, len(d)),
 	}
+	xs := make([][]float64, len(d))
 	for i, smp := range d {
-		conf, feat := model.Evaluate(smp.X)
-		s.Confidences[i] = conf
-		s.Features[i] = feat
+		xs[i] = smp.X
+	}
+	s.Confidences, s.Features = model.EvaluateBatch(xs, workers)
+	for i, conf := range s.Confidences {
 		s.Predicted[i] = mat.ArgMax(conf)
 		s.MaxConf[i] = mat.Max(conf)
 		s.Entropy[i] = mat.Entropy(conf)
-		if meter != nil {
-			meter.ForwardPasses++
-		}
+	}
+	if meter != nil {
+		meter.ForwardPasses += int64(len(d))
 	}
 	return s
 }

@@ -41,6 +41,10 @@ type Config struct {
 	// Noise selects the corruption model; empty means the paper's pair
 	// asymmetric noise. Symmetric noise is an extension experiment (ext2).
 	Noise NoiseKind
+	// Workers bounds the data-parallel workers inside each experiment's
+	// training/scoring/k-NN hot paths (0 = all cores). Experiment outputs
+	// are identical at every worker count.
+	Workers int
 	// Out receives the rendered tables; nil discards them.
 	Out io.Writer
 }

@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"sort"
+
+	"enld/internal/parallel"
 )
 
 // Runner executes one experiment and renders it to cfg.Out. The untyped
@@ -50,4 +54,46 @@ func Run(id string, cfg Config) (interface{}, error) {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
 	}
 	return r(cfg)
+}
+
+// RunConcurrent executes the experiments with the given IDs, at most workers
+// at a time (0 = all cores). Experiments are independent (each builds its own
+// workbench from cfg.Seed), so running them concurrently changes nothing but
+// wall-clock time: each renders into a private buffer and the buffers are
+// flushed to cfg.Out in input order. Results are parallel to ids. On error
+// the flushed output and the results gathered so far are still returned along
+// with the first failing experiment's error.
+func RunConcurrent(ids []string, cfg Config, workers int) ([]interface{}, error) {
+	for _, id := range ids {
+		if _, ok := registry[id]; !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+		}
+	}
+	out := cfg.Out
+	if out == nil {
+		out = io.Discard
+	}
+	results := make([]interface{}, len(ids))
+	errs := make([]error, len(ids))
+	bufs := make([]bytes.Buffer, len(ids))
+	pool := parallel.New(workers)
+	// Chunk size 1: workers claim whole experiments dynamically, which
+	// balances the wildly uneven experiment durations.
+	pool.ForEachChunk(len(ids), 1, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sub := cfg
+			sub.Out = &bufs[i]
+			results[i], errs[i] = registry[ids[i]](sub)
+		}
+	})
+	var firstErr error
+	for i, id := range ids {
+		if _, err := out.Write(bufs[i].Bytes()); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("experiments: writing %s output: %w", id, err)
+		}
+		if errs[i] != nil && firstErr == nil {
+			firstErr = fmt.Errorf("experiments: %s: %w", id, errs[i])
+		}
+	}
+	return results, firstErr
 }

@@ -111,6 +111,7 @@ func buildWorkbench(preset string, eta float64, cfg Config, platform *core.Platf
 	if platform == nil {
 		pcfg := core.DefaultPlatformConfig(spec.Classes, spec.FeatureDim, cfg.Seed+1)
 		pcfg.Epochs = cfg.PlatformEpochs
+		pcfg.Workers = cfg.Workers
 		platform, err = core.NewPlatform(inventory, pcfg)
 		if err != nil {
 			return nil, err
@@ -122,6 +123,7 @@ func buildWorkbench(preset string, eta float64, cfg Config, platform *core.Platf
 
 	ecfg := core.DefaultConfig(cfg.Seed + 2)
 	ecfg.Iterations = iterations
+	ecfg.Workers = cfg.Workers
 	return &Workbench{
 		Preset:    preset,
 		Eta:       eta,

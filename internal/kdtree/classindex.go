@@ -45,6 +45,19 @@ func (ci *ClassIndex) KNearest(label int, query []float64, k int) ([]Neighbor, e
 	return t.KNearest(query, k)
 }
 
+// KNearestInto is KNearest with caller-provided scratch (see
+// Tree.KNearestInto): the returned slice aliases s and is valid only until
+// the next query through s. The parallel sampling fan-out issues one
+// KNearestInto per ambiguous sample on a per-worker Scratch, eliminating
+// per-query allocations.
+func (ci *ClassIndex) KNearestInto(s *Scratch, label int, query []float64, k int) ([]Neighbor, error) {
+	t, ok := ci.trees[label]
+	if !ok {
+		return nil, nil
+	}
+	return t.KNearestInto(s, query, k)
+}
+
 // Labels returns the labels that have at least one indexed point, sorted.
 func (ci *ClassIndex) Labels() []int {
 	out := make([]int, 0, len(ci.trees))

@@ -1,0 +1,127 @@
+package kdtree
+
+import (
+	"testing"
+
+	"enld/internal/mat"
+)
+
+func randPoints(n, dim int, seed uint64) []Point {
+	rng := mat.NewRNG(seed)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{Vec: rng.NormVec(make([]float64, dim), 0, 1), Payload: i}
+	}
+	return pts
+}
+
+// TestKNearestIntoMatchesKNearest runs many queries through one reused
+// Scratch and asserts every result equals the allocating API's.
+func TestKNearestIntoMatchesKNearest(t *testing.T) {
+	pts := randPoints(300, 8, 1)
+	tree, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mat.NewRNG(2)
+	var s Scratch
+	for q := 0; q < 50; q++ {
+		query := rng.NormVec(make([]float64, 8), 0, 1)
+		for _, k := range []int{1, 3, 7} {
+			want, err := tree.KNearest(query, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tree.KNearestInto(&s, query, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("query %d k=%d: %d results, want %d", q, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Point.Payload != want[i].Point.Payload || got[i].SqDist != want[i].SqDist {
+					t.Fatalf("query %d k=%d: result %d differs", q, k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestKNearestIntoEdgeCases(t *testing.T) {
+	pts := randPoints(10, 4, 3)
+	tree, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Scratch
+	if res, err := tree.KNearestInto(&s, make([]float64, 4), 0); err != nil || res != nil {
+		t.Fatalf("k=0: %v, %v", res, err)
+	}
+	if _, err := tree.KNearestInto(&s, make([]float64, 3), 2); err != ErrDimensionMismatch {
+		t.Fatalf("dimension mismatch not reported: %v", err)
+	}
+	// k larger than the tree returns everything.
+	res, err := tree.KNearestInto(&s, make([]float64, 4), 100)
+	if err != nil || len(res) != 10 {
+		t.Fatalf("k>n: %d results, err %v", len(res), err)
+	}
+}
+
+// TestKNearestIntoNoAllocs verifies the satellite claim: a warmed-up scratch
+// serves queries without allocating.
+func TestKNearestIntoNoAllocs(t *testing.T) {
+	pts := randPoints(512, 8, 4)
+	tree, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := mat.NewRNG(5).NormVec(make([]float64, 8), 0, 1)
+	var s Scratch
+	if _, err := tree.KNearestInto(&s, query, 5); err != nil { // warm up
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := tree.KNearestInto(&s, query, 5); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("KNearestInto allocates %v per warmed-up query", allocs)
+	}
+}
+
+func TestClassIndexKNearestInto(t *testing.T) {
+	pts := randPoints(60, 4, 6)
+	byLabel := map[int][]Point{}
+	for i, p := range pts {
+		byLabel[i%3] = append(byLabel[i%3], p)
+	}
+	ci, err := BuildClassIndex(byLabel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := make([]float64, 4)
+	var s Scratch
+	for label := 0; label < 3; label++ {
+		want, err := ci.KNearest(label, query, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ci.KNearestInto(&s, label, query, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("label %d: %d results, want %d", label, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Point.Payload != want[i].Point.Payload {
+				t.Fatalf("label %d result %d differs", label, i)
+			}
+		}
+	}
+	if res, err := ci.KNearestInto(&s, 99, query, 4); err != nil || res != nil {
+		t.Fatalf("missing label: %v, %v", res, err)
+	}
+}

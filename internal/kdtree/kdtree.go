@@ -10,7 +10,6 @@
 package kdtree
 
 import (
-	"container/heap"
 	"errors"
 	"sort"
 
@@ -98,35 +97,94 @@ type Neighbor struct {
 }
 
 // neighborHeap is a max-heap on squared distance, keeping the k best seen.
+// It is hand-rolled rather than container/heap because the interface-based
+// API boxes every Neighbor on Push, allocating per visited node; the
+// concrete sift operations below make warmed-up KNearestInto queries
+// allocation-free.
 type neighborHeap []Neighbor
 
-func (h neighborHeap) Len() int            { return len(h) }
-func (h neighborHeap) Less(i, j int) bool  { return h[i].SqDist > h[j].SqDist }
-func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
-func (h *neighborHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	out := old[n-1]
-	*h = old[:n-1]
-	return out
+// push adds nb and restores the max-heap property.
+func (h *neighborHeap) push(nb Neighbor) {
+	*h = append(*h, nb)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].SqDist >= s[i].SqDist {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the farthest neighbor.
+func (h *neighborHeap) pop() Neighbor {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		largest := i
+		if l := 2*i + 1; l < n && s[l].SqDist > s[largest].SqDist {
+			largest = l
+		}
+		if r := 2*i + 2; r < n && s[r].SqDist > s[largest].SqDist {
+			largest = r
+		}
+		if largest == i {
+			break
+		}
+		s[i], s[largest] = s[largest], s[i]
+		i = largest
+	}
+	return top
+}
+
+// Scratch holds the reusable buffers of KNearestInto queries. A zero
+// Scratch is ready to use; buffers grow to fit and are reused across
+// queries, so a caller issuing many queries (e.g. one parallel-sampling
+// worker) allocates only on its first few. A Scratch must not be shared
+// between concurrent queries.
+type Scratch struct {
+	heap neighborHeap
+	out  []Neighbor
 }
 
 // KNearest returns the k points nearest to query in Euclidean distance,
 // ordered nearest-first. If the tree holds fewer than k points, all points
-// are returned.
+// are returned. The returned slice is a fresh allocation owned by the
+// caller; hot loops should prefer KNearestInto.
 func (t *Tree) KNearest(query []float64, k int) ([]Neighbor, error) {
+	var s Scratch
+	res, err := t.KNearestInto(&s, query, k)
+	if err != nil || res == nil {
+		return nil, err
+	}
+	return append([]Neighbor(nil), res...), nil
+}
+
+// KNearestInto is KNearest with caller-provided scratch: the returned slice
+// aliases s and is valid only until the next query through s. It performs no
+// per-query allocations once s has warmed up.
+func (t *Tree) KNearestInto(s *Scratch, query []float64, k int) ([]Neighbor, error) {
 	if len(query) != t.dim {
 		return nil, ErrDimensionMismatch
 	}
 	if k <= 0 {
 		return nil, nil
 	}
-	h := make(neighborHeap, 0, k+1)
-	t.search(t.root, query, k, &h)
-	out := make([]Neighbor, len(h))
+	s.heap = s.heap[:0]
+	t.search(t.root, query, k, &s.heap)
+	if cap(s.out) < len(s.heap) {
+		s.out = make([]Neighbor, len(s.heap))
+	}
+	out := s.out[:len(s.heap)]
 	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&h).(Neighbor)
+		out[i] = s.heap.pop()
 	}
 	return out, nil
 }
@@ -137,11 +195,11 @@ func (t *Tree) search(idx int, query []float64, k int, h *neighborHeap) {
 	}
 	n := &t.nodes[idx]
 	d := mat.SqDist(query, n.point.Vec)
-	if h.Len() < k {
-		heap.Push(h, Neighbor{Point: n.point, SqDist: d})
+	if len(*h) < k {
+		h.push(Neighbor{Point: n.point, SqDist: d})
 	} else if d < (*h)[0].SqDist {
-		heap.Pop(h)
-		heap.Push(h, Neighbor{Point: n.point, SqDist: d})
+		h.pop()
+		h.push(Neighbor{Point: n.point, SqDist: d})
 	}
 	diff := query[n.axis] - n.point.Vec[n.axis]
 	first, second := n.left, n.right
@@ -151,7 +209,7 @@ func (t *Tree) search(idx int, query []float64, k int, h *neighborHeap) {
 	t.search(first, query, k, h)
 	// Only descend the far side if the splitting plane is closer than the
 	// current k-th best.
-	if h.Len() < k || diff*diff < (*h)[0].SqDist {
+	if len(*h) < k || diff*diff < (*h)[0].SqDist {
 		t.search(second, query, k, h)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"enld/internal/detect"
 	"enld/internal/mat"
 	"enld/internal/metrics"
+	"enld/internal/parallel"
 )
 
 // Request is one incoming noisy-label detection task.
@@ -131,51 +132,54 @@ func (s *Service) SkipCompleted(ids map[int]bool) {
 // Run consumes requests until the channel closes or ctx is cancelled, and
 // returns one report per processed request, ordered by TaskID. A cancelled
 // context abandons queued requests but waits for in-flight ones.
+//
+// The worker pool is the shared parallel.Pool: Run blocks in Pool.Run while
+// a feeder goroutine stamps arrivals onto the work channel; closing the
+// channel releases the workers.
 func (s *Service) Run(ctx context.Context, requests <-chan Request) []Report {
 	type stamped struct {
 		req     Request
 		arrived time.Time
 	}
 	work := make(chan stamped)
-	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var reports []Report
 
-	for w := 0; w < s.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for st := range work {
-				queued := time.Since(st.arrived)
-				rep := s.process(ctx, st.req)
-				rep.Queued = queued
-				if s.OnReport != nil {
-					s.OnReport(rep)
+	go func() {
+		defer close(work)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case req, ok := <-requests:
+				if !ok {
+					return
 				}
-				mu.Lock()
-				reports = append(reports, rep)
-				mu.Unlock()
+				if s.skip[req.TaskID] {
+					continue
+				}
+				select {
+				case work <- stamped{req: req, arrived: time.Now()}:
+				case <-ctx.Done():
+					return
+				}
 			}
-		}()
-	}
-
-feed:
-	for {
-		select {
-		case <-ctx.Done():
-			break feed
-		case req, ok := <-requests:
-			if !ok {
-				break feed
-			}
-			if s.skip[req.TaskID] {
-				continue
-			}
-			work <- stamped{req: req, arrived: time.Now()}
 		}
-	}
-	close(work)
-	wg.Wait()
+	}()
+
+	parallel.New(s.workers).Run(func(int) {
+		for st := range work {
+			queued := time.Since(st.arrived)
+			rep := s.process(ctx, st.req)
+			rep.Queued = queued
+			if s.OnReport != nil {
+				s.OnReport(rep)
+			}
+			mu.Lock()
+			reports = append(reports, rep)
+			mu.Unlock()
+		}
+	})
 
 	sortReports(reports)
 	return reports

@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"enld/internal/mat"
+
+	"enld/internal/parallel"
+)
+
+// The batch inference helpers fan a slice of inputs out over a worker pool,
+// each worker running forward passes on a private Replica of the network.
+// Every input writes only its own output slot, so results are independent of
+// scheduling and identical to a sequential loop at any worker count.
+// workers <= 0 selects parallel.DefaultWorkers().
+
+// replicas returns per-worker networks: slot 0 is n itself (the single-worker
+// path reuses the caller's scratch), the rest are fresh replicas.
+func (n *Network) replicas(count int) []*Network {
+	reps := make([]*Network, count)
+	reps[0] = n
+	for i := 1; i < count; i++ {
+		reps[i] = n.Replica()
+	}
+	return reps
+}
+
+// ConfidencesBatch computes M(x,θ) for every input, returning one fresh
+// confidence vector per input.
+func (n *Network) ConfidencesBatch(xs [][]float64, workers int) [][]float64 {
+	out := make([][]float64, len(xs))
+	pool := parallel.New(workers)
+	reps := n.replicas(pool.Workers())
+	pool.ForEach(len(xs), func(w, i int) {
+		out[i] = reps[w].Confidences(xs[i])
+	})
+	return out
+}
+
+// FeaturesBatch computes M̂(x,θ) for every input, returning one fresh
+// feature vector per input.
+func (n *Network) FeaturesBatch(xs [][]float64, workers int) [][]float64 {
+	out := make([][]float64, len(xs))
+	pool := parallel.New(workers)
+	reps := n.replicas(pool.Workers())
+	pool.ForEach(len(xs), func(w, i int) {
+		out[i] = reps[w].Features(xs[i])
+	})
+	return out
+}
+
+// EvaluateBatch runs one forward pass per input and returns both the
+// confidence and feature vectors, parallel to xs. Detectors scoring a full
+// shard should prefer this over per-sample Evaluate calls.
+func (n *Network) EvaluateBatch(xs [][]float64, workers int) (confs, feats [][]float64) {
+	confs = make([][]float64, len(xs))
+	feats = make([][]float64, len(xs))
+	pool := parallel.New(workers)
+	reps := n.replicas(pool.Workers())
+	pool.ForEach(len(xs), func(w, i int) {
+		confs[i], feats[i] = reps[w].Evaluate(xs[i])
+	})
+	return confs, feats
+}
+
+// PredictBatch returns argmax M(x,θ) for every input.
+func (n *Network) PredictBatch(xs [][]float64, workers int) []int {
+	out := make([]int, len(xs))
+	pool := parallel.New(workers)
+	reps := n.replicas(pool.Workers())
+	pool.ForEach(len(xs), func(w, i int) {
+		out[i] = mat.ArgMax(reps[w].forward(xs[i]))
+	})
+	return out
+}

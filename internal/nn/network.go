@@ -27,7 +27,9 @@ import (
 //
 // A Network is not safe for concurrent use: forward and backward passes share
 // the scratch buffers allocated at construction time. Clone the network to
-// use it from several goroutines.
+// train independent copies from several goroutines, or Replica to run
+// concurrent forward/backward passes against the same (externally
+// synchronized) parameters.
 type Network struct {
 	// Weights[l] maps activations of layer l (length sizes[l]) to
 	// pre-activations of layer l+1 (length sizes[l+1]).
@@ -219,6 +221,16 @@ func (g *Grads) Zero() {
 	}
 }
 
+// Add accumulates other into g element-wise. The parallel trainer reduces
+// per-chunk gradient accumulators with Add in fixed chunk order, which keeps
+// the reduction bit-identical at any worker count.
+func (g *Grads) Add(other *Grads) {
+	for l := range g.Weights {
+		mat.Axpy(1, other.Weights[l].Data, g.Weights[l].Data)
+		mat.Axpy(1, other.Biases[l], g.Biases[l])
+	}
+}
+
 // Backward accumulates into g the gradient of the cross-entropy loss of
 // (x, target) and returns the loss value. target is a distribution over
 // classes; mixup produces two-hot soft targets, plain training one-hot ones.
@@ -267,6 +279,19 @@ func (n *Network) Clone() *Network {
 	}
 	c.allocScratch()
 	return c
+}
+
+// Replica returns a network sharing n's parameter storage but owning private
+// scratch buffers. Replicas make the data-parallel hot paths cheap: forward
+// and backward passes only read parameters (Backward accumulates into the
+// caller's Grads), so any number of replicas may run concurrently as long as
+// nothing mutates the parameters during the parallel section. Parameter
+// updates (Optimizer.Step, CopyFrom) write the shared backing arrays in
+// place, so replicas observe them without re-synchronization.
+func (n *Network) Replica() *Network {
+	r := &Network{sizes: n.sizes, Weights: n.Weights, Biases: n.Biases}
+	r.allocScratch()
+	return r
 }
 
 // CopyFrom overwrites n's parameters with src's. The two networks must have

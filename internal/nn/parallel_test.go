@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"testing"
+
+	"enld/internal/mat"
+)
+
+// trainWeights trains a fresh, identically seeded network with the given
+// worker count and returns the resulting parameters.
+func trainWeights(t *testing.T, workers int, mixup bool) *Network {
+	t.Helper()
+	examples := twoBlobs(60, 21)
+	net := NewNetwork([]int{2, 16, 8, 2}, mat.NewRNG(22))
+	tr := NewTrainer(net, NewSGD(0.05, 0.9, 1e-4))
+	_, err := tr.Run(examples, TrainConfig{
+		Epochs: 4, BatchSize: 12, Mixup: mixup, MixupAlpha: 0.2, Seed: 23,
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// sameParams asserts two networks hold bitwise-identical parameters.
+func sameParams(t *testing.T, label string, a, b *Network) {
+	t.Helper()
+	for l := range a.Weights {
+		for i, v := range a.Weights[l].Data {
+			if b.Weights[l].Data[i] != v {
+				t.Fatalf("%s: weight layer %d index %d differs: %v vs %v",
+					label, l, i, v, b.Weights[l].Data[i])
+			}
+		}
+		for i, v := range a.Biases[l] {
+			if b.Biases[l][i] != v {
+				t.Fatalf("%s: bias layer %d index %d differs", label, l, i)
+			}
+		}
+	}
+}
+
+// TestTrainerParallelBitIdentical is the tentpole differential test: the
+// trained weights must be bit-identical across worker counts 1, 2 and 8,
+// with and without mixup (mixup exercises the sequential pre-draw of RNG
+// values feeding the parallel section).
+func TestTrainerParallelBitIdentical(t *testing.T) {
+	for _, mixup := range []bool{false, true} {
+		seq := trainWeights(t, 1, mixup)
+		for _, workers := range []int{2, 8} {
+			par := trainWeights(t, workers, mixup)
+			label := "plain"
+			if mixup {
+				label = "mixup"
+			}
+			sameParams(t, label, seq, par)
+		}
+	}
+}
+
+// TestTrainerParallelStatsIdentical checks the per-epoch stats (loss sums
+// reduced in chunk order) also match across worker counts.
+func TestTrainerParallelStatsIdentical(t *testing.T) {
+	run := func(workers int) []EpochStats {
+		examples := twoBlobs(40, 31)
+		net := NewNetwork([]int{2, 8, 2}, mat.NewRNG(32))
+		tr := NewTrainer(net, NewSGD(0.1, 0.9, 0))
+		stats, err := tr.Run(examples, TrainConfig{Epochs: 3, BatchSize: 10, Seed: 33, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	seq := run(1)
+	for _, w := range []int{2, 8} {
+		par := run(w)
+		for e := range seq {
+			if seq[e] != par[e] {
+				t.Fatalf("workers=%d epoch %d stats %+v, want %+v", w, e, par[e], seq[e])
+			}
+		}
+	}
+}
+
+// TestTrainerReusedAcrossRuns exercises the scratch cache: repeated Run
+// calls (the fine-grained NLD pattern: one epoch per call) with varying
+// worker counts must behave like one sequential trainer.
+func TestTrainerReusedAcrossRuns(t *testing.T) {
+	examples := twoBlobs(30, 41)
+	build := func() *Trainer {
+		return NewTrainer(NewNetwork([]int{2, 6, 2}, mat.NewRNG(42)), NewSGD(0.05, 0.9, 0))
+	}
+	seq, par := build(), build()
+	for epoch := 0; epoch < 4; epoch++ {
+		seed := uint64(50 + epoch)
+		if _, err := seq.Run(examples, TrainConfig{Epochs: 1, BatchSize: 8, Seed: seed, Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+		workers := 2 + epoch*2 // 2, 4, 6, 8: grows the replica cache mid-flight
+		if _, err := par.Run(examples, TrainConfig{Epochs: 1, BatchSize: 8, Seed: seed, Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sameParams(t, "reused", seq.Net, par.Net)
+}
+
+// TestBatchInferenceMatchesSequential asserts every batch helper equals its
+// per-sample counterpart at several worker counts.
+func TestBatchInferenceMatchesSequential(t *testing.T) {
+	rng := mat.NewRNG(60)
+	net := NewNetwork([]int{6, 12, 5}, rng)
+	xs := make([][]float64, 37)
+	for i := range xs {
+		xs[i] = rng.NormVec(make([]float64, 6), 0, 1)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		confs := net.ConfidencesBatch(xs, workers)
+		feats := net.FeaturesBatch(xs, workers)
+		eConfs, eFeats := net.EvaluateBatch(xs, workers)
+		preds := net.PredictBatch(xs, workers)
+		for i, x := range xs {
+			wantC := net.Confidences(x)
+			wantF := net.Features(x)
+			for j := range wantC {
+				if confs[i][j] != wantC[j] || eConfs[i][j] != wantC[j] {
+					t.Fatalf("workers=%d sample %d: confidence mismatch", workers, i)
+				}
+			}
+			for j := range wantF {
+				if feats[i][j] != wantF[j] || eFeats[i][j] != wantF[j] {
+					t.Fatalf("workers=%d sample %d: feature mismatch", workers, i)
+				}
+			}
+			if preds[i] != net.Predict(x) {
+				t.Fatalf("workers=%d sample %d: prediction mismatch", workers, i)
+			}
+		}
+	}
+}
+
+// TestReplicaSharesParameters pins the replica contract: parameter mutations
+// on the original are visible through replicas without copying, and replica
+// forward passes do not disturb the original's scratch-derived outputs.
+func TestReplicaSharesParameters(t *testing.T) {
+	rng := mat.NewRNG(70)
+	net := NewNetwork([]int{3, 4, 2}, rng)
+	rep := net.Replica()
+	x := []float64{0.3, -1, 2}
+	a, b := net.Confidences(x), rep.Confidences(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("replica disagrees with original before update")
+		}
+	}
+	// In-place parameter update must flow through to the replica.
+	net.Weights[0].Data[0] += 0.5
+	a, b = net.Confidences(x), rep.Confidences(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("replica did not observe in-place parameter update")
+		}
+	}
+}

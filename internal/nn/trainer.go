@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"enld/internal/mat"
+	"enld/internal/parallel"
 )
 
 // Example is one training example: an input vector and a target distribution
@@ -36,10 +37,22 @@ type TrainConfig struct {
 	MixupAlpha float64
 	// Seed drives the shuffle order and mixup draws.
 	Seed uint64
+	// Workers bounds the data-parallel gradient workers per batch
+	// (0 = all cores). Trained weights are bit-identical at every worker
+	// count: gradients accumulate over a fixed chunk partition of each batch
+	// and reduce in chunk order, and all randomness (shuffle, mixup draws)
+	// is consumed sequentially outside the parallel section.
+	Workers int
 }
 
 // DefaultMixupAlpha is the paper's Beta-distribution parameter for mixup.
 const DefaultMixupAlpha = 0.2
+
+// gradChunk is the fixed per-batch gradient chunk size. The partition of a
+// batch into gradChunk-sized chunks depends only on the batch length, so the
+// chunk-order reduction yields the same floating-point sum no matter how
+// many workers processed the chunks.
+const gradChunk = 8
 
 // Trainer runs mini-batch training of a Network with a given optimizer.
 type Trainer struct {
@@ -47,8 +60,18 @@ type Trainer struct {
 	Opt Optimizer
 
 	grads *Grads
-	mixX  []float64
-	mixT  []float64
+
+	// Data-parallel scratch, (re)built per Run: one replica network per
+	// worker, one gradient accumulator and loss cell per batch chunk, and
+	// per-worker mixup buffers. scratchNet tracks which network the cached
+	// scratch belongs to so a swapped Net rebuilds it.
+	scratchNet *Network
+	replicas   []*Network
+	chunkGrads []*Grads
+	chunkLoss  []float64
+	mixX, mixT [][]float64
+	mixPartner []int
+	mixLambda  []float64
 }
 
 // NewTrainer returns a trainer bound to net and opt.
@@ -57,8 +80,6 @@ func NewTrainer(net *Network, opt Optimizer) *Trainer {
 		Net:   net,
 		Opt:   opt,
 		grads: net.NewGrads(),
-		mixX:  make([]float64, net.InputDim()),
-		mixT:  make([]float64, net.Classes()),
 	}
 }
 
@@ -90,15 +111,62 @@ func (t *Trainer) Run(examples []Example, cfg TrainConfig) ([]EpochStats, error)
 			return nil, errors.New("nn: malformed example at index " + strconv.Itoa(i))
 		}
 	}
+	pool := parallel.New(cfg.Workers)
+	maxBatch := cfg.BatchSize
+	if maxBatch > len(examples) {
+		maxBatch = len(examples)
+	}
+	t.ensureScratch(pool.Workers(), maxBatch)
 	rng := mat.NewRNG(cfg.Seed)
 	stats := make([]EpochStats, 0, cfg.Epochs)
 	for e := 0; e < cfg.Epochs; e++ {
-		stats = append(stats, t.epoch(examples, cfg, alpha, rng))
+		stats = append(stats, t.epoch(examples, cfg, alpha, rng, pool))
 	}
 	return stats, nil
 }
 
-func (t *Trainer) epoch(examples []Example, cfg TrainConfig, alpha float64, rng *mat.RNG) EpochStats {
+// ensureScratch sizes the per-worker replicas and per-chunk accumulators for
+// batches up to maxBatch samples. Scratch is cached across Run calls (the
+// fine-grained NLD loop calls Run once per epoch) and invalidated when Net
+// is swapped.
+func (t *Trainer) ensureScratch(workers, maxBatch int) {
+	if t.scratchNet != t.Net {
+		t.replicas, t.chunkGrads, t.mixX, t.mixT = nil, nil, nil, nil
+		t.scratchNet = t.Net
+	}
+	if len(t.replicas) == 0 {
+		// Worker 0 is the network itself, so the single-worker path runs on
+		// exactly the buffers a sequential trainer would use.
+		t.replicas = append(t.replicas, t.Net)
+	}
+	for len(t.replicas) < workers {
+		t.replicas = append(t.replicas, t.Net.Replica())
+	}
+	maxChunks := (maxBatch + gradChunk - 1) / gradChunk
+	for len(t.chunkGrads) < maxChunks {
+		t.chunkGrads = append(t.chunkGrads, t.Net.NewGrads())
+	}
+	if len(t.chunkLoss) < maxChunks {
+		t.chunkLoss = make([]float64, maxChunks)
+	}
+	for len(t.mixX) < workers {
+		t.mixX = append(t.mixX, make([]float64, t.Net.InputDim()))
+		t.mixT = append(t.mixT, make([]float64, t.Net.Classes()))
+	}
+	if len(t.mixPartner) < maxBatch {
+		t.mixPartner = make([]int, maxBatch)
+		t.mixLambda = make([]float64, maxBatch)
+	}
+}
+
+// epoch runs one pass over the data. Each batch is partitioned into fixed
+// gradChunk-sized chunks; workers claim chunks and accumulate gradients into
+// per-chunk buffers on replica networks, and the chunks are then reduced in
+// index order. The result is bit-identical to a one-worker run: the chunk
+// partition and reduction order never depend on the worker count, and the
+// RNG (shuffle and mixup draws) is consumed sequentially before the parallel
+// section.
+func (t *Trainer) epoch(examples []Example, cfg TrainConfig, alpha float64, rng *mat.RNG, pool *parallel.Pool) EpochStats {
 	order := rng.Perm(len(examples))
 	var st EpochStats
 	var lossSum float64
@@ -107,23 +175,42 @@ func (t *Trainer) epoch(examples []Example, cfg TrainConfig, alpha float64, rng 
 		if end > len(order) {
 			end = len(order)
 		}
-		t.grads.Zero()
-		for _, idx := range order[start:end] {
-			ex := examples[idx]
-			if cfg.Mixup {
-				// Mix with a uniformly chosen partner (Eq. 1–2):
-				//   x̂ = λ·x_i + (1−λ)·x_j,  ŷ = λ·y_i + (1−λ)·y_j.
-				partner := examples[order[rng.Intn(len(order))]]
-				lambda := rng.Beta(alpha, alpha)
-				mat.Lerp(t.mixX, ex.X, partner.X, lambda)
-				mat.Lerp(t.mixT, ex.Target, partner.Target, lambda)
-				lossSum += t.Net.Backward(t.grads, t.mixX, t.mixT)
-			} else {
-				lossSum += t.Net.Backward(t.grads, ex.X, ex.Target)
+		batch := order[start:end]
+		if cfg.Mixup {
+			// Mix with a uniformly chosen partner (Eq. 1–2):
+			//   x̂ = λ·x_i + (1−λ)·x_j,  ŷ = λ·y_i + (1−λ)·y_j.
+			for i := range batch {
+				t.mixPartner[i] = order[rng.Intn(len(order))]
+				t.mixLambda[i] = rng.Beta(alpha, alpha)
 			}
-			st.SamplesSeen++
 		}
-		t.Opt.Step(t.Net, t.grads, end-start)
+		nChunks := (len(batch) + gradChunk - 1) / gradChunk
+		pool.ForEachChunk(len(batch), gradChunk, func(worker, lo, hi int) {
+			c := lo / gradChunk
+			g := t.chunkGrads[c]
+			g.Zero()
+			net := t.replicas[worker]
+			var loss float64
+			for i := lo; i < hi; i++ {
+				ex := examples[batch[i]]
+				if cfg.Mixup {
+					partner := examples[t.mixPartner[i]]
+					mat.Lerp(t.mixX[worker], ex.X, partner.X, t.mixLambda[i])
+					mat.Lerp(t.mixT[worker], ex.Target, partner.Target, t.mixLambda[i])
+					loss += net.Backward(g, t.mixX[worker], t.mixT[worker])
+				} else {
+					loss += net.Backward(g, ex.X, ex.Target)
+				}
+			}
+			t.chunkLoss[c] = loss
+		})
+		t.grads.Zero()
+		for c := 0; c < nChunks; c++ {
+			t.grads.Add(t.chunkGrads[c])
+			lossSum += t.chunkLoss[c]
+		}
+		st.SamplesSeen += len(batch)
+		t.Opt.Step(t.Net, t.grads, len(batch))
 		st.BatchUpdates++
 	}
 	if st.SamplesSeen > 0 {

@@ -1,0 +1,159 @@
+// Package parallel provides the deterministic worker-pool core behind every
+// data-parallel hot path in this repository: mini-batch gradient computation
+// (nn.Trainer), batch inference (nn.Network.EvaluateBatch and friends), the
+// k-NN fan-out of contrastive sampling, concurrent experiment execution and
+// the lake service's task workers.
+//
+// The central contract is *static chunking*: ForEachChunk partitions an index
+// range into fixed contiguous chunks whose boundaries depend only on the
+// range length and the chunk size — never on the worker count. Callers that
+// accumulate floating-point state per chunk and reduce the chunks in index
+// order therefore obtain bit-identical results at any worker count, which is
+// what makes the parallel training, inference and sampling paths provably
+// equivalent to their sequential counterparts (see the differential tests in
+// internal/nn, internal/sampling and internal/core).
+//
+// Worker panics are captured and re-raised on the calling goroutine as a
+// *WorkerPanic carrying the original value and the worker's stack, so a
+// panicking task cannot silently kill a pool goroutine.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a reusable fixed-size worker pool. A Pool holds no goroutines
+// between calls — each Run/ForEach/ForEachChunk spawns its workers and waits
+// for them — so a Pool is cheap to create, safe to share, and safe for
+// concurrent use.
+type Pool struct {
+	workers int
+}
+
+// DefaultWorkers returns the worker count used when none is requested:
+// GOMAXPROCS at call time.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// New returns a pool of the given size. A non-positive size selects
+// DefaultWorkers, so callers can plumb a plain "0 = all cores" knob through.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// WorkerPanic is the panic value re-raised by a pool call when one of its
+// workers panicked. Value is the original panic value and Stack the
+// panicking worker's stack trace. When several workers panic, the first
+// recovered one wins.
+type WorkerPanic struct {
+	Value interface{}
+	Stack []byte
+}
+
+// Error makes the panic value self-describing in logs and test failures.
+func (w *WorkerPanic) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n%s", w.Value, w.Stack)
+}
+
+// Run invokes worker(id) once per pool worker, id in [0, Workers()), and
+// waits for all of them. It is the building block for callers with their own
+// work distribution (e.g. draining a shared channel). A panic in any worker
+// is re-raised as a *WorkerPanic after the remaining workers finish.
+func (p *Pool) Run(worker func(id int)) {
+	if p.workers == 1 {
+		worker(0)
+		return
+	}
+	var wg sync.WaitGroup
+	var once sync.Once
+	var wp *WorkerPanic
+	for id := 0; id < p.workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					once.Do(func() { wp = &WorkerPanic{Value: r, Stack: debug.Stack()} })
+				}
+			}()
+			worker(id)
+		}(id)
+	}
+	wg.Wait()
+	if wp != nil {
+		panic(wp)
+	}
+}
+
+// ForEachChunk partitions [0, n) into contiguous chunks of chunkSize indices
+// (the final chunk may be shorter) and calls fn(worker, lo, hi) once per
+// chunk, with worker identifying the executing pool worker for per-worker
+// scratch. Chunks are claimed dynamically, so a slow chunk does not stall
+// the rest.
+//
+// The chunk boundaries depend only on n and chunkSize — not on the worker
+// count — and with one worker the chunks run in increasing index order.
+// Callers that write only chunk-local state (indexed by lo/chunkSize or by
+// element index) and reduce per-chunk results in chunk order get results
+// that are bit-identical at any pool size. It panics if chunkSize < 1.
+func (p *Pool) ForEachChunk(n, chunkSize int, fn func(worker, lo, hi int)) {
+	if chunkSize < 1 {
+		panic("parallel: ForEachChunk with chunkSize < 1")
+	}
+	if n <= 0 {
+		return
+	}
+	nChunks := (n + chunkSize - 1) / chunkSize
+	if p.workers == 1 || nChunks == 1 {
+		for c := 0; c < nChunks; c++ {
+			lo := c * chunkSize
+			hi := lo + chunkSize
+			if hi > n {
+				hi = n
+			}
+			fn(0, lo, hi)
+		}
+		return
+	}
+	var next int64
+	p.Run(func(id int) {
+		for {
+			c := int(atomic.AddInt64(&next, 1)) - 1
+			if c >= nChunks {
+				return
+			}
+			lo := c * chunkSize
+			hi := lo + chunkSize
+			if hi > n {
+				hi = n
+			}
+			fn(id, lo, hi)
+		}
+	})
+}
+
+// ForEach calls fn(worker, i) for every i in [0, n), distributing indices
+// over the pool in contiguous blocks. Unlike ForEachChunk, the block
+// boundaries here DO depend on the worker count, so ForEach is only for
+// per-index independent work (each index writes its own output slot);
+// callers needing order-sensitive reduction must use ForEachChunk.
+func (p *Pool) ForEach(n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	block := (n + p.workers - 1) / p.workers
+	p.ForEachChunk(n, block, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(worker, i)
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package sampling
+
+import (
+	"testing"
+
+	"enld/internal/cost"
+	"enld/internal/dataset"
+	"enld/internal/mat"
+	"enld/internal/noise"
+)
+
+// bigRequest builds a request with three label clusters, enough ambiguous
+// samples that the parallel fan-out spans several chunks, and a genuinely
+// noisy conditional so the sequential label pre-draws are load-bearing.
+func bigRequest(k int, workers int) *Request {
+	rng := mat.NewRNG(90)
+	centers := [][]float64{{0, 0}, {8, 0}, {0, 8}}
+	pool := dataset.Set{}
+	var feats [][]float64
+	var confs, ents []float64
+	var preds []int
+	id := 0
+	for label, c := range centers {
+		for i := 0; i < 40; i++ {
+			pool = append(pool, dataset.Sample{ID: id, X: c, Observed: label, True: label})
+			feats = append(feats, []float64{c[0] + rng.Norm(), c[1] + rng.Norm()})
+			confs = append(confs, rng.Float64())
+			ents = append(ents, rng.Float64())
+			preds = append(preds, label)
+			id++
+		}
+	}
+	amb := dataset.Set{}
+	var ambFeats [][]float64
+	for i := 0; i < 33; i++ {
+		label := i % 3
+		c := centers[label]
+		amb = append(amb, dataset.Sample{ID: 1000 + i, X: c, Observed: label, True: label})
+		ambFeats = append(ambFeats, []float64{c[0] + rng.Norm(), c[1] + rng.Norm()})
+	}
+	cond := noise.Conditional{
+		{0.8, 0.1, 0.1},
+		{0.1, 0.8, 0.1},
+		{0.1, 0.1, 0.8},
+	}
+	return &Request{
+		Ambiguous:         amb,
+		AmbiguousFeatures: ambFeats,
+		Pool:              pool,
+		PoolFeatures:      feats,
+		PoolConfidences:   confs,
+		PoolEntropies:     ents,
+		PoolPredicted:     preds,
+		Cond:              cond,
+		K:                 k,
+		RNG:               mat.NewRNG(91),
+		Workers:           workers,
+	}
+}
+
+// TestContrastiveParallelIdentical is the sampling differential test: the
+// selection (IDs, order) and the cost-meter counts must be identical at
+// worker counts 1, 2 and 8 for every Contrastive variant.
+func TestContrastiveParallelIdentical(t *testing.T) {
+	variants := []Contrastive{{}, {SameLabel: true}, {Brute: true}}
+	for _, c := range variants {
+		run := func(workers int) (dataset.Set, cost.Meter) {
+			r := bigRequest(3, workers)
+			var m cost.Meter
+			r.Meter = &m
+			got, err := c.Select(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return got, m
+		}
+		seq, seqMeter := run(1)
+		if len(seq) == 0 {
+			t.Fatalf("%s: sequential run selected nothing", c.Name())
+		}
+		for _, workers := range []int{2, 8} {
+			par, parMeter := run(workers)
+			if len(par) != len(seq) {
+				t.Fatalf("%s workers=%d: %d selections, want %d", c.Name(), workers, len(par), len(seq))
+			}
+			for i := range seq {
+				if par[i].ID != seq[i].ID || par[i].Observed != seq[i].Observed {
+					t.Fatalf("%s workers=%d: selection %d is sample %d, want %d",
+						c.Name(), workers, i, par[i].ID, seq[i].ID)
+				}
+			}
+			if parMeter != seqMeter {
+				t.Fatalf("%s workers=%d: meter %+v, want %+v", c.Name(), workers, parMeter, seqMeter)
+			}
+		}
+	}
+}
+
+// TestContrastiveParallelEmptyAmbiguous pins the no-op edge case at several
+// worker counts.
+func TestContrastiveParallelEmptyAmbiguous(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		r := bigRequest(2, workers)
+		r.Ambiguous = nil
+		r.AmbiguousFeatures = nil
+		got, err := Contrastive{}.Select(r)
+		if err != nil || got != nil {
+			t.Fatalf("workers=%d: %v, %v", workers, got, err)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"enld/internal/kdtree"
 	"enld/internal/mat"
 	"enld/internal/noise"
+	"enld/internal/parallel"
 )
 
 // Request carries everything a strategy may need. Feature and confidence
@@ -62,6 +63,13 @@ type Request struct {
 
 	RNG   *mat.RNG
 	Meter *cost.Meter
+
+	// Workers bounds the parallel k-NN fan-out over ambiguous samples
+	// (0 = all cores). Selection is identical at every worker count: the
+	// label draws are consumed from the RNG sequentially before the
+	// parallel section, each ambiguous sample's neighbors are written to
+	// its own slot, and the result is assembled in input order.
+	Workers int
 }
 
 // Validate checks the request's internal consistency.
@@ -173,28 +181,58 @@ func (c Contrastive) Select(r *Request) (dataset.Set, error) {
 	for l := range byLabel {
 		poolLabels[l] = true
 	}
-	out := make(dataset.Set, 0, r.K*len(r.Ambiguous))
+	// Draw every candidate label sequentially first so the RNG stream is
+	// consumed in input order regardless of how the queries are scheduled.
+	draws := make([]int, len(r.Ambiguous))
 	for i, smp := range r.Ambiguous {
-		j := smp.Observed
-		if !c.SameLabel {
-			j = r.Cond.Sample(smp.Observed, poolLabels, r.RNG)
+		if c.SameLabel {
+			draws[i] = smp.Observed
+		} else {
+			draws[i] = r.Cond.Sample(smp.Observed, poolLabels, r.RNG)
 		}
+	}
+	// Fan the k-NN queries out across workers. Each worker reuses its own
+	// kdtree.Scratch (no per-query allocation) and writes each sample's
+	// neighbors to that sample's slot, so assembly order is fixed.
+	pool := parallel.New(r.Workers)
+	perSample := make([]dataset.Set, len(r.Ambiguous))
+	scratch := make([]kdtree.Scratch, pool.Workers())
+	errs := make([]error, pool.Workers())
+	pool.ForEach(len(r.Ambiguous), func(worker, i int) {
+		if errs[worker] != nil {
+			return
+		}
+		j := draws[i]
 		var nbrs []kdtree.Neighbor
 		if c.Brute {
 			nbrs = kdtree.BruteKNearest(byLabel[j], r.AmbiguousFeatures[i], r.K)
 		} else {
 			var err error
-			nbrs, err = index.KNearest(j, r.AmbiguousFeatures[i], r.K)
+			nbrs, err = index.KNearestInto(&scratch[worker], j, r.AmbiguousFeatures[i], r.K)
 			if err != nil {
-				return nil, err
+				errs[worker] = err
+				return
 			}
 		}
-		if r.Meter != nil {
-			r.Meter.KNNQueries++
+		if len(nbrs) > 0 {
+			sel := make(dataset.Set, len(nbrs))
+			for n, nb := range nbrs {
+				sel[n] = r.Pool[nb.Point.Payload]
+			}
+			perSample[i] = sel
 		}
-		for _, nb := range nbrs {
-			out = append(out, r.Pool[nb.Point.Payload])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
+	}
+	if r.Meter != nil {
+		r.Meter.KNNQueries += int64(len(r.Ambiguous))
+	}
+	out := make(dataset.Set, 0, r.K*len(r.Ambiguous))
+	for _, sel := range perSample {
+		out = append(out, sel...)
 	}
 	return out, nil
 }
