@@ -288,6 +288,81 @@ func BenchmarkForward(b *testing.B) {
 	}
 }
 
+// BenchmarkGemm measures the blocked kernels across the shapes the batched
+// passes hit: square products plus the forward (NT, batch×in · out×in) and
+// weight-gradient (TN, batch×out ᵀ· batch×in) shapes of the SimResNet110
+// layers at the trainer's chunk size and the inference chunk size.
+func BenchmarkGemm(b *testing.B) {
+	rng := mat.NewRNG(9)
+	newM := func(rows, cols int) *mat.Matrix {
+		m := mat.NewMatrix(rows, cols)
+		rng.NormVec(m.Data, 0, 1)
+		return m
+	}
+	for _, n := range []int{16, 64, 128} {
+		A, B, C := newM(n, n), newM(n, n), mat.NewMatrix(n, n)
+		b.Run("nn/n="+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				C.Zero()
+				mat.Gemm(C, A, B)
+			}
+		})
+	}
+	for _, bench := range []struct {
+		name         string
+		m, n, k      int
+		kind         func(C, A, B *mat.Matrix)
+		aRows, aCols int
+		bRows, bCols int
+	}{
+		// Forward Y(batch×out) += X(batch×in)·W(out×in)ᵀ, trainer chunk.
+		{"nt/batch=8-128x96", 8, 96, 128, mat.GemmNT, 8, 128, 96, 128},
+		// Forward at the inference chunk size.
+		{"nt/batch=64-128x96", 64, 96, 128, mat.GemmNT, 64, 128, 96, 128},
+		// Weight gradient gW(out×in) += delta(batch×out)ᵀ·X(batch×in).
+		{"tn/batch=64-96x128", 96, 128, 64, mat.GemmTN, 64, 96, 64, 128},
+	} {
+		A, B2 := newM(bench.aRows, bench.aCols), newM(bench.bRows, bench.bCols)
+		C := mat.NewMatrix(bench.m, bench.n)
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				C.Zero()
+				bench.kind(C, A, B2)
+			}
+		})
+	}
+}
+
+// BenchmarkForwardBatch pins the tentpole win at its source: one batched
+// forward pass over an inference chunk versus the same samples pushed through
+// the per-sample path one at a time.
+func BenchmarkForwardBatch(b *testing.B) {
+	rng := mat.NewRNG(10)
+	net, err := nn.Build(nn.SimResNet110, 48, 100, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := make([][]float64, 64)
+	for i := range xs {
+		xs[i] = rng.NormVec(make([]float64, 48), 0, 1)
+	}
+	b.Run("persample", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, x := range xs {
+				net.Evaluate(x)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		var s nn.BatchScratch
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			net.ForwardBatch(&s, xs)
+		}
+	})
+}
+
 func itoa(n int) string {
 	if n == 0 {
 		return "0"

@@ -8,6 +8,13 @@
 //	go test -bench 'BenchmarkTrainEpoch|BenchmarkDetect|BenchmarkKNN|BenchmarkForward' \
 //	    -benchtime 1x -run '^$' . | benchsummary -out BENCH_ci.json
 //
+// With -baseline it is also a soft perf-regression gate: every fresh entry is
+// compared against the committed BENCH_ci.json. Any benchmark more than 10%
+// slower gets a warn-only GitHub annotation (single-shot CI runs are noisy);
+// a hot-path benchmark (see hotPaths) more than 25% slower fails the run,
+// unless -warn-only downgrades that to an annotation too. The comparison is
+// embedded in the output JSON under "comparisons".
+//
 // Speedups are a hardware property: on a single-core runner the workers=4
 // variants measure pure pool overhead and the ratio sits near (or below) 1.
 // The committed BENCH_ci.json is the latest recorded run; CI regenerates it
@@ -45,6 +52,16 @@ type Speedup struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// Comparison is one fresh-versus-baseline benchmark pair.
+type Comparison struct {
+	Name       string  `json:"name"`
+	BaselineNs float64 `json:"baseline_ns_per_op"`
+	CurrentNs  float64 `json:"current_ns_per_op"`
+	// Ratio is current over baseline ns/op: >1 means slower than baseline.
+	Ratio   float64 `json:"ratio"`
+	HotPath bool    `json:"hot_path,omitempty"`
+}
+
 // Summary is the BENCH_ci.json document.
 type Summary struct {
 	// GoMaxProcs records the parallelism of the machine that produced the
@@ -53,6 +70,9 @@ type Summary struct {
 	GoVersion  string    `json:"go_version"`
 	Benchmarks []Entry   `json:"benchmarks"`
 	Speedups   []Speedup `json:"speedups"`
+	// Comparisons holds the fresh-versus-baseline ratios when the run was
+	// gated with -baseline.
+	Comparisons []Comparison `json:"comparisons,omitempty"`
 }
 
 // speedupPairs lists the (base, parallel) benchmark pairs the CI perf gate
@@ -61,6 +81,69 @@ var speedupPairs = [][3]string{
 	{"train-epoch", "BenchmarkTrainEpoch/workers=1", "BenchmarkTrainEpoch/workers=4"},
 	{"detect-enld", "BenchmarkDetect/enld-workers=1", "BenchmarkDetect/enld-workers=4"},
 	{"forward-batch", "BenchmarkForward/batch-workers=1", "BenchmarkForward/batch-workers=4"},
+	// Batching speedup (not a parallel pair): one blocked-GEMM forward pass
+	// over a chunk versus the same samples through the per-sample path.
+	{"gemm-batching", "BenchmarkForwardBatch/persample", "BenchmarkForwardBatch/batched"},
+}
+
+// hotPaths lists the benchmarks the regression gate hard-fails on: the
+// repeated-inference and training kernels every detector sits on. Everything
+// else only ever warns — full-pipeline benchmarks run one iteration in CI and
+// are too noisy to gate.
+var hotPaths = map[string]bool{
+	"BenchmarkDetect/enld-workers=1":   true,
+	"BenchmarkTrainEpoch/workers=1":    true,
+	"BenchmarkForward/batch-workers=1": true,
+	"BenchmarkForwardBatch/batched":    true,
+}
+
+const (
+	// warnRatio annotates any benchmark this much slower than baseline.
+	warnRatio = 1.10
+	// failRatio fails the gate for hot-path benchmarks this much slower.
+	failRatio = 1.25
+)
+
+// compare pairs fresh entries with baseline entries by name, in fresh-entry
+// order. Benchmarks absent from the baseline are skipped: a new benchmark has
+// nothing to regress against.
+func compare(fresh []Entry, baseline Summary) []Comparison {
+	base := make(map[string]float64, len(baseline.Benchmarks))
+	for _, e := range baseline.Benchmarks {
+		base[e.Name] = e.NsPerOp
+	}
+	var out []Comparison
+	for _, e := range fresh {
+		b, ok := base[e.Name]
+		if !ok || b == 0 {
+			continue
+		}
+		out = append(out, Comparison{
+			Name:       e.Name,
+			BaselineNs: b,
+			CurrentNs:  e.NsPerOp,
+			Ratio:      e.NsPerOp / b,
+			HotPath:    hotPaths[e.Name],
+		})
+	}
+	return out
+}
+
+// gate prints GitHub annotations for regressed comparisons and reports
+// whether any hot-path benchmark crossed the hard-fail threshold.
+func gate(w io.Writer, comparisons []Comparison) (failed bool) {
+	for _, c := range comparisons {
+		switch {
+		case c.HotPath && c.Ratio > failRatio:
+			fmt.Fprintf(w, "::error::%s regressed %.1f%% vs baseline (%.0f -> %.0f ns/op), above the %.0f%% hot-path limit\n",
+				c.Name, (c.Ratio-1)*100, c.BaselineNs, c.CurrentNs, (failRatio-1)*100)
+			failed = true
+		case c.Ratio > warnRatio:
+			fmt.Fprintf(w, "::warning::%s is %.1f%% slower than baseline (%.0f -> %.0f ns/op); may be noise\n",
+				c.Name, (c.Ratio-1)*100, c.BaselineNs, c.CurrentNs)
+		}
+	}
+	return failed
 }
 
 // benchLine matches one `go test -bench` result line: name, iteration count,
@@ -140,8 +223,10 @@ func summarize(entries []Entry) Summary {
 
 func main() {
 	var (
-		in  = flag.String("in", "", "benchmark output file (default: stdin)")
-		out = flag.String("out", "BENCH_ci.json", "JSON summary destination")
+		in       = flag.String("in", "", "benchmark output file (default: stdin)")
+		out      = flag.String("out", "BENCH_ci.json", "JSON summary destination")
+		baseline = flag.String("baseline", "", "committed BENCH_ci.json to gate regressions against")
+		warnOnly = flag.Bool("warn-only", false, "downgrade hot-path gate failures to warnings")
 	)
 	flag.Parse()
 
@@ -165,6 +250,21 @@ func main() {
 		os.Exit(1)
 	}
 	summary := summarize(entries)
+	gateFailed := false
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsummary:", err)
+			os.Exit(1)
+		}
+		var prior Summary
+		if err := json.Unmarshal(raw, &prior); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsummary: parsing baseline %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		summary.Comparisons = compare(summary.Benchmarks, prior)
+		gateFailed = gate(os.Stdout, summary.Comparisons)
+	}
 	data, err := json.MarshalIndent(summary, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsummary:", err)
@@ -184,4 +284,11 @@ func main() {
 		fmt.Printf(", speedups: %s", strings.Join(parts, ", "))
 	}
 	fmt.Println()
+	if gateFailed {
+		if *warnOnly {
+			fmt.Println("::warning::hot-path regression gate failed but -warn-only is set")
+			return
+		}
+		os.Exit(1)
+	}
 }

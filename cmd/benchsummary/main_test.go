@@ -84,3 +84,57 @@ func TestSummarizeSpeedups(t *testing.T) {
 		t.Error("forward-batch speedup computed from missing data")
 	}
 }
+
+func TestCompareAgainstBaseline(t *testing.T) {
+	baseline := Summary{Benchmarks: []Entry{
+		{Name: "BenchmarkDetect/enld-workers=1", NsPerOp: 100},
+		{Name: "BenchmarkForward/single", NsPerOp: 50},
+	}}
+	fresh := []Entry{
+		{Name: "BenchmarkDetect/enld-workers=1", NsPerOp: 120},
+		{Name: "BenchmarkForward/single", NsPerOp: 50},
+		{Name: "BenchmarkGemm/nn/n=64", NsPerOp: 10}, // new: no baseline
+	}
+	cmp := compare(fresh, baseline)
+	if len(cmp) != 2 {
+		t.Fatalf("%d comparisons: %+v", len(cmp), cmp)
+	}
+	if cmp[0].Ratio != 1.2 || !cmp[0].HotPath {
+		t.Fatalf("enld comparison %+v", cmp[0])
+	}
+	if cmp[1].Ratio != 1.0 || cmp[1].HotPath {
+		t.Fatalf("forward comparison %+v", cmp[1])
+	}
+}
+
+func TestGateThresholds(t *testing.T) {
+	var buf strings.Builder
+	// 20% hot-path regression: warn-only annotation, gate passes.
+	if gate(&buf, []Comparison{{Name: "BenchmarkDetect/enld-workers=1", BaselineNs: 100, CurrentNs: 120, Ratio: 1.2, HotPath: true}}) {
+		t.Fatal("gate failed below the hard threshold")
+	}
+	if !strings.Contains(buf.String(), "::warning::") {
+		t.Fatalf("no warning annotation: %q", buf.String())
+	}
+	// 30% hot-path regression: hard failure with an error annotation.
+	buf.Reset()
+	if !gate(&buf, []Comparison{{Name: "BenchmarkDetect/enld-workers=1", BaselineNs: 100, CurrentNs: 130, Ratio: 1.3, HotPath: true}}) {
+		t.Fatal("gate passed above the hard threshold")
+	}
+	if !strings.Contains(buf.String(), "::error::") {
+		t.Fatalf("no error annotation: %q", buf.String())
+	}
+	// 30% regression on a non-hot-path benchmark: warning only.
+	buf.Reset()
+	if gate(&buf, []Comparison{{Name: "BenchmarkFig8", BaselineNs: 100, CurrentNs: 130, Ratio: 1.3}}) {
+		t.Fatal("gate failed on a non-hot-path benchmark")
+	}
+	if !strings.Contains(buf.String(), "::warning::") {
+		t.Fatalf("no warning annotation: %q", buf.String())
+	}
+	// Within noise: silent.
+	buf.Reset()
+	if gate(&buf, []Comparison{{Name: "BenchmarkForward/single", BaselineNs: 100, CurrentNs: 105, Ratio: 1.05}}) || buf.Len() != 0 {
+		t.Fatalf("unexpected output for in-noise comparison: %q", buf.String())
+	}
+}

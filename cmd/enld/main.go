@@ -18,6 +18,7 @@ import (
 	"enld/internal/detect"
 	"enld/internal/experiments"
 	"enld/internal/metrics"
+	"enld/internal/prof"
 )
 
 func main() {
@@ -31,8 +32,17 @@ func main() {
 		iters   = flag.Int("iters", 0, "ENLD iterations t (0 = paper default)")
 		noise   = flag.String("noise", "pair", "label-noise model: pair (paper) or symmetric")
 		workers = flag.Int("workers", 0, "data-parallel workers for training/scoring/k-NN (0 = all cores); results are identical at any count")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "enld:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	cfg := experiments.Config{
 		Seed: *seed, DataScale: *scale, Shards: *shards, Iterations: *iters,

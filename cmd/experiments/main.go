@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"enld/internal/experiments"
+	"enld/internal/prof"
 )
 
 func main() {
@@ -37,8 +38,17 @@ func main() {
 		md      = flag.Bool("md", false, "also print results as Markdown tables")
 		workers = flag.Int("workers", 1, "experiments run concurrently (0 = all cores); rendered output stays in experiment order")
 		dataW   = flag.Int("data-workers", 1, "data-parallel workers inside each experiment (0 = all cores); results are identical at any count")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	cfg := experiments.Config{
 		Seed:           *seed,

@@ -75,11 +75,19 @@ func (c ConfidentLearning) Detect(set dataset.Set) (*detect.Result, error) {
 	for i, smp := range set {
 		accumulate(smp, scores.Confidences[i])
 	}
+	// Calibration confidences in one batched pass (blocked-GEMM kernels);
+	// identical to per-sample Confidences calls, accumulated in set order.
+	calSamples := make([]dataset.Sample, 0, len(c.Calibration))
+	calXs := make([][]float64, 0, len(c.Calibration))
 	for _, smp := range c.Calibration {
 		if smp.Observed == dataset.Missing {
 			continue
 		}
-		accumulate(smp, model.Confidences(smp.X))
+		calSamples = append(calSamples, smp)
+		calXs = append(calXs, smp.X)
+	}
+	for i, conf := range model.ConfidencesBatch(calXs, 1) {
+		accumulate(calSamples[i], conf)
 		res.Meter.ForwardPasses++
 	}
 	for j := range thresh {

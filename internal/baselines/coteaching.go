@@ -117,6 +117,20 @@ func (c CoTeaching) Detect(set dataset.Set) (*detect.Result, error) {
 	gradsA := netA.NewGrads()
 	gradsB := netB.NewGrads()
 
+	// Per-batch buffers for the batched loss and gradient passes, reused
+	// across every batch of every epoch.
+	var scratchA, scratchB nn.BatchScratch
+	maxBatch := cfg.BatchSize
+	if maxBatch > len(examples) {
+		maxBatch = len(examples)
+	}
+	batchXs := make([][]float64, maxBatch)
+	batchTs := make([][]float64, maxBatch)
+	lossesA := make([]float64, maxBatch)
+	lossesB := make([]float64, maxBatch)
+	selXs := make([][]float64, maxBatch)
+	selTs := make([][]float64, maxBatch)
+
 	forgetRate := cfg.ForgetRate
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		// Forget-rate schedule: 0 during warm-up, then linear ramp to the
@@ -150,28 +164,34 @@ func (c CoTeaching) Detect(set dataset.Set) (*detect.Result, error) {
 			if keep < 1 {
 				keep = 1
 			}
-			lossesA := make([]float64, len(batch))
-			lossesB := make([]float64, len(batch))
+			xs := batchXs[:len(batch)]
+			ts := batchTs[:len(batch)]
 			for n, idx := range batch {
-				lossesA[n] = netA.Loss(examples[idx].x, examples[idx].target)
-				lossesB[n] = netB.Loss(examples[idx].x, examples[idx].target)
-				res.Meter.ForwardPasses += 2
+				xs[n], ts[n] = examples[idx].x, examples[idx].target
 			}
-			selA := smallestK(lossesA, keep) // A's picks train B
-			selB := smallestK(lossesB, keep) // B's picks train A
+			// One batched forward per network scores the whole batch.
+			netA.LossBatch(&scratchA, xs, ts, lossesA[:len(batch)])
+			netB.LossBatch(&scratchB, xs, ts, lossesB[:len(batch)])
+			res.Meter.ForwardPasses += 2 * int64(len(batch))
+			selA := smallestK(lossesA[:len(batch)], keep) // A's picks train B
+			selB := smallestK(lossesB[:len(batch)], keep) // B's picks train A
+			// Batched backward over each peer's picks, in selection order —
+			// bit-identical to the per-sample Backward sequence it replaces.
 			gradsA.Zero()
-			for _, n := range selB {
+			for m, n := range selB {
 				idx := batch[n]
-				netA.Backward(gradsA, examples[idx].x, examples[idx].target)
-				res.Meter.TrainSampleVisits++
+				selXs[m], selTs[m] = examples[idx].x, examples[idx].target
 			}
+			netA.BackwardBatch(&scratchA, gradsA, selXs[:len(selB)], selTs[:len(selB)])
+			res.Meter.TrainSampleVisits += int64(len(selB))
 			optA.Step(netA, gradsA, len(selB))
 			gradsB.Zero()
-			for _, n := range selA {
+			for m, n := range selA {
 				idx := batch[n]
-				netB.Backward(gradsB, examples[idx].x, examples[idx].target)
-				res.Meter.TrainSampleVisits++
+				selXs[m], selTs[m] = examples[idx].x, examples[idx].target
 			}
+			netB.BackwardBatch(&scratchB, gradsB, selXs[:len(selA)], selTs[:len(selA)])
+			res.Meter.TrainSampleVisits += int64(len(selA))
 			optB.Step(netB, gradsB, len(selA))
 			res.Meter.ParamUpdates += 2
 		}
@@ -185,15 +205,23 @@ func (c CoTeaching) Detect(set dataset.Set) (*detect.Result, error) {
 		loss float64
 	}
 	var rankedSamples []ranked
+	finalXs := make([][]float64, 0, len(set))
+	finalTs := make([][]float64, 0, len(set))
+	finalIDs := make([]int, 0, len(set))
 	for _, smp := range set {
 		if smp.Observed == dataset.Missing {
 			res.MarkNoisy(smp.ID)
 			continue
 		}
-		target := nn.OneHot(smp.Observed, c.Classes)
-		loss := netA.Loss(smp.X, target) + netB.Loss(smp.X, target)
-		res.Meter.ForwardPasses += 2
-		rankedSamples = append(rankedSamples, ranked{id: smp.ID, loss: loss})
+		finalXs = append(finalXs, smp.X)
+		finalTs = append(finalTs, nn.OneHot(smp.Observed, c.Classes))
+		finalIDs = append(finalIDs, smp.ID)
+	}
+	finalA := netA.LossesBatch(finalXs, finalTs, 1)
+	finalB := netB.LossesBatch(finalXs, finalTs, 1)
+	res.Meter.ForwardPasses += 2 * int64(len(finalXs))
+	for i, id := range finalIDs {
+		rankedSamples = append(rankedSamples, ranked{id: id, loss: finalA[i] + finalB[i]})
 	}
 	sort.Slice(rankedSamples, func(i, j int) bool {
 		if rankedSamples[i].loss != rankedSamples[j].loss {
@@ -216,21 +244,26 @@ func (c CoTeaching) Detect(set dataset.Set) (*detect.Result, error) {
 // estimateForgetRate uses the warm model's disagreement rate on the
 // incremental dataset as a noise-rate proxy, capped at MaxForgetRate.
 func (c CoTeaching) estimateForgetRate(model *nn.Network, set dataset.Set, res *detect.Result) float64 {
-	disagree, total := 0, 0
+	labels := make([]int, 0, len(set))
+	xs := make([][]float64, 0, len(set))
 	for _, smp := range set {
 		if smp.Observed == dataset.Missing {
 			continue
 		}
-		total++
+		labels = append(labels, smp.Observed)
+		xs = append(xs, smp.X)
+	}
+	if len(xs) == 0 {
+		return MaxForgetRate
+	}
+	disagree := 0
+	for i, pred := range model.PredictBatch(xs, 1) {
 		res.Meter.ForwardPasses++
-		if model.Predict(smp.X) != smp.Observed {
+		if pred != labels[i] {
 			disagree++
 		}
 	}
-	if total == 0 {
-		return MaxForgetRate
-	}
-	rate := float64(disagree) / float64(total)
+	rate := float64(disagree) / float64(len(xs))
 	if rate > MaxForgetRate {
 		rate = MaxForgetRate
 	}

@@ -108,10 +108,15 @@ func (v INCV) Detect(set dataset.Set) (*detect.Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			for _, i := range testIdx {
+			// Cross-predict the held-out half in one batched pass.
+			testXs := make([][]float64, len(testIdx))
+			for n, i := range testIdx {
+				testXs[n] = set[i].X
+			}
+			for n, pred := range model.PredictBatch(testXs, 1) {
 				res.Meter.ForwardPasses++
-				if model.Predict(set[i].X) == set[i].Observed {
-					newlySelected[i] = true
+				if pred == set[testIdx[n]].Observed {
+					newlySelected[testIdx[n]] = true
 				}
 			}
 		}

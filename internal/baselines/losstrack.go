@@ -103,11 +103,21 @@ func (l LossTrack) Detect(set dataset.Set) (*detect.Result, error) {
 	lossSum := make([]float64, len(set))
 	records := 0
 	targets := make([][]float64, len(set))
+	tracked := make([]int, 0, len(set)) // indices with an observed label
 	for i, smp := range set {
 		if smp.Observed != dataset.Missing {
 			targets[i] = nn.OneHot(smp.Observed, l.Classes)
+			tracked = append(tracked, i)
 		}
 	}
+	trackXs := make([][]float64, len(tracked))
+	trackTs := make([][]float64, len(tracked))
+	for n, i := range tracked {
+		trackXs[n] = set[i].X
+		trackTs[n] = targets[i]
+	}
+	trackLosses := make([]float64, len(tracked))
+	var trackScratch nn.BatchScratch
 
 	seed := cfg.Seed
 	for round := 0; round < cfg.Rounds; round++ {
@@ -132,29 +142,21 @@ func (l LossTrack) Detect(set dataset.Set) (*detect.Result, error) {
 			if round == 0 {
 				continue // warm-up round: losses still dominated by init
 			}
-			// Record this epoch's per-sample losses, normalized to zero
-			// mean so that epochs with globally higher loss (just after
-			// re-heating) do not dominate the average.
-			epochLosses := make([]float64, len(set))
-			var epochMean float64
-			counted := 0
-			for i, smp := range set {
-				if targets[i] == nil {
-					continue
-				}
-				epochLosses[i] = model.Loss(smp.X, targets[i])
-				res.Meter.ForwardPasses++
-				epochMean += epochLosses[i]
-				counted++
-			}
-			if counted == 0 {
+			// Record this epoch's per-sample losses in one batched pass,
+			// normalized to zero mean so that epochs with globally higher
+			// loss (just after re-heating) do not dominate the average.
+			if len(tracked) == 0 {
 				continue
 			}
-			epochMean /= float64(counted)
-			for i := range set {
-				if targets[i] != nil {
-					lossSum[i] += epochLosses[i] - epochMean
-				}
+			model.LossBatch(&trackScratch, trackXs, trackTs, trackLosses)
+			res.Meter.ForwardPasses += int64(len(tracked))
+			var epochMean float64
+			for _, l := range trackLosses {
+				epochMean += l
+			}
+			epochMean /= float64(len(tracked))
+			for n, i := range tracked {
+				lossSum[i] += trackLosses[n] - epochMean
 			}
 			records++
 		}

@@ -60,20 +60,25 @@ func (p *Platform) ValidationAccuracy(set dataset.Set) float64 {
 	if len(set) == 0 {
 		return 0
 	}
-	correct, total := 0, 0
+	labels := make([]int, 0, len(set))
+	xs := make([][]float64, 0, len(set))
 	for _, smp := range set {
 		if smp.Observed == dataset.Missing {
 			continue
 		}
-		total++
-		if p.Model.Predict(smp.X) == smp.Observed {
+		labels = append(labels, smp.Observed)
+		xs = append(xs, smp.X)
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, pred := range p.Model.PredictBatch(xs, p.Config.Workers) {
+		if pred == labels[i] {
 			correct++
 		}
 	}
-	if total == 0 {
-		return 0
-	}
-	return float64(correct) / float64(total)
+	return float64(correct) / float64(len(xs))
 }
 
 // TrueAccuracy reports accuracy against ground-truth labels — an
@@ -83,9 +88,13 @@ func (p *Platform) TrueAccuracy(set dataset.Set) float64 {
 	if len(set) == 0 {
 		return 0
 	}
+	xs := make([][]float64, len(set))
+	for i, smp := range set {
+		xs[i] = smp.X
+	}
 	correct := 0
-	for _, smp := range set {
-		if p.Model.Predict(smp.X) == smp.True {
+	for i, pred := range p.Model.PredictBatch(xs, p.Config.Workers) {
+		if pred == set[i].True {
 			correct++
 		}
 	}

@@ -153,7 +153,7 @@ func (p *Platform) trainGeneral(model *nn.Network, set dataset.Set, seed uint64)
 
 // estimate recomputes P̃ from the current model and I_c (Eq. 3–5).
 func (p *Platform) estimate() error {
-	joint, err := noise.EstimateJoint(p.Ic, p.Model, p.Config.Classes)
+	joint, err := noise.EstimateJointParallel(p.Ic, p.Model, p.Config.Classes, p.Config.Workers)
 	if err != nil {
 		return fmt.Errorf("core: probability estimation: %w", err)
 	}

@@ -53,7 +53,7 @@ func FitPCA(s Set, k int, rng *mat.RNG) (*PCA, error) {
 		normalize(v)
 		for iter := 0; iter < 100; iter++ {
 			// work = Cov·v = (1/n) Σ x (xᵀ v)
-			mat.Fill(work, 0)
+			clear(work)
 			for _, x := range centered {
 				mat.Axpy(mat.Dot(x, v), x, work)
 			}

@@ -1,0 +1,681 @@
+package mat
+
+import "unsafe"
+
+// Blocked matrix-matrix kernels.
+//
+// The three Gemm variants below are the batched counterparts of MulVec,
+// MulVecT and AddOuter: one call computes a whole batch of samples against a
+// weight matrix, loading each weight tile once per batch instead of once per
+// sample, with a register tile of accumulators giving the independent
+// floating-point chains a single dot product cannot.
+//
+// Determinism contract (DESIGN.md §4): every output element is accumulated by
+// a fully sequential innermost k-loop — C[i,j] starts from its prior value
+// and adds the products A[i,p]·B[p,j] in strictly increasing p order, exactly
+// the order Dot, Axpy-series (MulVecT) and AddOuter-series use. Batched
+// forward/backward passes built on these kernels are therefore bit-identical
+// to their per-sample counterparts: the blocking only changes which elements
+// are computed together, never the order of the additions inside one element.
+//
+// All variants accumulate (C += ...); callers wanting a plain product zero C
+// first. C must not share backing storage with A or B (the kernels read
+// operand tiles while writing C), which is enforced with a panic.
+
+// gemmTile is the register-tile edge: kernels compute gemmTile×gemmTile
+// output elements at once, holding the partial sums in local variables.
+const gemmTile = 4
+
+// Gemm computes C += A·B where A is (m×k), B is (k×n) and C is (m×n).
+// It panics on dimension mismatch or when C aliases A or B.
+func Gemm(C, A, B *Matrix) {
+	if A.Cols != B.Rows || C.Rows != A.Rows || C.Cols != B.Cols {
+		panic("mat: Gemm dimension mismatch")
+	}
+	checkGemmAlias(C, A, B)
+	m, n, k := C.Rows, C.Cols, A.Cols
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	for i0 := 0; i0 < m; i0 += gemmTile {
+		i1 := min(i0+gemmTile, m)
+		for j0 := 0; j0 < n; j0 += gemmTile {
+			j1 := min(j0+gemmTile, n)
+			if i1-i0 == gemmTile && j1-j0 == gemmTile {
+				gemmTileNN(C, A, B, i0, j0, k)
+			} else {
+				gemmEdgeNN(C, A, B, i0, i1, j0, j1, k)
+			}
+		}
+	}
+}
+
+// GemmNT computes C += A·Bᵀ where A is (m×k), B is (n×k) and C is (m×n).
+// Both operands are walked along contiguous rows, which makes this the
+// natural forward-pass kernel: Y += X·Wᵀ with row-major X and W.
+// It panics on dimension mismatch or when C aliases A or B.
+func GemmNT(C, A, B *Matrix) {
+	if A.Cols != B.Cols || C.Rows != A.Rows || C.Cols != B.Rows {
+		panic("mat: GemmNT dimension mismatch")
+	}
+	checkGemmAlias(C, A, B)
+	m, n, k := C.Rows, C.Cols, A.Cols
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	for i0 := 0; i0 < m; i0 += gemmTile {
+		i1 := min(i0+gemmTile, m)
+		for j0 := 0; j0 < n; j0 += gemmTile {
+			j1 := min(j0+gemmTile, n)
+			if i1-i0 == gemmTile && j1-j0 == gemmTile {
+				gemmTileNT(C, A, B, i0, j0, k)
+			} else {
+				gemmEdgeNT(C, A, B, i0, i1, j0, j1, k)
+			}
+		}
+	}
+}
+
+// GemmTN computes C += Aᵀ·B where A is (k×m), B is (k×n) and C is (m×n).
+// With k indexing batch rows this is the weight-gradient kernel:
+// gW += deltaᵀ·X sums each sample's rank-one update in batch-row order,
+// matching a sequence of per-sample AddOuter calls bit for bit.
+// It panics on dimension mismatch or when C aliases A or B.
+func GemmTN(C, A, B *Matrix) {
+	if A.Rows != B.Rows || C.Rows != A.Cols || C.Cols != B.Cols {
+		panic("mat: GemmTN dimension mismatch")
+	}
+	checkGemmAlias(C, A, B)
+	m, n, k := C.Rows, C.Cols, A.Rows
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	for i0 := 0; i0 < m; i0 += gemmTile {
+		i1 := min(i0+gemmTile, m)
+		for j0 := 0; j0 < n; j0 += gemmTile {
+			j1 := min(j0+gemmTile, n)
+			if i1-i0 == gemmTile && j1-j0 == gemmTile {
+				gemmTileTN(C, A, B, i0, j0, k)
+			} else {
+				gemmEdgeTN(C, A, B, i0, i1, j0, j1, k)
+			}
+		}
+	}
+}
+
+// gemmTileNN is the 4×4 register micro-kernel of Gemm: sixteen independent
+// accumulator chains, each a sequential sum over p. Operand rows are trimmed
+// to [:k] so the compiler can prove p < len and drop the bounds checks. The
+// p-loop is unrolled — each accumulator still adds its products in strictly
+// increasing p order.
+func gemmTileNN(C, A, B *Matrix, i0, j0, k int) {
+	a0, a1, a2, a3 := A.Row(i0)[:k], A.Row(i0 + 1)[:k], A.Row(i0 + 2)[:k], A.Row(i0 + 3)[:k]
+	c0 := C.Row(i0)[j0 : j0+4 : j0+4]
+	c1 := C.Row(i0 + 1)[j0 : j0+4 : j0+4]
+	c2 := C.Row(i0 + 2)[j0 : j0+4 : j0+4]
+	c3 := C.Row(i0 + 3)[j0 : j0+4 : j0+4]
+	c00, c01, c02, c03 := c0[0], c0[1], c0[2], c0[3]
+	c10, c11, c12, c13 := c1[0], c1[1], c1[2], c1[3]
+	c20, c21, c22, c23 := c2[0], c2[1], c2[2], c2[3]
+	c30, c31, c32, c33 := c3[0], c3[1], c3[2], c3[3]
+	bd, bc := B.Data, B.Cols
+	boff := j0
+	p := 0
+	for ; p+3 < k; p += 4 {
+		br := bd[boff : boff+4 : boff+4]
+		bs := bd[boff+bc : boff+bc+4 : boff+bc+4]
+		bt := bd[boff+2*bc : boff+2*bc+4 : boff+2*bc+4]
+		bu := bd[boff+3*bc : boff+3*bc+4 : boff+3*bc+4]
+		boff += 4 * bc
+		b0, b1, b2, b3 := br[0], br[1], br[2], br[3]
+		e0, e1, e2, e3 := bs[0], bs[1], bs[2], bs[3]
+		f0, f1, f2, f3 := bt[0], bt[1], bt[2], bt[3]
+		g0, g1, g2, g3 := bu[0], bu[1], bu[2], bu[3]
+		av, aw, ax, ay := a0[p], a0[p+1], a0[p+2], a0[p+3]
+		c00 += av * b0
+		c00 += aw * e0
+		c00 += ax * f0
+		c00 += ay * g0
+		c01 += av * b1
+		c01 += aw * e1
+		c01 += ax * f1
+		c01 += ay * g1
+		c02 += av * b2
+		c02 += aw * e2
+		c02 += ax * f2
+		c02 += ay * g2
+		c03 += av * b3
+		c03 += aw * e3
+		c03 += ax * f3
+		c03 += ay * g3
+		av, aw, ax, ay = a1[p], a1[p+1], a1[p+2], a1[p+3]
+		c10 += av * b0
+		c10 += aw * e0
+		c10 += ax * f0
+		c10 += ay * g0
+		c11 += av * b1
+		c11 += aw * e1
+		c11 += ax * f1
+		c11 += ay * g1
+		c12 += av * b2
+		c12 += aw * e2
+		c12 += ax * f2
+		c12 += ay * g2
+		c13 += av * b3
+		c13 += aw * e3
+		c13 += ax * f3
+		c13 += ay * g3
+		av, aw, ax, ay = a2[p], a2[p+1], a2[p+2], a2[p+3]
+		c20 += av * b0
+		c20 += aw * e0
+		c20 += ax * f0
+		c20 += ay * g0
+		c21 += av * b1
+		c21 += aw * e1
+		c21 += ax * f1
+		c21 += ay * g1
+		c22 += av * b2
+		c22 += aw * e2
+		c22 += ax * f2
+		c22 += ay * g2
+		c23 += av * b3
+		c23 += aw * e3
+		c23 += ax * f3
+		c23 += ay * g3
+		av, aw, ax, ay = a3[p], a3[p+1], a3[p+2], a3[p+3]
+		c30 += av * b0
+		c30 += aw * e0
+		c30 += ax * f0
+		c30 += ay * g0
+		c31 += av * b1
+		c31 += aw * e1
+		c31 += ax * f1
+		c31 += ay * g1
+		c32 += av * b2
+		c32 += aw * e2
+		c32 += ax * f2
+		c32 += ay * g2
+		c33 += av * b3
+		c33 += aw * e3
+		c33 += ax * f3
+		c33 += ay * g3
+	}
+	for ; p+1 < k; p += 2 {
+		br := bd[boff : boff+4 : boff+4]
+		bs := bd[boff+bc : boff+bc+4 : boff+bc+4]
+		boff += 2 * bc
+		b0, b1, b2, b3 := br[0], br[1], br[2], br[3]
+		e0, e1, e2, e3 := bs[0], bs[1], bs[2], bs[3]
+		av, aw := a0[p], a0[p+1]
+		c00 += av * b0
+		c00 += aw * e0
+		c01 += av * b1
+		c01 += aw * e1
+		c02 += av * b2
+		c02 += aw * e2
+		c03 += av * b3
+		c03 += aw * e3
+		av, aw = a1[p], a1[p+1]
+		c10 += av * b0
+		c10 += aw * e0
+		c11 += av * b1
+		c11 += aw * e1
+		c12 += av * b2
+		c12 += aw * e2
+		c13 += av * b3
+		c13 += aw * e3
+		av, aw = a2[p], a2[p+1]
+		c20 += av * b0
+		c20 += aw * e0
+		c21 += av * b1
+		c21 += aw * e1
+		c22 += av * b2
+		c22 += aw * e2
+		c23 += av * b3
+		c23 += aw * e3
+		av, aw = a3[p], a3[p+1]
+		c30 += av * b0
+		c30 += aw * e0
+		c31 += av * b1
+		c31 += aw * e1
+		c32 += av * b2
+		c32 += aw * e2
+		c33 += av * b3
+		c33 += aw * e3
+	}
+	if p < k {
+		br := bd[boff : boff+4 : boff+4]
+		b0, b1, b2, b3 := br[0], br[1], br[2], br[3]
+		av := a0[p]
+		c00 += av * b0
+		c01 += av * b1
+		c02 += av * b2
+		c03 += av * b3
+		av = a1[p]
+		c10 += av * b0
+		c11 += av * b1
+		c12 += av * b2
+		c13 += av * b3
+		av = a2[p]
+		c20 += av * b0
+		c21 += av * b1
+		c22 += av * b2
+		c23 += av * b3
+		av = a3[p]
+		c30 += av * b0
+		c31 += av * b1
+		c32 += av * b2
+		c33 += av * b3
+	}
+	c0[0], c0[1], c0[2], c0[3] = c00, c01, c02, c03
+	c1[0], c1[1], c1[2], c1[3] = c10, c11, c12, c13
+	c2[0], c2[1], c2[2], c2[3] = c20, c21, c22, c23
+	c3[0], c3[1], c3[2], c3[3] = c30, c31, c32, c33
+}
+
+// gemmEdgeNN handles partial tiles with a per-element sequential p-loop.
+func gemmEdgeNN(C, A, B *Matrix, i0, i1, j0, j1, k int) {
+	bd, bc := B.Data, B.Cols
+	for i := i0; i < i1; i++ {
+		ar := A.Row(i)[:k]
+		cr := C.Row(i)
+		for j := j0; j < j1; j++ {
+			s := cr[j]
+			for p := 0; p < k; p++ {
+				s += ar[p] * bd[p*bc+j]
+			}
+			cr[j] = s
+		}
+	}
+}
+
+// gemmTileNT is the 4×4 micro-kernel of GemmNT: all eight operand streams are
+// contiguous rows, trimmed to [:k] for bounds-check elimination. The p-loop is
+// unrolled — each accumulator still adds its products in strictly increasing
+// p order, so the unroll changes scheduling, not results.
+func gemmTileNT(C, A, B *Matrix, i0, j0, k int) {
+	a0, a1, a2, a3 := A.Row(i0)[:k], A.Row(i0 + 1)[:k], A.Row(i0 + 2)[:k], A.Row(i0 + 3)[:k]
+	r0, r1, r2, r3 := B.Row(j0)[:k], B.Row(j0 + 1)[:k], B.Row(j0 + 2)[:k], B.Row(j0 + 3)[:k]
+	c0 := C.Row(i0)[j0 : j0+4 : j0+4]
+	c1 := C.Row(i0 + 1)[j0 : j0+4 : j0+4]
+	c2 := C.Row(i0 + 2)[j0 : j0+4 : j0+4]
+	c3 := C.Row(i0 + 3)[j0 : j0+4 : j0+4]
+	c00, c01, c02, c03 := c0[0], c0[1], c0[2], c0[3]
+	c10, c11, c12, c13 := c1[0], c1[1], c1[2], c1[3]
+	c20, c21, c22, c23 := c2[0], c2[1], c2[2], c2[3]
+	c30, c31, c32, c33 := c3[0], c3[1], c3[2], c3[3]
+	p := 0
+	for ; p+3 < k; p += 4 {
+		b0, b1, b2, b3 := r0[p], r1[p], r2[p], r3[p]
+		e0, e1, e2, e3 := r0[p+1], r1[p+1], r2[p+1], r3[p+1]
+		f0, f1, f2, f3 := r0[p+2], r1[p+2], r2[p+2], r3[p+2]
+		g0, g1, g2, g3 := r0[p+3], r1[p+3], r2[p+3], r3[p+3]
+		av, aw, ax, ay := a0[p], a0[p+1], a0[p+2], a0[p+3]
+		c00 += av * b0
+		c00 += aw * e0
+		c00 += ax * f0
+		c00 += ay * g0
+		c01 += av * b1
+		c01 += aw * e1
+		c01 += ax * f1
+		c01 += ay * g1
+		c02 += av * b2
+		c02 += aw * e2
+		c02 += ax * f2
+		c02 += ay * g2
+		c03 += av * b3
+		c03 += aw * e3
+		c03 += ax * f3
+		c03 += ay * g3
+		av, aw, ax, ay = a1[p], a1[p+1], a1[p+2], a1[p+3]
+		c10 += av * b0
+		c10 += aw * e0
+		c10 += ax * f0
+		c10 += ay * g0
+		c11 += av * b1
+		c11 += aw * e1
+		c11 += ax * f1
+		c11 += ay * g1
+		c12 += av * b2
+		c12 += aw * e2
+		c12 += ax * f2
+		c12 += ay * g2
+		c13 += av * b3
+		c13 += aw * e3
+		c13 += ax * f3
+		c13 += ay * g3
+		av, aw, ax, ay = a2[p], a2[p+1], a2[p+2], a2[p+3]
+		c20 += av * b0
+		c20 += aw * e0
+		c20 += ax * f0
+		c20 += ay * g0
+		c21 += av * b1
+		c21 += aw * e1
+		c21 += ax * f1
+		c21 += ay * g1
+		c22 += av * b2
+		c22 += aw * e2
+		c22 += ax * f2
+		c22 += ay * g2
+		c23 += av * b3
+		c23 += aw * e3
+		c23 += ax * f3
+		c23 += ay * g3
+		av, aw, ax, ay = a3[p], a3[p+1], a3[p+2], a3[p+3]
+		c30 += av * b0
+		c30 += aw * e0
+		c30 += ax * f0
+		c30 += ay * g0
+		c31 += av * b1
+		c31 += aw * e1
+		c31 += ax * f1
+		c31 += ay * g1
+		c32 += av * b2
+		c32 += aw * e2
+		c32 += ax * f2
+		c32 += ay * g2
+		c33 += av * b3
+		c33 += aw * e3
+		c33 += ax * f3
+		c33 += ay * g3
+	}
+	for ; p+1 < k; p += 2 {
+		b0, b1, b2, b3 := r0[p], r1[p], r2[p], r3[p]
+		e0, e1, e2, e3 := r0[p+1], r1[p+1], r2[p+1], r3[p+1]
+		av, aw := a0[p], a0[p+1]
+		c00 += av * b0
+		c00 += aw * e0
+		c01 += av * b1
+		c01 += aw * e1
+		c02 += av * b2
+		c02 += aw * e2
+		c03 += av * b3
+		c03 += aw * e3
+		av, aw = a1[p], a1[p+1]
+		c10 += av * b0
+		c10 += aw * e0
+		c11 += av * b1
+		c11 += aw * e1
+		c12 += av * b2
+		c12 += aw * e2
+		c13 += av * b3
+		c13 += aw * e3
+		av, aw = a2[p], a2[p+1]
+		c20 += av * b0
+		c20 += aw * e0
+		c21 += av * b1
+		c21 += aw * e1
+		c22 += av * b2
+		c22 += aw * e2
+		c23 += av * b3
+		c23 += aw * e3
+		av, aw = a3[p], a3[p+1]
+		c30 += av * b0
+		c30 += aw * e0
+		c31 += av * b1
+		c31 += aw * e1
+		c32 += av * b2
+		c32 += aw * e2
+		c33 += av * b3
+		c33 += aw * e3
+	}
+	if p < k {
+		b0, b1, b2, b3 := r0[p], r1[p], r2[p], r3[p]
+		av := a0[p]
+		c00 += av * b0
+		c01 += av * b1
+		c02 += av * b2
+		c03 += av * b3
+		av = a1[p]
+		c10 += av * b0
+		c11 += av * b1
+		c12 += av * b2
+		c13 += av * b3
+		av = a2[p]
+		c20 += av * b0
+		c21 += av * b1
+		c22 += av * b2
+		c23 += av * b3
+		av = a3[p]
+		c30 += av * b0
+		c31 += av * b1
+		c32 += av * b2
+		c33 += av * b3
+	}
+	c0[0], c0[1], c0[2], c0[3] = c00, c01, c02, c03
+	c1[0], c1[1], c1[2], c1[3] = c10, c11, c12, c13
+	c2[0], c2[1], c2[2], c2[3] = c20, c21, c22, c23
+	c3[0], c3[1], c3[2], c3[3] = c30, c31, c32, c33
+}
+
+// gemmEdgeNT handles partial GemmNT tiles; each element is a plain Dot of two
+// contiguous rows.
+func gemmEdgeNT(C, A, B *Matrix, i0, i1, j0, j1, k int) {
+	for i := i0; i < i1; i++ {
+		ar := A.Row(i)[:k]
+		cr := C.Row(i)
+		for j := j0; j < j1; j++ {
+			br := B.Row(j)[:k]
+			s := cr[j]
+			for p := 0; p < k; p++ {
+				s += ar[p] * br[p]
+			}
+			cr[j] = s
+		}
+	}
+}
+
+// gemmTileTN is the 4×4 micro-kernel of GemmTN: per p both operand tiles are
+// four consecutive elements of one row. The p-loop is unrolled — each
+// accumulator still adds its products in strictly increasing p order.
+func gemmTileTN(C, A, B *Matrix, i0, j0, k int) {
+	c0 := C.Row(i0)[j0 : j0+4 : j0+4]
+	c1 := C.Row(i0 + 1)[j0 : j0+4 : j0+4]
+	c2 := C.Row(i0 + 2)[j0 : j0+4 : j0+4]
+	c3 := C.Row(i0 + 3)[j0 : j0+4 : j0+4]
+	c00, c01, c02, c03 := c0[0], c0[1], c0[2], c0[3]
+	c10, c11, c12, c13 := c1[0], c1[1], c1[2], c1[3]
+	c20, c21, c22, c23 := c2[0], c2[1], c2[2], c2[3]
+	c30, c31, c32, c33 := c3[0], c3[1], c3[2], c3[3]
+	ad, ac := A.Data, A.Cols
+	bd, bc := B.Data, B.Cols
+	aoff, boff := i0, j0
+	p := 0
+	for ; p+3 < k; p += 4 {
+		ar := ad[aoff : aoff+4 : aoff+4]
+		br := bd[boff : boff+4 : boff+4]
+		as := ad[aoff+ac : aoff+ac+4 : aoff+ac+4]
+		bs := bd[boff+bc : boff+bc+4 : boff+bc+4]
+		at := ad[aoff+2*ac : aoff+2*ac+4 : aoff+2*ac+4]
+		bt := bd[boff+2*bc : boff+2*bc+4 : boff+2*bc+4]
+		au := ad[aoff+3*ac : aoff+3*ac+4 : aoff+3*ac+4]
+		bu := bd[boff+3*bc : boff+3*bc+4 : boff+3*bc+4]
+		aoff += 4 * ac
+		boff += 4 * bc
+		b0, b1, b2, b3 := br[0], br[1], br[2], br[3]
+		e0, e1, e2, e3 := bs[0], bs[1], bs[2], bs[3]
+		f0, f1, f2, f3 := bt[0], bt[1], bt[2], bt[3]
+		g0, g1, g2, g3 := bu[0], bu[1], bu[2], bu[3]
+		av, aw, ax, ay := ar[0], as[0], at[0], au[0]
+		c00 += av * b0
+		c00 += aw * e0
+		c00 += ax * f0
+		c00 += ay * g0
+		c01 += av * b1
+		c01 += aw * e1
+		c01 += ax * f1
+		c01 += ay * g1
+		c02 += av * b2
+		c02 += aw * e2
+		c02 += ax * f2
+		c02 += ay * g2
+		c03 += av * b3
+		c03 += aw * e3
+		c03 += ax * f3
+		c03 += ay * g3
+		av, aw, ax, ay = ar[1], as[1], at[1], au[1]
+		c10 += av * b0
+		c10 += aw * e0
+		c10 += ax * f0
+		c10 += ay * g0
+		c11 += av * b1
+		c11 += aw * e1
+		c11 += ax * f1
+		c11 += ay * g1
+		c12 += av * b2
+		c12 += aw * e2
+		c12 += ax * f2
+		c12 += ay * g2
+		c13 += av * b3
+		c13 += aw * e3
+		c13 += ax * f3
+		c13 += ay * g3
+		av, aw, ax, ay = ar[2], as[2], at[2], au[2]
+		c20 += av * b0
+		c20 += aw * e0
+		c20 += ax * f0
+		c20 += ay * g0
+		c21 += av * b1
+		c21 += aw * e1
+		c21 += ax * f1
+		c21 += ay * g1
+		c22 += av * b2
+		c22 += aw * e2
+		c22 += ax * f2
+		c22 += ay * g2
+		c23 += av * b3
+		c23 += aw * e3
+		c23 += ax * f3
+		c23 += ay * g3
+		av, aw, ax, ay = ar[3], as[3], at[3], au[3]
+		c30 += av * b0
+		c30 += aw * e0
+		c30 += ax * f0
+		c30 += ay * g0
+		c31 += av * b1
+		c31 += aw * e1
+		c31 += ax * f1
+		c31 += ay * g1
+		c32 += av * b2
+		c32 += aw * e2
+		c32 += ax * f2
+		c32 += ay * g2
+		c33 += av * b3
+		c33 += aw * e3
+		c33 += ax * f3
+		c33 += ay * g3
+	}
+	for ; p+1 < k; p += 2 {
+		ar := ad[aoff : aoff+4 : aoff+4]
+		br := bd[boff : boff+4 : boff+4]
+		as := ad[aoff+ac : aoff+ac+4 : aoff+ac+4]
+		bs := bd[boff+bc : boff+bc+4 : boff+bc+4]
+		aoff += 2 * ac
+		boff += 2 * bc
+		b0, b1, b2, b3 := br[0], br[1], br[2], br[3]
+		e0, e1, e2, e3 := bs[0], bs[1], bs[2], bs[3]
+		av, aw := ar[0], as[0]
+		c00 += av * b0
+		c00 += aw * e0
+		c01 += av * b1
+		c01 += aw * e1
+		c02 += av * b2
+		c02 += aw * e2
+		c03 += av * b3
+		c03 += aw * e3
+		av, aw = ar[1], as[1]
+		c10 += av * b0
+		c10 += aw * e0
+		c11 += av * b1
+		c11 += aw * e1
+		c12 += av * b2
+		c12 += aw * e2
+		c13 += av * b3
+		c13 += aw * e3
+		av, aw = ar[2], as[2]
+		c20 += av * b0
+		c20 += aw * e0
+		c21 += av * b1
+		c21 += aw * e1
+		c22 += av * b2
+		c22 += aw * e2
+		c23 += av * b3
+		c23 += aw * e3
+		av, aw = ar[3], as[3]
+		c30 += av * b0
+		c30 += aw * e0
+		c31 += av * b1
+		c31 += aw * e1
+		c32 += av * b2
+		c32 += aw * e2
+		c33 += av * b3
+		c33 += aw * e3
+	}
+	if p < k {
+		ar := ad[aoff : aoff+4 : aoff+4]
+		br := bd[boff : boff+4 : boff+4]
+		b0, b1, b2, b3 := br[0], br[1], br[2], br[3]
+		av := ar[0]
+		c00 += av * b0
+		c01 += av * b1
+		c02 += av * b2
+		c03 += av * b3
+		av = ar[1]
+		c10 += av * b0
+		c11 += av * b1
+		c12 += av * b2
+		c13 += av * b3
+		av = ar[2]
+		c20 += av * b0
+		c21 += av * b1
+		c22 += av * b2
+		c23 += av * b3
+		av = ar[3]
+		c30 += av * b0
+		c31 += av * b1
+		c32 += av * b2
+		c33 += av * b3
+	}
+	c0[0], c0[1], c0[2], c0[3] = c00, c01, c02, c03
+	c1[0], c1[1], c1[2], c1[3] = c10, c11, c12, c13
+	c2[0], c2[1], c2[2], c2[3] = c20, c21, c22, c23
+	c3[0], c3[1], c3[2], c3[3] = c30, c31, c32, c33
+}
+
+// gemmEdgeTN handles partial GemmTN tiles with a per-element sequential
+// p-loop.
+func gemmEdgeTN(C, A, B *Matrix, i0, i1, j0, j1, k int) {
+	ad, ac := A.Data, A.Cols
+	bd, bc := B.Data, B.Cols
+	for i := i0; i < i1; i++ {
+		cr := C.Row(i)
+		for j := j0; j < j1; j++ {
+			s := cr[j]
+			for p := 0; p < k; p++ {
+				s += ad[p*ac+i] * bd[p*bc+j]
+			}
+			cr[j] = s
+		}
+	}
+}
+
+// checkGemmAlias panics when the destination shares backing storage with
+// either operand. The kernels re-read operand tiles while C is being written,
+// so aliasing would silently corrupt the product.
+func checkGemmAlias(C, A, B *Matrix) {
+	if sliceOverlap(C.Data, A.Data) || sliceOverlap(C.Data, B.Data) {
+		panic("mat: Gemm destination aliases an operand")
+	}
+}
+
+// sliceOverlap reports whether a and b share any element.
+func sliceOverlap(a, b []float64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	aLo := uintptr(unsafe.Pointer(unsafe.SliceData(a)))
+	aHi := aLo + uintptr(len(a))*unsafe.Sizeof(a[0])
+	bLo := uintptr(unsafe.Pointer(unsafe.SliceData(b)))
+	bHi := bLo + uintptr(len(b))*unsafe.Sizeof(b[0])
+	return aLo < bHi && bLo < aHi
+}

@@ -1,0 +1,171 @@
+package mat
+
+import "testing"
+
+// randMatrix fills a rows×cols matrix with deterministic pseudo-random values.
+func randMatrix(rng *RNG, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	rng.NormVec(m.Data, 0, 1)
+	return m
+}
+
+// gemmSizes exercises full 4×4 tiles, partial edge tiles on both axes, tiny
+// and empty shapes, and a k of zero.
+var gemmSizes = []struct{ m, n, k int }{
+	{4, 4, 4},
+	{8, 12, 16},
+	{5, 7, 3},
+	{1, 1, 1},
+	{3, 9, 5},
+	{13, 6, 11},
+	{4, 4, 1},
+	{0, 4, 4},
+	{4, 0, 4},
+	{4, 4, 0},
+	{64, 48, 128},
+}
+
+func TestGemmMatchesSequential(t *testing.T) {
+	rng := NewRNG(11)
+	for _, sz := range gemmSizes {
+		A := randMatrix(rng, sz.m, sz.k)
+		B := randMatrix(rng, sz.k, sz.n)
+		C := randMatrix(rng, sz.m, sz.n)
+		want := C.Clone()
+		// Reference: each output element as a sequential k-loop starting
+		// from the prior C value, increasing p.
+		for i := 0; i < sz.m; i++ {
+			for j := 0; j < sz.n; j++ {
+				s := want.At(i, j)
+				for p := 0; p < sz.k; p++ {
+					s += A.At(i, p) * B.At(p, j)
+				}
+				want.Set(i, j, s)
+			}
+		}
+		Gemm(C, A, B)
+		for i := range C.Data {
+			if C.Data[i] != want.Data[i] {
+				t.Fatalf("Gemm(%dx%dx%d) differs from sequential reference at %d: %v != %v",
+					sz.m, sz.n, sz.k, i, C.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestGemmNTMatchesMulVec checks the forward-pass kernel against the exact
+// per-sample path: with C zeroed first (as ForwardBatch does), row i of C must
+// equal MulVec(B, A.Row(i)) bit for bit — both accumulate each element from
+// zero in increasing k order.
+func TestGemmNTMatchesMulVec(t *testing.T) {
+	rng := NewRNG(23)
+	for _, sz := range gemmSizes {
+		A := randMatrix(rng, sz.m, sz.k)
+		B := randMatrix(rng, sz.n, sz.k) // transposed operand
+		C := NewMatrix(sz.m, sz.n)
+		want := NewMatrix(sz.m, sz.n)
+		for i := 0; i < sz.m; i++ {
+			B.MulVec(want.Row(i), A.Row(i))
+		}
+		GemmNT(C, A, B)
+		for i := range C.Data {
+			if C.Data[i] != want.Data[i] {
+				t.Fatalf("GemmNT(%dx%dx%d) differs from MulVec at %d: %v != %v",
+					sz.m, sz.n, sz.k, i, C.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestGemmTNMatchesAddOuter checks the weight-gradient kernel against a series
+// of per-sample AddOuter rank-one updates in batch-row order.
+func TestGemmTNMatchesAddOuter(t *testing.T) {
+	rng := NewRNG(37)
+	for _, sz := range gemmSizes {
+		A := randMatrix(rng, sz.k, sz.m) // k batch rows of deltas
+		B := randMatrix(rng, sz.k, sz.n) // k batch rows of activations
+		C := randMatrix(rng, sz.m, sz.n)
+		want := C.Clone()
+		for p := 0; p < sz.k; p++ {
+			want.AddOuter(1, A.Row(p), B.Row(p))
+		}
+		GemmTN(C, A, B)
+		for i := range C.Data {
+			if C.Data[i] != want.Data[i] {
+				t.Fatalf("GemmTN(%dx%dx%d) differs from AddOuter at %d: %v != %v",
+					sz.m, sz.n, sz.k, i, C.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestGemmMatchesMulVecT checks the delta-backprop usage: with C zeroed first
+// (as BackwardBatch does), row i of C += A·B must match MulVecT(B, A.Row(i))
+// bit for bit — both accumulate each element from zero in increasing k order.
+func TestGemmMatchesMulVecT(t *testing.T) {
+	rng := NewRNG(41)
+	for _, sz := range gemmSizes {
+		A := randMatrix(rng, sz.m, sz.k)
+		B := randMatrix(rng, sz.k, sz.n)
+		C := NewMatrix(sz.m, sz.n)
+		want := NewMatrix(sz.m, sz.n)
+		for i := 0; i < sz.m; i++ {
+			B.MulVecT(want.Row(i), A.Row(i))
+		}
+		Gemm(C, A, B)
+		for i := range C.Data {
+			if C.Data[i] != want.Data[i] {
+				t.Fatalf("Gemm(%dx%dx%d) differs from MulVecT at %d: %v != %v",
+					sz.m, sz.n, sz.k, i, C.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestGemmDimensionPanics(t *testing.T) {
+	a := NewMatrix(3, 4)
+	b := NewMatrix(5, 2) // 4 != 5
+	c := NewMatrix(3, 2)
+	mustPanic(t, "Gemm mismatched k", func() { Gemm(c, a, b) })
+	mustPanic(t, "GemmNT mismatched k", func() { GemmNT(c, a, b) })
+	mustPanic(t, "GemmTN mismatched k", func() { GemmTN(c, a, b) })
+
+	b2 := NewMatrix(4, 2)
+	cBad := NewMatrix(2, 2) // wrong row count
+	mustPanic(t, "Gemm wrong C rows", func() { Gemm(cBad, a, b2) })
+}
+
+func TestGemmAliasPanics(t *testing.T) {
+	back := make([]float64, 32)
+	a := &Matrix{Rows: 4, Cols: 4, Data: back[:16]}
+	b := NewMatrix(4, 4)
+	cAlias := &Matrix{Rows: 4, Cols: 4, Data: back[8:24]} // overlaps a's tail
+	mustPanic(t, "Gemm aliased C/A", func() { Gemm(cAlias, a, b) })
+	mustPanic(t, "GemmNT aliased C/A", func() { GemmNT(cAlias, a, b) })
+	mustPanic(t, "GemmTN aliased C/A", func() { GemmTN(cAlias, a, b) })
+
+	cAliasB := &Matrix{Rows: 4, Cols: 4, Data: b.Data}
+	mustPanic(t, "Gemm aliased C/B", func() { Gemm(cAliasB, a, b) })
+}
+
+func TestGemmEmptyNoPanic(t *testing.T) {
+	// Zero-dimension products must be no-ops, not panics.
+	Gemm(&Matrix{}, &Matrix{}, &Matrix{})
+	c := NewMatrix(2, 3)
+	Gemm(c, &Matrix{Rows: 2, Cols: 0}, &Matrix{Rows: 0, Cols: 3})
+	for _, v := range c.Data {
+		if v != 0 {
+			t.Fatal("empty Gemm modified C")
+		}
+	}
+}

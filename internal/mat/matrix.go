@@ -63,9 +63,10 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
-// Zero resets every element to 0.
+// Zero resets every element to 0. clear compiles to a runtime memclr, which
+// is several times faster than the scalar store loop Fill generates.
 func (m *Matrix) Zero() {
-	Fill(m.Data, 0)
+	clear(m.Data)
 }
 
 // MulVec computes dst = m · x where x has length m.Cols and dst has length
@@ -86,7 +87,7 @@ func (m *Matrix) MulVecT(dst, x []float64) {
 	if len(x) != m.Rows || len(dst) != m.Cols {
 		panic("mat: MulVecT dimension mismatch")
 	}
-	Fill(dst, 0)
+	clear(dst)
 	for i := 0; i < m.Rows; i++ {
 		Axpy(x[i], m.Row(i), dst)
 	}

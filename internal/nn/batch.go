@@ -6,31 +6,42 @@ import (
 	"enld/internal/parallel"
 )
 
-// The batch inference helpers fan a slice of inputs out over a worker pool,
-// each worker running forward passes on a private Replica of the network.
-// Every input writes only its own output slot, so results are independent of
-// scheduling and identical to a sequential loop at any worker count.
+// The batch inference helpers split a slice of inputs into fixed-size batch
+// chunks and fan the chunks out over a worker pool; each worker runs one
+// blocked-GEMM ForwardBatch per chunk through a private BatchScratch. The
+// chunk partition depends only on len(xs), every input writes only its own
+// output slot, and the batched kernels are bit-identical to the per-sample
+// forward pass, so results are independent of scheduling and identical to a
+// sequential per-sample loop at any worker count.
 // workers <= 0 selects parallel.DefaultWorkers().
 
-// replicas returns per-worker networks: slot 0 is n itself (the single-worker
-// path reuses the caller's scratch), the rest are fresh replicas.
-func (n *Network) replicas(count int) []*Network {
-	reps := make([]*Network, count)
-	reps[0] = n
-	for i := 1; i < count; i++ {
-		reps[i] = n.Replica()
-	}
-	return reps
+// batchChunk is the fixed batch-chunk size of the inference helpers: large
+// enough that each weight matrix is loaded once per 64 samples, small enough
+// that a shard split across a pool keeps every worker busy.
+const batchChunk = 64
+
+// forEachBatch runs fn over fixed-size chunks of [0, n), one private
+// BatchScratch per worker.
+func forEachBatch(n int, workers int, fn func(s *BatchScratch, lo, hi int)) {
+	pool := parallel.New(workers)
+	scratch := make([]BatchScratch, pool.Workers())
+	pool.ForEachChunk(n, batchChunk, func(w, lo, hi int) {
+		fn(&scratch[w], lo, hi)
+	})
 }
 
 // ConfidencesBatch computes M(x,θ) for every input, returning one fresh
 // confidence vector per input.
 func (n *Network) ConfidencesBatch(xs [][]float64, workers int) [][]float64 {
 	out := make([][]float64, len(xs))
-	pool := parallel.New(workers)
-	reps := n.replicas(pool.Workers())
-	pool.ForEach(len(xs), func(w, i int) {
-		out[i] = reps[w].Confidences(xs[i])
+	forEachBatch(len(xs), workers, func(s *BatchScratch, lo, hi int) {
+		n.ForwardBatch(s, xs[lo:hi])
+		logits := s.Logits()
+		for r := 0; r < hi-lo; r++ {
+			conf := make([]float64, logits.Cols)
+			mat.Softmax(conf, logits.Row(r))
+			out[lo+r] = conf
+		}
 	})
 	return out
 }
@@ -39,24 +50,31 @@ func (n *Network) ConfidencesBatch(xs [][]float64, workers int) [][]float64 {
 // feature vector per input.
 func (n *Network) FeaturesBatch(xs [][]float64, workers int) [][]float64 {
 	out := make([][]float64, len(xs))
-	pool := parallel.New(workers)
-	reps := n.replicas(pool.Workers())
-	pool.ForEach(len(xs), func(w, i int) {
-		out[i] = reps[w].Features(xs[i])
+	forEachBatch(len(xs), workers, func(s *BatchScratch, lo, hi int) {
+		n.ForwardBatch(s, xs[lo:hi])
+		feats := s.Features()
+		for r := 0; r < hi-lo; r++ {
+			out[lo+r] = append([]float64(nil), feats.Row(r)...)
+		}
 	})
 	return out
 }
 
-// EvaluateBatch runs one forward pass per input and returns both the
+// EvaluateBatch runs one batched forward pass per chunk and returns both the
 // confidence and feature vectors, parallel to xs. Detectors scoring a full
 // shard should prefer this over per-sample Evaluate calls.
 func (n *Network) EvaluateBatch(xs [][]float64, workers int) (confs, feats [][]float64) {
 	confs = make([][]float64, len(xs))
 	feats = make([][]float64, len(xs))
-	pool := parallel.New(workers)
-	reps := n.replicas(pool.Workers())
-	pool.ForEach(len(xs), func(w, i int) {
-		confs[i], feats[i] = reps[w].Evaluate(xs[i])
+	forEachBatch(len(xs), workers, func(s *BatchScratch, lo, hi int) {
+		n.ForwardBatch(s, xs[lo:hi])
+		logits, featm := s.Logits(), s.Features()
+		for r := 0; r < hi-lo; r++ {
+			conf := make([]float64, logits.Cols)
+			mat.Softmax(conf, logits.Row(r))
+			confs[lo+r] = conf
+			feats[lo+r] = append([]float64(nil), featm.Row(r)...)
+		}
 	})
 	return confs, feats
 }
@@ -64,10 +82,22 @@ func (n *Network) EvaluateBatch(xs [][]float64, workers int) (confs, feats [][]f
 // PredictBatch returns argmax M(x,θ) for every input.
 func (n *Network) PredictBatch(xs [][]float64, workers int) []int {
 	out := make([]int, len(xs))
-	pool := parallel.New(workers)
-	reps := n.replicas(pool.Workers())
-	pool.ForEach(len(xs), func(w, i int) {
-		out[i] = mat.ArgMax(reps[w].forward(xs[i]))
+	forEachBatch(len(xs), workers, func(s *BatchScratch, lo, hi int) {
+		n.ForwardBatch(s, xs[lo:hi])
+		logits := s.Logits()
+		for r := 0; r < hi-lo; r++ {
+			out[lo+r] = mat.ArgMax(logits.Row(r))
+		}
+	})
+	return out
+}
+
+// LossesBatch computes the cross-entropy loss of every (xs[i], targets[i])
+// pair, the batched counterpart of a per-sample Loss loop.
+func (n *Network) LossesBatch(xs, targets [][]float64, workers int) []float64 {
+	out := make([]float64, len(xs))
+	forEachBatch(len(xs), workers, func(s *BatchScratch, lo, hi int) {
+		n.LossBatch(s, xs[lo:hi], targets[lo:hi], out[lo:hi])
 	})
 	return out
 }

@@ -1,0 +1,211 @@
+package nn
+
+import (
+	"fmt"
+	"testing"
+
+	"enld/internal/mat"
+)
+
+// The differential tests in this file pin the tentpole contract of the blocked
+// GEMM batch kernels: every batched pass — forward, loss, backward, and full
+// training — is bit-identical to the per-sample path it replaced, across
+// ragged batch sizes and worker counts.
+
+// diffNet builds a three-hidden-layer network whose layer widths are not
+// multiples of the GEMM register tile, so every pass exercises edge kernels.
+func diffNet(seed uint64) *Network {
+	return NewNetwork([]int{6, 13, 9, 5}, mat.NewRNG(seed))
+}
+
+func diffInputs(n int, seed uint64) [][]float64 {
+	rng := mat.NewRNG(seed)
+	xs := make([][]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormVec(make([]float64, 6), 0, 1)
+	}
+	return xs
+}
+
+// TestForwardBatchRaggedBitIdentical reuses one BatchScratch across batch
+// sizes 1, 7, 64 and the full input set (growing and shrinking the views) and
+// checks confidences, features and predictions against per-sample calls.
+func TestForwardBatchRaggedBitIdentical(t *testing.T) {
+	net := diffNet(81)
+	xs := diffInputs(100, 82)
+	var s BatchScratch
+	for _, bs := range []int{1, 7, 64, len(xs)} {
+		batch := xs[:bs]
+		net.ForwardBatch(&s, batch)
+		logits, feats := s.Logits(), s.Features()
+		if logits.Rows != bs || feats.Rows != bs {
+			t.Fatalf("batch=%d: scratch rows %d/%d", bs, logits.Rows, feats.Rows)
+		}
+		conf := make([]float64, net.Classes())
+		for r, x := range batch {
+			mat.Softmax(conf, logits.Row(r))
+			wantC, wantF := net.Evaluate(x)
+			for j := range wantC {
+				if conf[j] != wantC[j] {
+					t.Fatalf("batch=%d row %d: confidence[%d] %v != %v", bs, r, j, conf[j], wantC[j])
+				}
+			}
+			for j := range wantF {
+				if feats.Row(r)[j] != wantF[j] {
+					t.Fatalf("batch=%d row %d: feature[%d] %v != %v", bs, r, j, feats.Row(r)[j], wantF[j])
+				}
+			}
+			if mat.ArgMax(logits.Row(r)) != net.Predict(x) {
+				t.Fatalf("batch=%d row %d: prediction mismatch", bs, r)
+			}
+		}
+	}
+}
+
+// TestLossBatchBitIdentical checks batched cross-entropy losses against
+// per-sample Loss calls at ragged batch sizes and several worker counts.
+func TestLossBatchBitIdentical(t *testing.T) {
+	net := diffNet(83)
+	xs := diffInputs(90, 84)
+	rng := mat.NewRNG(85)
+	targets := make([][]float64, len(xs))
+	for i := range targets {
+		targets[i] = OneHot(rng.Intn(net.Classes()), net.Classes())
+	}
+	want := make([]float64, len(xs))
+	for i, x := range xs {
+		want[i] = net.Loss(x, targets[i])
+	}
+	var s BatchScratch
+	out := make([]float64, len(xs))
+	for _, bs := range []int{1, 7, 64, len(xs)} {
+		net.LossBatch(&s, xs[:bs], targets[:bs], out[:bs])
+		for i := 0; i < bs; i++ {
+			if out[i] != want[i] {
+				t.Fatalf("batch=%d: loss[%d] %v != %v", bs, i, out[i], want[i])
+			}
+		}
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got := net.LossesBatch(xs, targets, workers)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: loss[%d] %v != %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBackwardBatchBitIdentical checks one batched backward pass against the
+// same samples pushed through per-sample Backward calls in row order: summed
+// loss and every gradient entry must match bit for bit.
+func TestBackwardBatchBitIdentical(t *testing.T) {
+	net := diffNet(86)
+	rng := mat.NewRNG(87)
+	for _, bs := range []int{1, 7, 8, 64} {
+		xs := diffInputs(bs, 88+uint64(bs))
+		targets := make([][]float64, bs)
+		for i := range targets {
+			targets[i] = OneHot(rng.Intn(net.Classes()), net.Classes())
+		}
+		ref := net.Replica()
+		gWant := net.NewGrads()
+		var lossWant float64
+		for i := range xs {
+			lossWant += ref.Backward(gWant, xs[i], targets[i])
+		}
+		var s BatchScratch
+		gGot := net.NewGrads()
+		lossGot := net.BackwardBatch(&s, gGot, xs, targets)
+		if lossGot != lossWant {
+			t.Fatalf("batch=%d: loss %v != %v", bs, lossGot, lossWant)
+		}
+		for l := range gWant.Weights {
+			for i, v := range gWant.Weights[l].Data {
+				if gGot.Weights[l].Data[i] != v {
+					t.Fatalf("batch=%d: weight grad layer %d index %d: %v != %v",
+						bs, l, i, gGot.Weights[l].Data[i], v)
+				}
+			}
+			for i, v := range gWant.Biases[l] {
+				if gGot.Biases[l][i] != v {
+					t.Fatalf("batch=%d: bias grad layer %d index %d differs", bs, l, i)
+				}
+			}
+		}
+	}
+}
+
+// trainDiff trains a fresh identically-seeded network through either the
+// batched or the per-sample reference gradient path.
+func trainDiff(t *testing.T, perSample bool, workers, batchSize int, mixup bool) *Network {
+	t.Helper()
+	examples := twoBlobs(60, 91)
+	net := NewNetwork([]int{2, 13, 9, 2}, mat.NewRNG(92))
+	tr := NewTrainer(net, NewSGD(0.05, 0.9, 1e-4))
+	tr.perSample = perSample
+	_, err := tr.Run(examples, TrainConfig{
+		Epochs: 3, BatchSize: batchSize, Mixup: mixup, MixupAlpha: 0.2,
+		Seed: 93, Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestTrainerBatchedMatchesPerSampleReference is the training-side tentpole
+// differential test: the batched gradient path must produce bit-identical
+// weights to the per-sample reference path across ragged batch sizes, worker
+// counts 1/2/8, with and without mixup.
+func TestTrainerBatchedMatchesPerSampleReference(t *testing.T) {
+	for _, mixup := range []bool{false, true} {
+		for _, batchSize := range []int{1, 7, 64, 120} {
+			ref := trainDiff(t, true, 1, batchSize, mixup)
+			for _, workers := range []int{1, 2, 8} {
+				got := trainDiff(t, false, workers, batchSize, mixup)
+				label := "plain"
+				if mixup {
+					label = "mixup"
+				}
+				label = fmt.Sprintf("%s/batch=%d/workers=%d", label, batchSize, workers)
+				sameParams(t, label, ref, got)
+			}
+		}
+	}
+}
+
+// TestMeanLossAccuracyBatchedMatchesPerSample pins the batched MeanLoss and
+// Accuracy helpers to the per-sample definitions.
+func TestMeanLossAccuracyBatchedMatchesPerSample(t *testing.T) {
+	examples := twoBlobs(70, 95) // 140 samples: crosses the batchChunk boundary
+	net := NewNetwork([]int{2, 9, 2}, mat.NewRNG(96))
+	var wantLoss float64
+	correct := 0
+	for _, ex := range examples {
+		wantLoss += net.Loss(ex.X, ex.Target)
+		if net.Predict(ex.X) == mat.ArgMax(ex.Target) {
+			correct++
+		}
+	}
+	wantLoss /= float64(len(examples))
+	if got := MeanLoss(net, examples); got != wantLoss {
+		t.Fatalf("MeanLoss %v != %v", got, wantLoss)
+	}
+	wantAcc := float64(correct) / float64(len(examples))
+	if got := Accuracy(net, examples); got != wantAcc {
+		t.Fatalf("Accuracy %v != %v", got, wantAcc)
+	}
+}
+
+// TestForwardBatchInputLengthPanics pins the batch input validation.
+func TestForwardBatchInputLengthPanics(t *testing.T) {
+	net := diffNet(97)
+	var s BatchScratch
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForwardBatch accepted a malformed input row")
+		}
+	}()
+	net.ForwardBatch(&s, [][]float64{make([]float64, 3)})
+}

@@ -1,0 +1,231 @@
+package nn
+
+import (
+	"fmt"
+
+	"enld/internal/mat"
+)
+
+// BatchScratch holds the activation, pre-activation and delta matrices of a
+// batched forward/backward pass: one row per sample, one matrix per layer.
+// The zero value is ready to use; buffers grow to the largest batch seen and
+// are reused afterwards, so steady-state batched passes allocate nothing.
+//
+// A BatchScratch belongs to one goroutine at a time. Concurrent batched
+// passes against the same Network are safe with one scratch per worker: the
+// forward/backward methods only read the network's parameters.
+type BatchScratch struct {
+	sizes   []int
+	capRows int
+
+	// Backing storage at capRows rows; the matrices below are views of the
+	// current batch size into it.
+	actsBack, preBack, deltasBack [][]float64
+
+	acts   []mat.Matrix // acts[0] is the packed input batch
+	pre    []mat.Matrix
+	deltas []mat.Matrix
+	probs  []float64 // per-row softmax buffer for the backward pass
+	rows   int
+}
+
+// Rows returns the batch size of the most recent pass.
+func (s *BatchScratch) Rows() int { return s.rows }
+
+// Logits returns the output-layer pre-activation matrix of the most recent
+// pass: row r holds the logits of sample r. The view stays valid until the
+// next pass through this scratch.
+func (s *BatchScratch) Logits() *mat.Matrix { return &s.pre[len(s.pre)-1] }
+
+// Features returns the feature matrix M̂(x,θ) of the most recent pass: row r
+// holds the post-ReLU last-hidden-layer activations of sample r.
+func (s *BatchScratch) Features() *mat.Matrix { return &s.acts[len(s.acts)-2] }
+
+// ensure sizes the scratch for a rows-sized batch of network n, growing the
+// backing storage only when the architecture changed or rows exceeds every
+// previous batch.
+func (s *BatchScratch) ensure(n *Network, rows int) {
+	L := len(n.sizes)
+	same := len(s.sizes) == L
+	if same {
+		for i, v := range n.sizes {
+			if s.sizes[i] != v {
+				same = false
+				break
+			}
+		}
+	}
+	if !same {
+		s.sizes = append(s.sizes[:0], n.sizes...)
+		s.capRows = 0
+		s.actsBack = make([][]float64, L)
+		s.preBack = make([][]float64, L-1)
+		s.deltasBack = make([][]float64, L-1)
+		s.acts = make([]mat.Matrix, L)
+		s.pre = make([]mat.Matrix, L-1)
+		s.deltas = make([]mat.Matrix, L-1)
+		s.probs = make([]float64, n.sizes[L-1])
+	}
+	if rows > s.capRows {
+		for i, size := range s.sizes {
+			s.actsBack[i] = make([]float64, rows*size)
+			if i > 0 {
+				s.preBack[i-1] = make([]float64, rows*size)
+				s.deltasBack[i-1] = make([]float64, rows*size)
+			}
+		}
+		s.capRows = rows
+	}
+	for i, size := range s.sizes {
+		s.acts[i] = mat.Matrix{Rows: rows, Cols: size, Data: s.actsBack[i][:rows*size]}
+		if i > 0 {
+			s.pre[i-1] = mat.Matrix{Rows: rows, Cols: size, Data: s.preBack[i-1][:rows*size]}
+			s.deltas[i-1] = mat.Matrix{Rows: rows, Cols: size, Data: s.deltasBack[i-1][:rows*size]}
+		}
+	}
+	s.rows = rows
+}
+
+// ForwardBatch runs the network on every input of xs in one pass: the inputs
+// are packed row-major into a batch matrix and each layer is one GemmNT
+// (Y += X·Wᵀ) followed by a batched bias add and ReLU. Results are
+// bit-identical to per-sample forward calls — the GEMM kernels accumulate
+// each output element with the same sequential k-loop MulVec uses (see
+// internal/mat and DESIGN.md §4) — while loading each weight matrix once per
+// batch instead of once per sample.
+//
+// The outputs stay in s: s.Logits() and s.Features() view the last pass.
+func (n *Network) ForwardBatch(s *BatchScratch, xs [][]float64) {
+	s.ensure(n, len(xs))
+	if len(xs) == 0 {
+		return
+	}
+	in := &s.acts[0]
+	for r, x := range xs {
+		if len(x) != n.sizes[0] {
+			panic(fmt.Sprintf("nn: batch input length %d, want %d", len(x), n.sizes[0]))
+		}
+		copy(in.Row(r), x)
+	}
+	last := len(n.Weights) - 1
+	for l, w := range n.Weights {
+		out := &s.pre[l]
+		out.Zero()
+		mat.GemmNT(out, &s.acts[l], w)
+		for r := 0; r < out.Rows; r++ {
+			mat.Axpy(1, n.Biases[l], out.Row(r))
+		}
+		if l < last {
+			reluRows(&s.acts[l+1], out)
+		} else {
+			copy(s.acts[l+1].Data, out.Data)
+		}
+	}
+}
+
+// BackwardBatch accumulates into g the cross-entropy gradient of the whole
+// batch (xs[r], targets[r]) and returns the summed loss. It is the batched
+// counterpart of per-sample Backward calls in row order, bit-identical to
+// them: the weight gradient is one GemmTN (gW += deltaᵀ·acts) whose
+// sequential batch-row loop reproduces the per-sample AddOuter order, the
+// bias gradient sums delta columns in row order, and the delta
+// back-propagation is one Gemm (dPrev = delta·W) matching MulVecT's
+// accumulation order.
+func (n *Network) BackwardBatch(s *BatchScratch, g *Grads, xs, targets [][]float64) float64 {
+	if len(targets) != len(xs) {
+		panic("nn: BackwardBatch xs/targets length mismatch")
+	}
+	n.ForwardBatch(s, xs)
+	if len(xs) == 0 {
+		return 0
+	}
+	classes := n.Classes()
+	last := len(n.Weights) - 1
+	logits := &s.pre[last]
+	dOut := &s.deltas[last]
+	var loss float64
+	for r := range xs {
+		target := targets[r]
+		if len(target) != classes {
+			panic("nn: BackwardBatch target length mismatch")
+		}
+		lrow := logits.Row(r)
+		mat.Softmax(s.probs, lrow)
+		lse := mat.LogSumExp(lrow)
+		drow := dOut.Row(r)
+		for c := range drow {
+			drow[c] = s.probs[c] - target[c]
+			if target[c] > 0 {
+				loss += target[c] * (lse - lrow[c])
+			}
+		}
+	}
+	for l := last; l >= 0; l-- {
+		delta := &s.deltas[l]
+		mat.GemmTN(g.Weights[l], delta, &s.acts[l])
+		addColSums(g.Biases[l], delta)
+		if l > 0 {
+			prev := &s.deltas[l-1]
+			prev.Zero()
+			mat.Gemm(prev, delta, n.Weights[l])
+			// ReLU derivative gates on the pre-activation of layer l.
+			reluGate(prev, &s.pre[l-1])
+		}
+	}
+	return loss
+}
+
+// LossBatch computes the per-sample cross-entropy losses of the batch into
+// out (len(xs) entries), bit-identical to per-sample Loss calls.
+func (n *Network) LossBatch(s *BatchScratch, xs, targets [][]float64, out []float64) {
+	if len(targets) != len(xs) || len(out) != len(xs) {
+		panic("nn: LossBatch length mismatch")
+	}
+	n.ForwardBatch(s, xs)
+	logits := s.Logits()
+	for r := range xs {
+		lrow := logits.Row(r)
+		lse := mat.LogSumExp(lrow)
+		var loss float64
+		for c, t := range targets[r] {
+			if t > 0 {
+				loss += t * (lse - lrow[c])
+			}
+		}
+		out[r] = loss
+	}
+}
+
+// reluRows writes dst = max(src, 0) element-wise over equal-shaped matrices.
+func reluRows(dst, src *mat.Matrix) {
+	d, s := dst.Data, src.Data
+	for i, v := range s {
+		if v > 0 {
+			d[i] = v
+		} else {
+			d[i] = 0
+		}
+	}
+}
+
+// reluGate zeroes every delta whose matching pre-activation is <= 0.
+func reluGate(delta, pre *mat.Matrix) {
+	d, p := delta.Data, pre.Data
+	for i, v := range p {
+		if v <= 0 {
+			d[i] = 0
+		}
+	}
+}
+
+// addColSums accumulates dst[j] += sum over rows of m[r][j], sweeping rows in
+// increasing order so each element's addition order matches a per-sample
+// accumulation loop.
+func addColSums(dst []float64, m *mat.Matrix) {
+	if len(dst) != m.Cols {
+		panic("nn: addColSums length mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		mat.Axpy(1, m.Row(r), dst)
+	}
+}

@@ -217,7 +217,7 @@ func (n *Network) NewGrads() *Grads {
 func (g *Grads) Zero() {
 	for l := range g.Weights {
 		g.Weights[l].Zero()
-		mat.Fill(g.Biases[l], 0)
+		clear(g.Biases[l])
 	}
 }
 

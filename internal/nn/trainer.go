@@ -51,8 +51,11 @@ const DefaultMixupAlpha = 0.2
 // gradChunk is the fixed per-batch gradient chunk size. The partition of a
 // batch into gradChunk-sized chunks depends only on the batch length, so the
 // chunk-order reduction yields the same floating-point sum no matter how
-// many workers processed the chunks.
-const gradChunk = 8
+// many workers processed the chunks. The chunk is also the inner dimension of
+// the weight-gradient GemmTN, so it trades register-tile amortization against
+// intra-batch parallelism: 16 keeps two chunks per default 32-sample batch
+// while giving each GEMM twice the accumulation depth of the previous 8.
+const gradChunk = 16
 
 // Trainer runs mini-batch training of a Network with a given optimizer.
 type Trainer struct {
@@ -61,17 +64,28 @@ type Trainer struct {
 
 	grads *Grads
 
-	// Data-parallel scratch, (re)built per Run: one replica network per
-	// worker, one gradient accumulator and loss cell per batch chunk, and
-	// per-worker mixup buffers. scratchNet tracks which network the cached
-	// scratch belongs to so a swapped Net rebuilds it.
+	// Data-parallel scratch, (re)built per Run: one BatchScratch and set of
+	// packed batch buffers per worker, one gradient accumulator and loss cell
+	// per batch chunk. scratchNet tracks which network the cached scratch
+	// belongs to so a swapped Net rebuilds it.
 	scratchNet *Network
-	replicas   []*Network
+	batch      []*BatchScratch
+	xRows      [][][]float64 // per-worker row views into the current chunk
+	tRows      [][][]float64
+	mixXM      []*mat.Matrix // per-worker packed mixup inputs/targets
+	mixTM      []*mat.Matrix
 	chunkGrads []*Grads
 	chunkLoss  []float64
-	mixX, mixT [][]float64
 	mixPartner []int
 	mixLambda  []float64
+
+	// perSample switches the chunk workers back to per-sample Backward calls
+	// on replica networks — the reference path the differential tests compare
+	// the batched kernels against.
+	perSample bool
+	replicas  []*Network
+	mixX      [][]float64 // per-worker single-sample mixup buffers
+	mixT      [][]float64
 }
 
 // NewTrainer returns a trainer bound to net and opt.
@@ -125,22 +139,36 @@ func (t *Trainer) Run(examples []Example, cfg TrainConfig) ([]EpochStats, error)
 	return stats, nil
 }
 
-// ensureScratch sizes the per-worker replicas and per-chunk accumulators for
-// batches up to maxBatch samples. Scratch is cached across Run calls (the
+// ensureScratch sizes the per-worker batch scratch and per-chunk accumulators
+// for batches up to maxBatch samples. Scratch is cached across Run calls (the
 // fine-grained NLD loop calls Run once per epoch) and invalidated when Net
 // is swapped.
 func (t *Trainer) ensureScratch(workers, maxBatch int) {
 	if t.scratchNet != t.Net {
+		t.batch, t.xRows, t.tRows, t.mixXM, t.mixTM = nil, nil, nil, nil, nil
 		t.replicas, t.chunkGrads, t.mixX, t.mixT = nil, nil, nil, nil
 		t.scratchNet = t.Net
 	}
-	if len(t.replicas) == 0 {
-		// Worker 0 is the network itself, so the single-worker path runs on
-		// exactly the buffers a sequential trainer would use.
-		t.replicas = append(t.replicas, t.Net)
+	for len(t.batch) < workers {
+		t.batch = append(t.batch, &BatchScratch{})
+		t.xRows = append(t.xRows, make([][]float64, gradChunk))
+		t.tRows = append(t.tRows, make([][]float64, gradChunk))
+		t.mixXM = append(t.mixXM, mat.NewMatrix(gradChunk, t.Net.InputDim()))
+		t.mixTM = append(t.mixTM, mat.NewMatrix(gradChunk, t.Net.Classes()))
 	}
-	for len(t.replicas) < workers {
-		t.replicas = append(t.replicas, t.Net.Replica())
+	if t.perSample {
+		if len(t.replicas) == 0 {
+			// Worker 0 is the network itself, so the single-worker path runs
+			// on exactly the buffers a sequential trainer would use.
+			t.replicas = append(t.replicas, t.Net)
+		}
+		for len(t.replicas) < workers {
+			t.replicas = append(t.replicas, t.Net.Replica())
+		}
+		for len(t.mixX) < workers {
+			t.mixX = append(t.mixX, make([]float64, t.Net.InputDim()))
+			t.mixT = append(t.mixT, make([]float64, t.Net.Classes()))
+		}
 	}
 	maxChunks := (maxBatch + gradChunk - 1) / gradChunk
 	for len(t.chunkGrads) < maxChunks {
@@ -149,10 +177,6 @@ func (t *Trainer) ensureScratch(workers, maxBatch int) {
 	if len(t.chunkLoss) < maxChunks {
 		t.chunkLoss = make([]float64, maxChunks)
 	}
-	for len(t.mixX) < workers {
-		t.mixX = append(t.mixX, make([]float64, t.Net.InputDim()))
-		t.mixT = append(t.mixT, make([]float64, t.Net.Classes()))
-	}
 	if len(t.mixPartner) < maxBatch {
 		t.mixPartner = make([]int, maxBatch)
 		t.mixLambda = make([]float64, maxBatch)
@@ -160,12 +184,14 @@ func (t *Trainer) ensureScratch(workers, maxBatch int) {
 }
 
 // epoch runs one pass over the data. Each batch is partitioned into fixed
-// gradChunk-sized chunks; workers claim chunks and accumulate gradients into
-// per-chunk buffers on replica networks, and the chunks are then reduced in
-// index order. The result is bit-identical to a one-worker run: the chunk
-// partition and reduction order never depend on the worker count, and the
-// RNG (shuffle and mixup draws) is consumed sequentially before the parallel
-// section.
+// gradChunk-sized chunks; workers claim chunks and compute each chunk's
+// gradient with one batched backward pass (GemmTN weight gradients over the
+// chunk's packed rows) into per-chunk buffers, and the chunks are then
+// reduced in index order. The result is bit-identical to a one-worker
+// per-sample run: the batched kernels preserve the per-sample accumulation
+// order within a chunk (see BackwardBatch), the chunk partition and reduction
+// order never depend on the worker count, and the RNG (shuffle and mixup
+// draws) is consumed sequentially before the parallel section.
 func (t *Trainer) epoch(examples []Example, cfg TrainConfig, alpha float64, rng *mat.RNG, pool *parallel.Pool) EpochStats {
 	order := rng.Perm(len(examples))
 	var st EpochStats
@@ -189,20 +215,27 @@ func (t *Trainer) epoch(examples []Example, cfg TrainConfig, alpha float64, rng 
 			c := lo / gradChunk
 			g := t.chunkGrads[c]
 			g.Zero()
-			net := t.replicas[worker]
-			var loss float64
+			if t.perSample {
+				t.chunkLoss[c] = t.perSampleChunk(g, examples, batch, cfg.Mixup, worker, lo, hi)
+				return
+			}
+			// Pack the chunk's rows (mixing in place for mixup) and run one
+			// batched backward pass over them.
+			xs := t.xRows[worker][:hi-lo]
+			ts := t.tRows[worker][:hi-lo]
 			for i := lo; i < hi; i++ {
 				ex := examples[batch[i]]
 				if cfg.Mixup {
 					partner := examples[t.mixPartner[i]]
-					mat.Lerp(t.mixX[worker], ex.X, partner.X, t.mixLambda[i])
-					mat.Lerp(t.mixT[worker], ex.Target, partner.Target, t.mixLambda[i])
-					loss += net.Backward(g, t.mixX[worker], t.mixT[worker])
+					mx, mt := t.mixXM[worker].Row(i-lo), t.mixTM[worker].Row(i-lo)
+					mat.Lerp(mx, ex.X, partner.X, t.mixLambda[i])
+					mat.Lerp(mt, ex.Target, partner.Target, t.mixLambda[i])
+					xs[i-lo], ts[i-lo] = mx, mt
 				} else {
-					loss += net.Backward(g, ex.X, ex.Target)
+					xs[i-lo], ts[i-lo] = ex.X, ex.Target
 				}
 			}
-			t.chunkLoss[c] = loss
+			t.chunkLoss[c] = t.Net.BackwardBatch(t.batch[worker], g, xs, ts)
 		})
 		t.grads.Zero()
 		for c := 0; c < nChunks; c++ {
@@ -219,15 +252,48 @@ func (t *Trainer) epoch(examples []Example, cfg TrainConfig, alpha float64, rng 
 	return st
 }
 
+// perSampleChunk is the pre-batching reference path: per-sample Backward
+// calls on a replica network, accumulating the chunk's gradient and loss one
+// sample at a time. The differential tests flip Trainer.perSample to prove
+// the batched path reproduces it bit for bit.
+func (t *Trainer) perSampleChunk(g *Grads, examples []Example, batch []int, mixup bool, worker, lo, hi int) float64 {
+	net := t.replicas[worker]
+	var loss float64
+	for i := lo; i < hi; i++ {
+		ex := examples[batch[i]]
+		if mixup {
+			partner := examples[t.mixPartner[i]]
+			mat.Lerp(t.mixX[worker], ex.X, partner.X, t.mixLambda[i])
+			mat.Lerp(t.mixT[worker], ex.Target, partner.Target, t.mixLambda[i])
+			loss += net.Backward(g, t.mixX[worker], t.mixT[worker])
+		} else {
+			loss += net.Backward(g, ex.X, ex.Target)
+		}
+	}
+	return loss
+}
+
 // MeanLoss evaluates the average cross-entropy loss of net on examples
-// without updating parameters.
+// without updating parameters. Losses are computed in batched chunks and
+// summed in input order, bit-identical to a per-sample loop.
 func MeanLoss(net *Network, examples []Example) float64 {
 	if len(examples) == 0 {
 		return 0
 	}
+	var s BatchScratch
+	xs := make([][]float64, len(examples))
+	ts := make([][]float64, len(examples))
+	for i, ex := range examples {
+		xs[i], ts[i] = ex.X, ex.Target
+	}
+	losses := make([]float64, batchChunk)
 	var sum float64
-	for _, ex := range examples {
-		sum += net.Loss(ex.X, ex.Target)
+	for lo := 0; lo < len(examples); lo += batchChunk {
+		hi := min(lo+batchChunk, len(examples))
+		net.LossBatch(&s, xs[lo:hi], ts[lo:hi], losses[:hi-lo])
+		for _, l := range losses[:hi-lo] {
+			sum += l
+		}
 	}
 	return sum / float64(len(examples))
 }
@@ -238,10 +304,20 @@ func Accuracy(net *Network, examples []Example) float64 {
 	if len(examples) == 0 {
 		return 0
 	}
+	var s BatchScratch
+	xs := make([][]float64, len(examples))
+	for i, ex := range examples {
+		xs[i] = ex.X
+	}
 	correct := 0
-	for _, ex := range examples {
-		if net.Predict(ex.X) == mat.ArgMax(ex.Target) {
-			correct++
+	for lo := 0; lo < len(examples); lo += batchChunk {
+		hi := min(lo+batchChunk, len(examples))
+		net.ForwardBatch(&s, xs[lo:hi])
+		logits := s.Logits()
+		for r := 0; r < hi-lo; r++ {
+			if mat.ArgMax(logits.Row(r)) == mat.ArgMax(examples[lo+r].Target) {
+				correct++
+			}
 		}
 	}
 	return float64(correct) / float64(len(examples))

@@ -12,6 +12,14 @@ type Classifier interface {
 	Predict(x []float64) int
 }
 
+// BatchClassifier is the batched fast path: models that can predict a whole
+// input slice in one call (internal/nn.Network's blocked-GEMM batch kernels).
+// EstimateJoint prefers it when available; predictions must equal per-sample
+// Predict calls.
+type BatchClassifier interface {
+	PredictBatch(xs [][]float64, workers int) []int
+}
+
 // Joint is the estimated joint count matrix J of Eq. 3–4:
 // J[i][j] = |{x : ỹ(x) = i, argmax M(x, θ) = j}|.
 type Joint [][]int
@@ -21,6 +29,14 @@ type Joint [][]int
 // predicted label and the true label share a distribution. Samples with
 // missing labels are skipped.
 func EstimateJoint(s dataset.Set, model Classifier, classes int) (Joint, error) {
+	return EstimateJointParallel(s, model, classes, 1)
+}
+
+// EstimateJointParallel is EstimateJoint with the model forward passes run in
+// batches over the given worker count (0 = all cores) when the model supports
+// it. Counts are identical at every worker count: predictions land in
+// per-sample slots and the joint is accumulated sequentially.
+func EstimateJointParallel(s dataset.Set, model Classifier, classes, workers int) (Joint, error) {
 	if classes < 2 {
 		return nil, fmt.Errorf("noise: estimate with %d classes", classes)
 	}
@@ -28,18 +44,33 @@ func EstimateJoint(s dataset.Set, model Classifier, classes int) (Joint, error) 
 	for i := range j {
 		j[i] = make([]int, classes)
 	}
-	for _, smp := range s {
+	labelled := make([]int, 0, len(s))
+	xs := make([][]float64, 0, len(s))
+	for i, smp := range s {
 		if smp.Observed == dataset.Missing {
 			continue
 		}
 		if smp.Observed < 0 || smp.Observed >= classes {
 			return nil, fmt.Errorf("noise: observed label %d outside [0, %d)", smp.Observed, classes)
 		}
-		pred := model.Predict(smp.X)
+		labelled = append(labelled, i)
+		xs = append(xs, smp.X)
+	}
+	var preds []int
+	if bc, ok := model.(BatchClassifier); ok {
+		preds = bc.PredictBatch(xs, workers)
+	} else {
+		preds = make([]int, len(xs))
+		for i, x := range xs {
+			preds[i] = model.Predict(x)
+		}
+	}
+	for n, i := range labelled {
+		pred := preds[n]
 		if pred < 0 || pred >= classes {
 			return nil, fmt.Errorf("noise: model predicted %d outside [0, %d)", pred, classes)
 		}
-		j[smp.Observed][pred]++
+		j[s[i].Observed][pred]++
 	}
 	return j, nil
 }

@@ -1,0 +1,50 @@
+// Package prof wires the -cpuprofile/-memprofile flags of the CLIs to
+// runtime/pprof. Inspect the output with the standard tooling, e.g.
+//
+//	go tool pprof -top cpu.out
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is non-empty and returns a stop
+// function that ends it and, when memPath is non-empty, writes a heap profile
+// (after a GC, so it reflects live memory). Empty paths disable the
+// respective profile; stop is always non-nil and safe to defer. Exits through
+// os.Exit skip deferred stops, so profiles cover successful runs only.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prof:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "prof:", err)
+		}
+	}, nil
+}
