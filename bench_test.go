@@ -258,6 +258,20 @@ func BenchmarkTrainEpoch(b *testing.B) {
 			}
 		})
 	}
+	// Same single-worker epoch with the numerical-health watchdog at its
+	// default cadence; benchsummary gates the watchdog/workers=1 ratio to
+	// keep the health checks off the per-sample hot path (< 10% overhead).
+	b.Run("watchdog", func(b *testing.B) {
+		trainer := nn.NewTrainer(net, nn.NewSGD(0.01, 0.9, 1e-4))
+		for i := 0; i < b.N; i++ {
+			if _, err := trainer.Run(examples, nn.TrainConfig{
+				Epochs: 1, BatchSize: 32, Seed: uint64(i), Workers: 1,
+				Watchdog: nn.WatchdogConfig{Enabled: true},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkForward measures inference cost — the unit behind the ambiguous/

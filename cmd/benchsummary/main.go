@@ -8,6 +8,11 @@
 //	go test -bench 'BenchmarkTrainEpoch|BenchmarkDetect|BenchmarkKNN|BenchmarkForward' \
 //	    -benchtime 1x -run '^$' . | benchsummary -out BENCH_ci.json
 //
+// Within-run overhead ratios (see overheadPairs) are gated on every
+// invocation, baseline or no baseline: the numerical-health watchdog has a
+// 10% budget over a plain training epoch (warning above it, hard failure
+// above the 25% noise-proof limit).
+//
 // With -baseline it is also a soft perf-regression gate: every fresh entry is
 // compared against the committed BENCH_ci.json. Any benchmark more than 10%
 // slower gets a warn-only GitHub annotation (single-shot CI runs are noisy);
@@ -62,6 +67,24 @@ type Comparison struct {
 	HotPath bool    `json:"hot_path,omitempty"`
 }
 
+// Overhead is the within-run cost ratio of a feature-enabled benchmark
+// variant over its plain base. Unlike Comparisons it needs no committed
+// baseline: both ends come from the same run, so the gate is immune to
+// machine-to-machine drift.
+type Overhead struct {
+	Name    string `json:"name"`
+	Base    string `json:"base"`
+	Variant string `json:"variant"`
+	// Ratio is variant over base ns/op: >1 means the feature costs time.
+	Ratio float64 `json:"ratio"`
+	// Limit is the design budget; the gate annotates a warning above it
+	// (single-shot CI runs carry several percent of noise).
+	Limit float64 `json:"limit"`
+	// HardLimit is the ratio the gate fails at: far enough above Limit that
+	// only a real regression, not run-to-run noise, can cross it.
+	HardLimit float64 `json:"hard_limit"`
+}
+
 // Summary is the BENCH_ci.json document.
 type Summary struct {
 	// GoMaxProcs records the parallelism of the machine that produced the
@@ -70,6 +93,9 @@ type Summary struct {
 	GoVersion  string    `json:"go_version"`
 	Benchmarks []Entry   `json:"benchmarks"`
 	Speedups   []Speedup `json:"speedups"`
+	// Overheads holds the within-run feature-cost ratios the gate enforces
+	// (see overheadPairs).
+	Overheads []Overhead `json:"overheads,omitempty"`
 	// Comparisons holds the fresh-versus-baseline ratios when the run was
 	// gated with -baseline.
 	Comparisons []Comparison `json:"comparisons,omitempty"`
@@ -84,6 +110,18 @@ var speedupPairs = [][3]string{
 	// Batching speedup (not a parallel pair): one blocked-GEMM forward pass
 	// over a chunk versus the same samples through the per-sample path.
 	{"gemm-batching", "BenchmarkForwardBatch/persample", "BenchmarkForwardBatch/batched"},
+}
+
+// overheadPairs lists the (name, base, variant, limit) tuples of the
+// within-run overhead gate. The watchdog entry enforces the numerical-health
+// design budget: health checks at the default cadence must cost less than
+// 10% of a plain training epoch.
+var overheadPairs = []Overhead{
+	{
+		Name: "watchdog-overhead",
+		Base: "BenchmarkTrainEpoch/workers=1", Variant: "BenchmarkTrainEpoch/watchdog",
+		Limit: 1.10, HardLimit: failRatio,
+	},
 }
 
 // hotPaths lists the benchmarks the regression gate hard-fails on: the
@@ -141,6 +179,25 @@ func gate(w io.Writer, comparisons []Comparison) (failed bool) {
 		case c.Ratio > warnRatio:
 			fmt.Fprintf(w, "::warning::%s is %.1f%% slower than baseline (%.0f -> %.0f ns/op); may be noise\n",
 				c.Name, (c.Ratio-1)*100, c.BaselineNs, c.CurrentNs)
+		}
+	}
+	return failed
+}
+
+// gateOverheads prints annotations for overheads above their budget and
+// reports whether any crossed the hard limit. Ratios within budget stay
+// silent; between Limit and HardLimit is a warning (single-shot CI runs
+// carry noise of several percent either way).
+func gateOverheads(w io.Writer, overheads []Overhead) (failed bool) {
+	for _, o := range overheads {
+		switch {
+		case o.Ratio > o.HardLimit:
+			fmt.Fprintf(w, "::error::%s: %s costs %.1f%% over %s, above the %.0f%% hard limit\n",
+				o.Name, o.Variant, (o.Ratio-1)*100, o.Base, (o.HardLimit-1)*100)
+			failed = true
+		case o.Ratio > o.Limit:
+			fmt.Fprintf(w, "::warning::%s: %s costs %.1f%% over %s, above the %.0f%% budget; may be noise\n",
+				o.Name, o.Variant, (o.Ratio-1)*100, o.Base, (o.Limit-1)*100)
 		}
 	}
 	return failed
@@ -218,6 +275,15 @@ func summarize(entries []Entry) Summary {
 			Name: pair[0], Base: pair[1], Parallel: pair[2], Speedup: base / par,
 		})
 	}
+	for _, o := range overheadPairs {
+		base, okB := byName[o.Base]
+		variant, okV := byName[o.Variant]
+		if !okB || !okV || base == 0 {
+			continue
+		}
+		o.Ratio = variant / base
+		s.Overheads = append(s.Overheads, o)
+	}
 	return s
 }
 
@@ -250,7 +316,7 @@ func main() {
 		os.Exit(1)
 	}
 	summary := summarize(entries)
-	gateFailed := false
+	gateFailed := gateOverheads(os.Stdout, summary.Overheads)
 	if *baseline != "" {
 		raw, err := os.ReadFile(*baseline)
 		if err != nil {
@@ -263,7 +329,7 @@ func main() {
 			os.Exit(1)
 		}
 		summary.Comparisons = compare(summary.Benchmarks, prior)
-		gateFailed = gate(os.Stdout, summary.Comparisons)
+		gateFailed = gate(os.Stdout, summary.Comparisons) || gateFailed
 	}
 	data, err := json.MarshalIndent(summary, "", "  ")
 	if err != nil {
@@ -282,6 +348,13 @@ func main() {
 	}
 	if len(parts) > 0 {
 		fmt.Printf(", speedups: %s", strings.Join(parts, ", "))
+	}
+	parts = parts[:0]
+	for _, o := range summary.Overheads {
+		parts = append(parts, fmt.Sprintf("%s %.2fx (limit %.2fx)", o.Name, o.Ratio, o.Limit))
+	}
+	if len(parts) > 0 {
+		fmt.Printf(", overheads: %s", strings.Join(parts, ", "))
 	}
 	fmt.Println()
 	if gateFailed {

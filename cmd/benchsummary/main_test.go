@@ -138,3 +138,55 @@ func TestGateThresholds(t *testing.T) {
 		t.Fatalf("unexpected output for in-noise comparison: %q", buf.String())
 	}
 }
+
+const watchdogOutput = `BenchmarkTrainEpoch/workers=1-8 	       1	200000000 ns/op
+BenchmarkTrainEpoch/workers=4-8 	       1	100000000 ns/op
+BenchmarkTrainEpoch/watchdog-8  	       1	208000000 ns/op
+`
+
+func TestSummarizeOverheads(t *testing.T) {
+	entries, err := parse(strings.NewReader(watchdogOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := summarize(entries)
+	if len(s.Overheads) != 1 {
+		t.Fatalf("%d overheads: %+v", len(s.Overheads), s.Overheads)
+	}
+	o := s.Overheads[0]
+	if o.Name != "watchdog-overhead" || o.Ratio != 1.04 || o.Limit != 1.10 || o.HardLimit != 1.25 {
+		t.Fatalf("overhead %+v", o)
+	}
+
+	// Without the watchdog variant the overhead must be absent, not zero.
+	s = summarize(entries[:2])
+	if len(s.Overheads) != 0 {
+		t.Fatalf("overhead computed from missing data: %+v", s.Overheads)
+	}
+}
+
+func TestGateOverheads(t *testing.T) {
+	var buf strings.Builder
+	// Within budget: silent pass.
+	in := []Overhead{{Name: "watchdog-overhead", Base: "b", Variant: "v", Ratio: 1.04, Limit: 1.10, HardLimit: 1.25}}
+	if gateOverheads(&buf, in) || buf.Len() != 0 {
+		t.Fatalf("in-budget overhead failed or annotated: %q", buf.String())
+	}
+	// Over budget but within the hard limit: warning, gate passes.
+	in[0].Ratio = 1.2
+	if gateOverheads(&buf, in) {
+		t.Fatal("gate failed below the hard limit")
+	}
+	if !strings.Contains(buf.String(), "::warning::") {
+		t.Fatalf("no warning annotation: %q", buf.String())
+	}
+	// Over the hard limit: failure with an error annotation.
+	buf.Reset()
+	in[0].Ratio = 1.3
+	if !gateOverheads(&buf, in) {
+		t.Fatal("over-hard-limit overhead passed")
+	}
+	if !strings.Contains(buf.String(), "::error::") {
+		t.Fatalf("no error annotation: %q", buf.String())
+	}
+}

@@ -17,10 +17,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"enld/internal/baselines"
@@ -30,21 +33,25 @@ import (
 	"enld/internal/fault"
 	"enld/internal/lake"
 	"enld/internal/metrics"
+	"enld/internal/nn"
 )
 
 // buildWorkbench prepares the workload, restoring the platform from
 // platformPath when a previous run saved one there (crash recovery: no
-// setup-phase retraining) and saving it after a fresh setup otherwise.
+// setup-phase retraining) and saving it after a fresh setup otherwise. A
+// snapshot that fails verification (torn write, bit rot, foreign file) is
+// not fatal: the run warns, rebuilds from scratch and atomically replaces
+// the bad file, so a corrupt checkpoint degrades to a slow start instead of
+// a crash loop.
 func buildWorkbench(preset string, eta float64, cfg experiments.Config, platformPath string) (*experiments.Workbench, error) {
 	if platformPath != "" {
-		if f, err := os.Open(platformPath); err == nil {
-			defer f.Close()
-			p, err := core.LoadPlatform(f)
-			if err != nil {
-				return nil, fmt.Errorf("load platform %s: %w", platformPath, err)
+		if _, err := os.Stat(platformPath); err == nil {
+			p, err := core.LoadPlatformFile(platformPath)
+			if err == nil {
+				fmt.Printf("platform restored from %s (setup skipped)\n", platformPath)
+				return experiments.BuildWorkbenchFrom(preset, eta, cfg, p)
 			}
-			fmt.Printf("platform restored from %s (setup skipped)\n", platformPath)
-			return experiments.BuildWorkbenchFrom(preset, eta, cfg, p)
+			fmt.Fprintf(os.Stderr, "lakesim: platform snapshot rejected, rebuilding from scratch: %v\n", err)
 		}
 	}
 	wb, err := experiments.BuildWorkbench(preset, eta, cfg)
@@ -52,13 +59,8 @@ func buildWorkbench(preset string, eta float64, cfg experiments.Config, platform
 		return nil, err
 	}
 	if platformPath != "" {
-		f, err := os.Create(platformPath)
-		if err != nil {
-			return nil, fmt.Errorf("save platform: %w", err)
-		}
-		defer f.Close()
-		if err := wb.Platform.Save(f); err != nil {
-			return nil, fmt.Errorf("save platform: %w", err)
+		if err := core.SavePlatformFile(wb.Platform, platformPath); err != nil {
+			return nil, err
 		}
 		fmt.Printf("platform saved to %s\n", platformPath)
 	}
@@ -100,10 +102,29 @@ func main() {
 		// Crash recovery.
 		platformPath = flag.String("platform", "", "platform snapshot file: loaded if present (skipping setup), saved after setup otherwise")
 		resume       = flag.Bool("resume", false, "skip task IDs already recorded in the -journal file")
+
+		// Numerical-health watchdog (internal/nn): NaN/Inf and
+		// loss-divergence detection with checkpoint rollback on every
+		// training run the platform performs.
+		watchdog      = flag.Bool("watchdog", false, "enable the numerical-health watchdog on platform training")
+		watchdogEvery = flag.Int("watchdog-every", 0, "batch cadence of gradient/weight scans (0 = default 16)")
+		rollbackMax   = flag.Int("rollback-budget", 0, "max checkpoint rollbacks per training run (0 = default 3)")
 	)
 	flag.Parse()
 
+	// An interrupt (Ctrl-C) or SIGTERM cancels the simulation and shuts the
+	// status endpoint down gracefully instead of killing mid-task.
+	rootCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := experiments.Config{Seed: *seed, DataScale: *scale, Shards: *shards, Workers: *taskW}
+	if *watchdog {
+		cfg.Watchdog = nn.WatchdogConfig{
+			Enabled:      true,
+			Health:       nn.HealthConfig{CheckEvery: *watchdogEvery},
+			MaxRollbacks: *rollbackMax,
+		}
+	}
 	wb, err := buildWorkbench(*preset, *eta, cfg, *platformPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lakesim:", err)
@@ -111,6 +132,11 @@ func main() {
 	}
 	fmt.Printf("platform ready: %s eta=%.2f, inventory=%d, setup=%s\n",
 		*preset, *eta, len(wb.Inventory), wb.Platform.SetupTime.Round(time.Millisecond))
+	if *watchdog {
+		h := wb.Platform.Health
+		fmt.Printf("watchdog: checks=%d rollbacks=%d last-unhealthy-epoch=%d checkpoints=%d verify-failures=%d\n",
+			h.HealthChecks, h.Rollbacks, h.LastUnhealthyEpoch, h.CheckpointsTaken, h.VerifyFailures)
+	}
 
 	// Recover the journal before serving: the intact prefix tells a
 	// restarted run which tasks are already durable.
@@ -134,12 +160,40 @@ func main() {
 	}
 
 	tracker := lake.NewStatusTracker(nil)
+	if *watchdog {
+		h := wb.Platform.Health
+		tracker.SetTrainingHealth(lake.TrainingHealth{
+			HealthChecks:             h.HealthChecks,
+			Rollbacks:                h.Rollbacks,
+			LastUnhealthyEpoch:       h.LastUnhealthyEpoch,
+			CheckpointsTaken:         h.CheckpointsTaken,
+			CheckpointVerifyFailures: h.VerifyFailures,
+		})
+	}
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/statusz", tracker.Handler())
+		// Explicit read/write timeouts keep a slow or stalled client from
+		// pinning a connection (bare ListenAndServe has none), and Shutdown
+		// drains in-flight requests on interrupt instead of dropping them.
+		srv := &http.Server{
+			Addr:              *httpAddr,
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
+			WriteTimeout:      10 * time.Second,
+			IdleTimeout:       time.Minute,
+		}
 		go func() {
-			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "lakesim: http:", err)
+			}
+		}()
+		defer func() {
+			shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(shutCtx); err != nil {
+				fmt.Fprintln(os.Stderr, "lakesim: http shutdown:", err)
 			}
 		}()
 		fmt.Printf("status endpoint: http://%s/statusz\n", *httpAddr)
@@ -208,7 +262,7 @@ func main() {
 			}
 		}
 
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		ctx, cancel := context.WithTimeout(rootCtx, *timeout)
 		defer cancel()
 		reports := svc.Run(ctx, lake.Feed(ctx, wb.Shards, *interval))
 		summarize(reports, len(wb.Shards), len(done), svc.Breaker())

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"time"
 
 	"enld/internal/dataset"
@@ -22,6 +24,7 @@ type platformSnapshot struct {
 	Ic         dataset.Set
 	Config     PlatformConfig
 	SetupTime  time.Duration
+	Health     nn.WatchdogStats
 }
 
 // Save persists the platform — general model, probability estimate,
@@ -39,6 +42,7 @@ func (p *Platform) Save(w io.Writer) error {
 		Ic:         p.Ic,
 		Config:     p.Config,
 		SetupTime:  p.SetupTime,
+		Health:     p.Health,
 	}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("core: save platform: %w", err)
@@ -65,6 +69,14 @@ func LoadPlatform(r io.Reader) (*Platform, error) {
 	if len(snap.It) == 0 || len(snap.Ic) == 0 {
 		return nil, errors.New("core: load platform: empty inventory halves")
 	}
+	if err := model.CheckFinite(); err != nil {
+		return nil, fmt.Errorf("core: load platform: %w", err)
+	}
+	if snap.Health == (nn.WatchdogStats{}) {
+		// Snapshots written before health accounting (or with the watchdog
+		// off) carry a zero struct; normalize the "never unhealthy" sentinel.
+		snap.Health.LastUnhealthyEpoch = -1
+	}
 	return &Platform{
 		Model:     model,
 		Cond:      snap.Cond,
@@ -72,7 +84,63 @@ func LoadPlatform(r io.Reader) (*Platform, error) {
 		Ic:        snap.Ic,
 		Config:    snap.Config,
 		SetupTime: snap.SetupTime,
+		Health:    snap.Health,
 	}, nil
+}
+
+// SavePlatformFile atomically persists p to path: the snapshot is written to
+// a temporary file in the same directory, fsynced, and renamed over path, so
+// a crash mid-save leaves the previous snapshot intact rather than a torn
+// file.
+func SavePlatformFile(p *Platform, path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("core: save platform %s: %w", path, err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := p.Save(tmp); err != nil {
+		return fmt.Errorf("core: save platform %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("core: save platform %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: save platform %s: %w", path, err)
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("core: save platform %s: %w", path, err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// LoadPlatformFile reads a platform snapshot written with SavePlatformFile.
+// Torn, corrupted or foreign files are rejected with descriptive errors (the
+// embedded model snapshot carries its own version header and CRC), so a
+// caller can safely fall back to a fresh setup when the load fails.
+func LoadPlatformFile(path string) (*Platform, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load platform %s: %w", path, err)
+	}
+	defer f.Close()
+	p, err := LoadPlatform(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: load platform %s: %w", path, err)
+	}
+	return p, nil
 }
 
 // bytesBuffer is a minimal in-memory io.ReadWriter; bytes.Buffer would work

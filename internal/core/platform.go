@@ -47,6 +47,11 @@ type PlatformConfig struct {
 	// (see nn.TrainConfig.Workers).
 	Workers int
 
+	// Watchdog enables the numerical-health watchdog (NaN/Inf and
+	// loss-divergence detection with checkpoint rollback) for every training
+	// run the platform performs — setup and Algorithm-4 model updates alike.
+	Watchdog nn.WatchdogConfig
+
 	Seed uint64
 }
 
@@ -81,6 +86,11 @@ type Platform struct {
 	// the paper's "setup time", shared by Default, CL and ENLD.
 	SetupTime  time.Duration
 	SetupMeter cost.Meter
+
+	// Health accumulates watchdog statistics over every training run the
+	// platform performed (setup plus model updates). It stays zero (with
+	// LastUnhealthyEpoch -1) when Config.Watchdog is disabled.
+	Health nn.WatchdogStats
 }
 
 // NewPlatform performs model_init(I) of Algorithm 1: a uniform random split
@@ -103,7 +113,7 @@ func NewPlatform(inventory dataset.Set, cfg PlatformConfig) (*Platform, error) {
 		cfg.BatchSize = 32
 	}
 	sw := cost.StartStopwatch()
-	p := &Platform{Config: cfg}
+	p := &Platform{Config: cfg, Health: nn.WatchdogStats{LastUnhealthyEpoch: -1}}
 	rng := mat.NewRNG(cfg.Seed)
 
 	var err error
@@ -140,7 +150,13 @@ func (p *Platform) trainGeneral(model *nn.Network, set dataset.Set, seed uint64)
 		MixupAlpha: p.Config.MixupAlpha,
 		Seed:       seed,
 		Workers:    p.Config.Workers,
+		Watchdog:   p.Config.Watchdog,
 	})
+	if p.Config.Watchdog.Enabled {
+		// Accumulate even on error: a run that exhausted its rollback budget
+		// still counts its checks and rollbacks in the platform's health view.
+		p.Health.Accumulate(trainer.WatchdogStats())
+	}
 	if err != nil {
 		return fmt.Errorf("core: general model training: %w", err)
 	}

@@ -17,6 +17,7 @@ import (
 	"enld/internal/dataset"
 	"enld/internal/detect"
 	"enld/internal/metrics"
+	"enld/internal/nn"
 )
 
 // Config holds the knobs shared by every experiment runner.
@@ -45,6 +46,9 @@ type Config struct {
 	// training/scoring/k-NN hot paths (0 = all cores). Experiment outputs
 	// are identical at every worker count.
 	Workers int
+	// Watchdog enables the numerical-health watchdog (NaN/Inf detection and
+	// checkpoint rollback) for every training run the platform performs.
+	Watchdog nn.WatchdogConfig
 	// Out receives the rendered tables; nil discards them.
 	Out io.Writer
 }

@@ -112,6 +112,7 @@ func buildWorkbench(preset string, eta float64, cfg Config, platform *core.Platf
 		pcfg := core.DefaultPlatformConfig(spec.Classes, spec.FeatureDim, cfg.Seed+1)
 		pcfg.Epochs = cfg.PlatformEpochs
 		pcfg.Workers = cfg.Workers
+		pcfg.Watchdog = cfg.Watchdog
 		platform, err = core.NewPlatform(inventory, pcfg)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,88 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"enld/internal/mat"
+	"enld/internal/nn"
+)
+
+// Model-state corruption injectors. The lake-serving chaos wrapper above
+// damages detector *inputs*; these damage the *model and its checkpoints* —
+// the failure modes the training stack's numerical-health watchdog and
+// checksummed snapshots exist to survive. All are deterministic from their
+// seed so recovery tests replay exactly.
+
+// pickParam selects a seeded-uniform parameter position across all weight
+// matrices of net.
+func pickParam(n *nn.Network, seed uint64) (layer, index int) {
+	rng := mat.NewRNG(seed)
+	total := 0
+	for _, w := range n.Weights {
+		total += len(w.Data)
+	}
+	flat := rng.Intn(total)
+	for l, w := range n.Weights {
+		if flat < len(w.Data) {
+			return l, flat
+		}
+		flat -= len(w.Data)
+	}
+	panic("fault: pickParam out of range")
+}
+
+// PokeNaN overwrites one seeded-random weight of net with NaN, modelling a
+// poisoned reduction or a hardware fault escaping the kernels. It returns
+// the damaged position.
+func PokeNaN(n *nn.Network, seed uint64) (layer, index int) {
+	layer, index = pickParam(n, seed)
+	n.Weights[layer].Data[index] = math.NaN()
+	return layer, index
+}
+
+// FlipWeightBit flips one seeded-random bit of one seeded-random weight —
+// the classic silent-memory-corruption fault. Depending on the bit this
+// yields anything from an invisible perturbation to an Inf/NaN or a
+// finite-but-huge value that only loss-divergence checks catch.
+func FlipWeightBit(n *nn.Network, seed uint64) (layer, index int, bit uint) {
+	layer, index = pickParam(n, seed)
+	rng := mat.NewRNG(seed ^ 0xd1b54a32d192ed03)
+	bit = uint(rng.Intn(64))
+	w := n.Weights[layer]
+	w.Data[index] = math.Float64frombits(math.Float64bits(w.Data[index]) ^ (1 << bit))
+	return layer, index, bit
+}
+
+// TearFile truncates path to frac of its current size, simulating a crash
+// partway through a non-atomic checkpoint write. frac must be in [0, 1).
+func TearFile(path string, frac float64) error {
+	if frac < 0 || frac >= 1 {
+		return fmt.Errorf("fault: tear fraction %v outside [0, 1)", frac)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("fault: tear %s: %w", path, err)
+	}
+	return os.Truncate(path, int64(float64(info.Size())*frac))
+}
+
+// CorruptFileByte XORs the byte at offset with 0xff, modelling a single
+// flipped storage byte in an otherwise intact checkpoint.
+func CorruptFileByte(path string, offset int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("fault: corrupt %s: %w", path, err)
+	}
+	defer f.Close()
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, offset); err != nil {
+		return fmt.Errorf("fault: corrupt %s at %d: %w", path, offset, err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b, offset); err != nil {
+		return fmt.Errorf("fault: corrupt %s at %d: %w", path, offset, err)
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"enld/internal/mat"
+	"enld/internal/nn"
+)
+
+func TestPokeNaNIsDeterministic(t *testing.T) {
+	a := nn.NewNetwork([]int{3, 5, 2}, mat.NewRNG(4))
+	b := nn.NewNetwork([]int{3, 5, 2}, mat.NewRNG(4))
+	al, ai := PokeNaN(a, 9)
+	bl, bi := PokeNaN(b, 9)
+	if al != bl || ai != bi {
+		t.Fatalf("same seed hit (%d,%d) and (%d,%d)", al, ai, bl, bi)
+	}
+	if !math.IsNaN(a.Weights[al].Data[ai]) {
+		t.Fatalf("weight (%d,%d) = %v, want NaN", al, ai, a.Weights[al].Data[ai])
+	}
+	if err := a.CheckFinite(); err == nil {
+		t.Fatal("poked network still passes CheckFinite")
+	}
+}
+
+func TestPokeNaNCoversAllLayers(t *testing.T) {
+	hit := map[int]bool{}
+	for seed := uint64(0); seed < 64; seed++ {
+		n := nn.NewNetwork([]int{3, 5, 2}, mat.NewRNG(4))
+		l, _ := PokeNaN(n, seed)
+		hit[l] = true
+	}
+	if len(hit) != 2 {
+		t.Fatalf("64 seeds hit layers %v, want both layers", hit)
+	}
+}
+
+func TestFlipWeightBitChangesExactlyOneBit(t *testing.T) {
+	n := nn.NewNetwork([]int{3, 5, 2}, mat.NewRNG(4))
+	orig := nn.NewNetwork([]int{3, 5, 2}, mat.NewRNG(4))
+	l, i, bit := FlipWeightBit(n, 21)
+	if bit > 63 {
+		t.Fatalf("bit = %d out of range", bit)
+	}
+	got := math.Float64bits(n.Weights[l].Data[i])
+	want := math.Float64bits(orig.Weights[l].Data[i])
+	if got^want != 1<<bit {
+		t.Fatalf("weight bits differ by %064b, want bit %d only", got^want, bit)
+	}
+	// Every other parameter is untouched.
+	for ll := range n.Weights {
+		for ii, v := range n.Weights[ll].Data {
+			if ll == l && ii == i {
+				continue
+			}
+			if v != orig.Weights[ll].Data[ii] {
+				t.Fatalf("weight (%d,%d) changed", ll, ii)
+			}
+		}
+	}
+}
+
+func TestTearFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	if err := os.WriteFile(path, make([]byte, 100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TearFile(path, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 40 {
+		t.Fatalf("torn file is %d bytes, want 40", info.Size())
+	}
+	for _, frac := range []float64{-0.1, 1.0, 1.5} {
+		if err := TearFile(path, frac); err == nil {
+			t.Fatalf("tear with frac %v succeeded", frac)
+		}
+	}
+	if err := TearFile(filepath.Join(t.TempDir(), "absent"), 0.5); err == nil {
+		t.Fatal("tearing a missing file succeeded")
+	}
+}
+
+func TestCorruptFileByte(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	if err := os.WriteFile(path, []byte{1, 2, 3, 4}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptFileByte(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 2, 3 ^ 0xff, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("file = %v, want %v", got, want)
+		}
+	}
+	if err := CorruptFileByte(path, 99); err == nil {
+		t.Fatal("corrupting past EOF succeeded")
+	}
+}
+
+// TestTornSnapshotRejected ties the injectors to the snapshot format: a
+// checkpoint torn or bit-flipped on disk must be refused by nn.LoadFile.
+func TestTornSnapshotRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.nn")
+	net := nn.NewNetwork([]int{3, 5, 2}, mat.NewRNG(4))
+	if err := net.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := TearFile(path, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nn.LoadFile(path); err == nil {
+		t.Fatal("torn snapshot loaded successfully")
+	}
+
+	if err := net.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptFileByte(path, 33); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nn.LoadFile(path); err == nil {
+		t.Fatal("bit-flipped snapshot loaded successfully")
+	}
+}

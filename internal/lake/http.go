@@ -31,8 +31,30 @@ type Status struct {
 	// Breaker reports the circuit breaker, when one is attached.
 	Breaker *BreakerStatus `json:"breaker,omitempty"`
 
+	// Training reports the numerical-health watchdog of the platform's
+	// training stack, when one is wired in.
+	Training *TrainingHealth `json:"training_health,omitempty"`
+
 	// Recent holds the newest task reports, most recent first.
 	Recent []ReportSummary `json:"recent,omitempty"`
+}
+
+// TrainingHealth is the JSON shape of the training stack's numerical-health
+// watchdog counters (mirrors nn.WatchdogStats without importing it, keeping
+// the serving layer decoupled from the training stack).
+type TrainingHealth struct {
+	// HealthChecks counts executed NaN/Inf/divergence checks.
+	HealthChecks int `json:"health_checks"`
+	// Rollbacks counts checkpoint restorations after a failed check.
+	Rollbacks int `json:"rollbacks"`
+	// LastUnhealthyEpoch is the most recent epoch flagged unhealthy, -1 if
+	// none ever was.
+	LastUnhealthyEpoch int `json:"last_unhealthy_epoch"`
+	// CheckpointsTaken counts good-state checkpoints captured.
+	CheckpointsTaken int `json:"checkpoints_taken"`
+	// CheckpointVerifyFailures counts checkpoints rejected at restore or
+	// load time because their integrity checksum no longer matched.
+	CheckpointVerifyFailures int `json:"checkpoint_verify_failures"`
 }
 
 // BreakerStatus is the JSON shape of the circuit breaker's state.
@@ -61,10 +83,11 @@ type ReportSummary struct {
 // StatusTracker accumulates task reports and serves them over HTTP. It is
 // safe for concurrent use: workers record reports while the endpoint reads.
 type StatusTracker struct {
-	mu      sync.Mutex
-	store   *Store
-	breaker *Breaker
-	reports []Report
+	mu       sync.Mutex
+	store    *Store
+	breaker  *Breaker
+	training *TrainingHealth
+	reports  []Report
 	// keepRecent bounds the recent-report ring.
 	keepRecent int
 }
@@ -81,6 +104,15 @@ func (t *StatusTracker) AttachBreaker(b *Breaker) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.breaker = b
+}
+
+// SetTrainingHealth publishes the training stack's watchdog counters into
+// the status JSON. Call it after platform setup and again after any model
+// update; the latest value wins.
+func (t *StatusTracker) SetTrainingHealth(h TrainingHealth) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.training = &h
 }
 
 // Record adds a processed task report.
@@ -103,6 +135,10 @@ func (t *StatusTracker) Snapshot() Status {
 	}
 	if t.breaker != nil {
 		st.Breaker = &BreakerStatus{State: t.breaker.State().String(), Trips: t.breaker.Trips()}
+	}
+	if t.training != nil {
+		h := *t.training
+		st.Training = &h
 	}
 	var f1Sum float64
 	var procSum, queueSum time.Duration

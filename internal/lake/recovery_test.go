@@ -1,0 +1,151 @@
+package lake
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"enld/internal/core"
+	"enld/internal/dataset"
+	"enld/internal/fault"
+	"enld/internal/mat"
+	"enld/internal/nn"
+)
+
+// buildRecoveryPlatform trains a small watchdog-guarded platform; everything
+// is deterministic from seed, so a restarted incarnation rebuilds the exact
+// same model when its on-disk checkpoint turns out to be unusable.
+func buildRecoveryPlatform(t *testing.T, seed uint64) *core.Platform {
+	t.Helper()
+	sp := dataset.Spec{
+		Name: "recovery", Classes: 4, FeatureDim: 6, PerClass: 40,
+		Separation: 4, Spread: 1, Seed: seed,
+	}
+	full, err := sp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, _, err := dataset.SplitRatio(full, 2.0/3.0, mat.NewRNG(seed+2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultPlatformConfig(sp.Classes, sp.FeatureDim, seed+3)
+	cfg.Epochs = 6
+	cfg.Watchdog = nn.WatchdogConfig{Enabled: true}
+	p, err := core.NewPlatform(inv, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCrashRecoveryComposesJournalAndCheckpoint extends the journal
+// crash-restart scenario with model-state recovery: the process dies with a
+// torn record at the journal tail AND a torn platform checkpoint on disk.
+// The restarted incarnation must end up with zero lost tasks and a
+// verified-good model — the journal yields the completed work, the
+// checkpoint's integrity checking rejects the torn file, and the
+// deterministic rebuild reproduces the original model bit for bit.
+func TestCrashRecoveryComposesJournalAndCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal")
+	ppath := filepath.Join(dir, "platform.gob")
+	ctx := context.Background()
+
+	// First incarnation: train the platform, persist it, journal 3 of the 6
+	// detection tasks.
+	p1 := buildRecoveryPlatform(t, 7)
+	if err := core.SavePlatformFile(p1, ppath); err != nil {
+		t.Fatal(err)
+	}
+	j1, entries, err := RecoverJournalFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("fresh journal has %d entries", len(entries))
+	}
+	svc, _ := NewService(flagOdd{}, 2)
+	for _, rep := range svc.Run(ctx, Feed(ctx, shards(6, 2)[:3], 0)) {
+		if _, err := j1.AppendDetection(rep.TaskID, map[int]bool{}, nil, "run1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash: the last journal record is torn mid-write, and the platform
+	// checkpoint is torn as well (a non-atomic writer died mid-rewrite).
+	info, err := os.Stat(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(jpath, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.TearFile(ppath, 0.6); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart. The journal recovers its intact prefix...
+	j2, entries, err := RecoverJournalFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("recovered %d journal entries, want 2", len(entries))
+	}
+	done := DoneTasks(entries)
+
+	// ...the torn checkpoint is rejected rather than half-loaded...
+	if _, err := core.LoadPlatformFile(ppath); err == nil {
+		t.Fatal("torn platform checkpoint loaded successfully")
+	}
+
+	// ...so the service falls back to the deterministic rebuild, which must
+	// reproduce the first incarnation's model exactly.
+	p2 := buildRecoveryPlatform(t, 7)
+	if err := p2.Model.CheckFinite(); err != nil {
+		t.Fatalf("rebuilt model unhealthy: %v", err)
+	}
+	for l := range p1.Model.Weights {
+		for i, v := range p1.Model.Weights[l].Data {
+			if p2.Model.Weights[l].Data[i] != v {
+				t.Fatalf("rebuilt model differs at layer %d index %d", l, i)
+			}
+		}
+	}
+	if err := core.SavePlatformFile(p2, ppath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.LoadPlatformFile(ppath); err != nil {
+		t.Fatalf("re-persisted checkpoint unreadable: %v", err)
+	}
+
+	// The restarted service skips journaled work and finishes the rest:
+	// every task is covered exactly once across both incarnations.
+	svc2, _ := NewService(flagOdd{}, 2)
+	svc2.SkipCompleted(done)
+	reports := svc2.Run(ctx, Feed(ctx, shards(6, 2), 0))
+	covered := map[int]bool{}
+	for id := range done {
+		covered[id] = true
+	}
+	for _, rep := range reports {
+		if covered[rep.TaskID] {
+			t.Fatalf("task %d processed twice", rep.TaskID)
+		}
+		covered[rep.TaskID] = true
+		if _, err := j2.AppendDetection(rep.TaskID, map[int]bool{}, nil, "run2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(covered) != 6 {
+		t.Fatalf("covered %d of 6 tasks: %v", len(covered), covered)
+	}
+}

@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"math"
+
+	"enld/internal/mat"
+)
+
+// checkpoint is one retained good training state: a deep copy of the
+// network's parameters, the RNG state that reproduces the exact shuffle and
+// mixup stream from this point, and an integrity checksum over the parameter
+// bits. The checksum makes the ring self-verifying: a checkpoint corrupted in
+// memory (the bit-flip failure mode the fault injectors model) is detected
+// and skipped at restore time instead of silently reinstating bad weights.
+type checkpoint struct {
+	epoch   int
+	weights [][]float64
+	biases  [][]float64
+	rng     mat.RNG
+	sum     uint64
+}
+
+// paramSum hashes the parameter bit patterns with FNV-1a. Bit patterns (not
+// float values) so that even a single flipped mantissa bit changes the sum,
+// and NaNs hash deterministically.
+func paramSum(weights, biases [][]float64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(vs []float64) {
+		for _, v := range vs {
+			b := math.Float64bits(v)
+			for s := 0; s < 64; s += 8 {
+				h ^= (b >> s) & 0xff
+				h *= prime
+			}
+		}
+	}
+	for l := range weights {
+		mix(weights[l])
+		mix(biases[l])
+	}
+	return h
+}
+
+// checkpointRing retains the last size good checkpoints, newest last.
+type checkpointRing struct {
+	entries []*checkpoint
+	size    int
+}
+
+func newCheckpointRing(size int) *checkpointRing {
+	return &checkpointRing{size: size}
+}
+
+// capture records net's current parameters and rng state as a good
+// checkpoint for epoch. When the ring is full the oldest entry's buffers are
+// reused, so steady-state captures do not allocate.
+func (r *checkpointRing) capture(net *Network, rng mat.RNG, epoch int) {
+	var ck *checkpoint
+	if len(r.entries) == r.size {
+		ck = r.entries[0]
+		r.entries = append(r.entries[:0], r.entries[1:]...)
+	} else {
+		ck = &checkpoint{}
+		for l, w := range net.Weights {
+			ck.weights = append(ck.weights, make([]float64, len(w.Data)))
+			ck.biases = append(ck.biases, make([]float64, len(net.Biases[l])))
+		}
+	}
+	for l, w := range net.Weights {
+		copy(ck.weights[l], w.Data)
+		copy(ck.biases[l], net.Biases[l])
+	}
+	ck.epoch = epoch
+	ck.rng = rng
+	ck.sum = paramSum(ck.weights, ck.biases)
+	r.entries = append(r.entries, ck)
+}
+
+// restore copies the newest checkpoint whose checksum still verifies back
+// into net and returns it, discarding any entries that fail verification
+// (their count is returned as verifyFailures). It returns a nil checkpoint
+// when no retained entry verifies. The restored entry stays in the ring, so
+// repeated failures can roll back to the same state again.
+func (r *checkpointRing) restore(net *Network) (ck *checkpoint, verifyFailures int) {
+	for len(r.entries) > 0 {
+		cand := r.entries[len(r.entries)-1]
+		if paramSum(cand.weights, cand.biases) != cand.sum {
+			verifyFailures++
+			r.entries = r.entries[:len(r.entries)-1]
+			continue
+		}
+		for l := range net.Weights {
+			copy(net.Weights[l].Data, cand.weights[l])
+			copy(net.Biases[l], cand.biases[l])
+		}
+		return cand, verifyFailures
+	}
+	return nil, verifyFailures
+}

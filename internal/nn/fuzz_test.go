@@ -1,0 +1,50 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"enld/internal/mat"
+)
+
+// FuzzLoadSnapshot throws arbitrary bytes — seeded with valid snapshots and
+// near-miss mutations of them — at Load. Load must never panic, and whenever
+// it accepts an input the resulting network must be structurally sound
+// (positive layer sizes, finite-or-not but correctly shaped parameters) and
+// must survive a save/load round trip.
+func FuzzLoadSnapshot(f *testing.F) {
+	for _, sizes := range [][]int{{2, 3, 2}, {1, 1}, {4, 8, 8, 3}} {
+		var buf bytes.Buffer
+		if err := NewNetwork(sizes, mat.NewRNG(7)).Save(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+
+		// Near-miss seeds: valid header, damaged interior.
+		b := append([]byte(nil), buf.Bytes()...)
+		b[len(b)/2] ^= 0x40
+		f.Add(b)
+		f.Add(b[:len(b)-7])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("ENLDNN"))
+	f.Add([]byte("not a snapshot at all, just text"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(net.Weights) == 0 || len(net.Biases) != len(net.Weights) {
+			t.Fatalf("accepted snapshot produced malformed network: %d weight layers, %d bias layers",
+				len(net.Weights), len(net.Biases))
+		}
+		var buf bytes.Buffer
+		if err := net.Save(&buf); err != nil {
+			t.Fatalf("accepted network failed to re-save: %v", err)
+		}
+		if _, err := Load(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("re-saved network failed to load: %v", err)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"errors"
+	"fmt"
 	"strconv"
 
 	"enld/internal/mat"
@@ -43,6 +44,18 @@ type TrainConfig struct {
 	// and reduce in chunk order, and all randomness (shuffle, mixup draws)
 	// is consumed sequentially outside the parallel section.
 	Workers int
+	// Watchdog enables the numerical-health watchdog with checkpoint
+	// rollback (see WatchdogConfig). The zero value disables it and leaves
+	// Run's floating-point stream untouched.
+	Watchdog WatchdogConfig
+	// AfterEpoch, when set, is called at the end of each healthy epoch with
+	// the epoch index and the live network — after the watchdog's health
+	// evaluation and checkpoint capture, so anything it perturbs is caught
+	// by the next epoch's checks and rolled back to the clean checkpoint.
+	// Fault-injection tests use it to corrupt state mid-training; it must be
+	// a deterministic function of its arguments for the rollback determinism
+	// contract to hold.
+	AfterEpoch func(epoch int, net *Network)
 }
 
 // DefaultMixupAlpha is the paper's Beta-distribution parameter for mixup.
@@ -86,6 +99,9 @@ type Trainer struct {
 	replicas  []*Network
 	mixX      [][]float64 // per-worker single-sample mixup buffers
 	mixT      [][]float64
+
+	// wstats reports what the watchdog did during the last Run.
+	wstats WatchdogStats
 }
 
 // NewTrainer returns a trainer bound to net and opt.
@@ -131,10 +147,94 @@ func (t *Trainer) Run(examples []Example, cfg TrainConfig) ([]EpochStats, error)
 		maxBatch = len(examples)
 	}
 	t.ensureScratch(pool.Workers(), maxBatch)
+	if cfg.Watchdog.Enabled {
+		return t.runWatchdog(examples, cfg, alpha, pool)
+	}
+	t.wstats = WatchdogStats{}
 	rng := mat.NewRNG(cfg.Seed)
 	stats := make([]EpochStats, 0, cfg.Epochs)
 	for e := 0; e < cfg.Epochs; e++ {
-		stats = append(stats, t.epoch(examples, cfg, alpha, rng, pool))
+		st, _ := t.epoch(examples, cfg, alpha, rng, pool, nil, e)
+		if cfg.AfterEpoch != nil {
+			cfg.AfterEpoch(e, t.Net)
+		}
+		stats = append(stats, st)
+	}
+	return stats, nil
+}
+
+// WatchdogStats reports what the watchdog did during the last Run. It is
+// zero when the last Run had the watchdog disabled.
+func (t *Trainer) WatchdogStats() WatchdogStats { return t.wstats }
+
+// runWatchdog is Run with the numerical-health watchdog engaged. The epoch
+// loop is wrapped in a detect → rollback → decay-LR → retry cycle:
+//
+//   - every batch, the summed chunk loss (the BackwardBatch reduction
+//     output) is checked for NaN/±Inf, and at the configured cadence the
+//     reduced gradient and the updated weights are scanned;
+//   - after each healthy epoch (at the checkpoint cadence) the parameters
+//     and RNG state go into a checksummed ring of good checkpoints;
+//   - on a failed check the newest verified checkpoint is restored, the
+//     optimizer state is reset and its learning rate decayed, and training
+//     resumes from the checkpoint's epoch — up to MaxRollbacks times before
+//     Run gives up and returns the pending ErrUnhealthy.
+//
+// Recovery is deterministic: the checkpoint carries the RNG state, health
+// decisions depend only on chunk-ordered reductions (bit-identical at every
+// worker count), so the same seed yields the same recovery sequence and the
+// same final weights no matter how many workers ran the batches.
+func (t *Trainer) runWatchdog(examples []Example, cfg TrainConfig, alpha float64, pool *parallel.Pool) ([]EpochStats, error) {
+	wd := cfg.Watchdog.normalized()
+	h := newHealth(wd.Health)
+	ring := newCheckpointRing(wd.RingSize)
+	rng := mat.NewRNG(cfg.Seed)
+	t.wstats = WatchdogStats{LastUnhealthyEpoch: -1}
+
+	// The initial checkpoint (epoch -1) guarantees a rollback target even
+	// when training goes bad before the first epoch completes.
+	ring.capture(t.Net, *rng, -1)
+	t.wstats.CheckpointsTaken++
+
+	stats := make([]EpochStats, 0, cfg.Epochs)
+	for e := 0; e < cfg.Epochs; e++ {
+		st, herr := t.epoch(examples, cfg, alpha, rng, pool, h, e)
+		if herr == nil {
+			herr = h.observeEpoch(e, st.MeanLoss, t.Net)
+		}
+		t.wstats.HealthChecks = h.checks
+		if herr != nil {
+			t.wstats.LastUnhealthyEpoch = e
+			if t.wstats.Rollbacks >= wd.MaxRollbacks {
+				return stats, fmt.Errorf("nn: rollback budget (%d) exhausted: %w", wd.MaxRollbacks, herr)
+			}
+			ck, fails := ring.restore(t.Net)
+			t.wstats.VerifyFailures += fails
+			if ck == nil {
+				return stats, fmt.Errorf("nn: no verified checkpoint to roll back to: %w", herr)
+			}
+			t.wstats.Rollbacks++
+			t.Opt.Reset()
+			if s, ok := t.Opt.(LRScaler); ok {
+				s.ScaleLR(wd.LRDecay)
+			}
+			*rng = ck.rng
+			stats = stats[:ck.epoch+1]
+			e = ck.epoch
+			continue
+		}
+		stats = append(stats, st)
+		if (e+1)%wd.CheckpointEvery == 0 {
+			ring.capture(t.Net, *rng, e)
+			t.wstats.CheckpointsTaken++
+		}
+		// The hook runs after the checkpoint is captured, so any state it
+		// perturbs (fault injection in tests, external weight surgery) is
+		// caught by the next epoch's checks and rolled back to the clean,
+		// training-produced state.
+		if cfg.AfterEpoch != nil {
+			cfg.AfterEpoch(e, t.Net)
+		}
 	}
 	return stats, nil
 }
@@ -192,7 +292,13 @@ func (t *Trainer) ensureScratch(workers, maxBatch int) {
 // order within a chunk (see BackwardBatch), the chunk partition and reduction
 // order never depend on the worker count, and the RNG (shuffle and mixup
 // draws) is consumed sequentially before the parallel section.
-func (t *Trainer) epoch(examples []Example, cfg TrainConfig, alpha float64, rng *mat.RNG, pool *parallel.Pool) EpochStats {
+//
+// With a non-nil health checker, each batch's reduced loss is validated and
+// the reduced gradient and updated weights are scanned at the configured
+// cadence; the first failed check aborts the epoch with a HealthError.
+// Health decisions read only chunk-ordered reductions, so they are
+// bit-identical at every worker count.
+func (t *Trainer) epoch(examples []Example, cfg TrainConfig, alpha float64, rng *mat.RNG, pool *parallel.Pool, h *health, e int) (EpochStats, error) {
 	order := rng.Perm(len(examples))
 	var st EpochStats
 	var lossSum float64
@@ -238,18 +344,25 @@ func (t *Trainer) epoch(examples []Example, cfg TrainConfig, alpha float64, rng 
 			t.chunkLoss[c] = t.Net.BackwardBatch(t.batch[worker], g, xs, ts)
 		})
 		t.grads.Zero()
+		var batchLoss float64
 		for c := 0; c < nChunks; c++ {
 			t.grads.Add(t.chunkGrads[c])
-			lossSum += t.chunkLoss[c]
+			batchLoss += t.chunkLoss[c]
 		}
+		lossSum += batchLoss
 		st.SamplesSeen += len(batch)
 		t.Opt.Step(t.Net, t.grads, len(batch))
 		st.BatchUpdates++
+		if h != nil {
+			if err := h.checkBatch(e, st.BatchUpdates, batchLoss, t.grads, t.Net); err != nil {
+				return st, err
+			}
+		}
 	}
 	if st.SamplesSeen > 0 {
 		st.MeanLoss = lossSum / float64(st.SamplesSeen)
 	}
-	return st
+	return st, nil
 }
 
 // perSampleChunk is the pre-batching reference path: per-sample Backward
