@@ -22,6 +22,7 @@ import (
 	"enld/internal/kdtree"
 	"enld/internal/mat"
 	"enld/internal/nn"
+	"enld/internal/obs"
 	"enld/internal/sampling"
 )
 
@@ -258,6 +259,21 @@ func BenchmarkTrainEpoch(b *testing.B) {
 			}
 		})
 	}
+	// Same single-worker epoch with an observability registry attached —
+	// every batch observes a duration and a loss into histograms; benchsummary
+	// gates the obs/workers=1 ratio to keep metric recording off the
+	// per-sample hot path (< 5% overhead).
+	b.Run("obs", func(b *testing.B) {
+		trainer := nn.NewTrainer(net, nn.NewSGD(0.01, 0.9, 1e-4))
+		trainer.Obs = obs.NewRegistry()
+		for i := 0; i < b.N; i++ {
+			if _, err := trainer.Run(examples, nn.TrainConfig{
+				Epochs: 1, BatchSize: 32, Seed: uint64(i), Workers: 1,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	// Same single-worker epoch with the numerical-health watchdog at its
 	// default cadence; benchsummary gates the watchdog/workers=1 ratio to
 	// keep the health checks off the per-sample hot path (< 10% overhead).

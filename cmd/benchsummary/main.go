@@ -11,7 +11,8 @@
 // Within-run overhead ratios (see overheadPairs) are gated on every
 // invocation, baseline or no baseline: the numerical-health watchdog has a
 // 10% budget over a plain training epoch (warning above it, hard failure
-// above the 25% noise-proof limit).
+// above the 25% noise-proof limit), and the observability registry has a 5%
+// budget (hard failure above 15%).
 //
 // With -baseline it is also a soft perf-regression gate: every fresh entry is
 // compared against the committed BENCH_ci.json. Any benchmark more than 10%
@@ -121,6 +122,14 @@ var overheadPairs = []Overhead{
 		Name: "watchdog-overhead",
 		Base: "BenchmarkTrainEpoch/workers=1", Variant: "BenchmarkTrainEpoch/watchdog",
 		Limit: 1.10, HardLimit: failRatio,
+	},
+	{
+		// Observability budget: recording per-batch durations and losses into
+		// lock-free histograms must stay within 5% of an unobserved epoch
+		// (hard failure at 15%, beyond single-shot noise).
+		Name: "obs-overhead",
+		Base: "BenchmarkTrainEpoch/workers=1", Variant: "BenchmarkTrainEpoch/obs",
+		Limit: 1.05, HardLimit: 1.15,
 	},
 }
 

@@ -19,22 +19,25 @@ import (
 	"enld/internal/experiments"
 	"enld/internal/metrics"
 	"enld/internal/nn"
+	"enld/internal/obs"
 	"enld/internal/prof"
 )
 
 func main() {
 	var (
-		preset  = flag.String("dataset", "cifar100", "workload preset: emnist, cifar100, tinyimagenet")
-		eta     = flag.Float64("eta", 0.2, "pair-noise rate in [0, 1)")
-		method  = flag.String("method", "enld", "default, cl-1, cl-2, topofilter, enld, or all")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		scale   = flag.Float64("scale", 1.0, "dataset size factor")
-		shards  = flag.Int("shards", 0, "incremental dataset count (0 = paper count)")
-		iters   = flag.Int("iters", 0, "ENLD iterations t (0 = paper default)")
-		noise   = flag.String("noise", "pair", "label-noise model: pair (paper) or symmetric")
-		workers = flag.Int("workers", 0, "data-parallel workers for training/scoring/k-NN (0 = all cores); results are identical at any count")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		preset     = flag.String("dataset", "cifar100", "workload preset: emnist, cifar100, tinyimagenet")
+		eta        = flag.Float64("eta", 0.2, "pair-noise rate in [0, 1)")
+		method     = flag.String("method", "enld", "default, cl-1, cl-2, topofilter, enld, or all")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		scale      = flag.Float64("scale", 1.0, "dataset size factor")
+		shards     = flag.Int("shards", 0, "incremental dataset count (0 = paper count)")
+		iters      = flag.Int("iters", 0, "ENLD iterations t (0 = paper default)")
+		noise      = flag.String("noise", "pair", "label-noise model: pair (paper) or symmetric")
+		workers    = flag.Int("workers", 0, "data-parallel workers for training/scoring/k-NN (0 = all cores); results are identical at any count")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut   = flag.String("trace", "", "write a runtime/trace execution trace to this file")
+		metricsOut = flag.String("metrics-out", "", "write final metrics in Prometheus text format to this file")
 
 		watchdog      = flag.Bool("watchdog", false, "enable the numerical-health watchdog (NaN/Inf + divergence detection, checkpoint rollback) on platform training")
 		watchdogEvery = flag.Int("watchdog-every", 0, "batch cadence of gradient/weight scans (0 = default 16)")
@@ -42,16 +45,32 @@ func main() {
 	)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuProf, *memProf)
+	stopProf, err := prof.Start(*cpuProf, *memProf, *traceOut)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "enld:", err)
 		os.Exit(1)
 	}
 	defer stopProf()
 
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		defer func() {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "enld:", err)
+				return
+			}
+			defer f.Close()
+			if err := reg.WritePrometheus(f); err != nil {
+				fmt.Fprintln(os.Stderr, "enld:", err)
+			}
+		}()
+	}
+
 	cfg := experiments.Config{
 		Seed: *seed, DataScale: *scale, Shards: *shards, Iterations: *iters,
-		Noise: experiments.NoiseKind(*noise), Workers: *workers,
+		Noise: experiments.NoiseKind(*noise), Workers: *workers, Obs: reg,
 	}
 	if *watchdog {
 		cfg.Watchdog = nn.WatchdogConfig{

@@ -21,34 +21,53 @@ import (
 	"time"
 
 	"enld/internal/experiments"
+	"enld/internal/obs"
 	"enld/internal/prof"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+") or 'all'")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		scale   = flag.Float64("scale", 1.0, "dataset size factor")
-		shards  = flag.Int("shards", 0, "incremental dataset count (0 = paper count)")
-		epochs  = flag.Int("epochs", 0, "platform training epochs (0 = default)")
-		iters   = flag.Int("iters", 0, "ENLD iterations t (0 = paper default per dataset)")
-		etas    = flag.String("etas", "", "comma-separated noise rates (default 0.1,0.2,0.3,0.4)")
-		csvDir  = flag.String("csv", "", "also write results as CSV files into this directory")
-		noise   = flag.String("noise", "pair", "label-noise model: pair (paper) or symmetric")
-		md      = flag.Bool("md", false, "also print results as Markdown tables")
-		workers = flag.Int("workers", 1, "experiments run concurrently (0 = all cores); rendered output stays in experiment order")
-		dataW   = flag.Int("data-workers", 1, "data-parallel workers inside each experiment (0 = all cores); results are identical at any count")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		run        = flag.String("run", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+") or 'all'")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		scale      = flag.Float64("scale", 1.0, "dataset size factor")
+		shards     = flag.Int("shards", 0, "incremental dataset count (0 = paper count)")
+		epochs     = flag.Int("epochs", 0, "platform training epochs (0 = default)")
+		iters      = flag.Int("iters", 0, "ENLD iterations t (0 = paper default per dataset)")
+		etas       = flag.String("etas", "", "comma-separated noise rates (default 0.1,0.2,0.3,0.4)")
+		csvDir     = flag.String("csv", "", "also write results as CSV files into this directory")
+		noise      = flag.String("noise", "pair", "label-noise model: pair (paper) or symmetric")
+		md         = flag.Bool("md", false, "also print results as Markdown tables")
+		workers    = flag.Int("workers", 1, "experiments run concurrently (0 = all cores); rendered output stays in experiment order")
+		dataW      = flag.Int("data-workers", 1, "data-parallel workers inside each experiment (0 = all cores); results are identical at any count")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut   = flag.String("trace", "", "write a runtime/trace execution trace to this file")
+		metricsOut = flag.String("metrics-out", "", "write final metrics in Prometheus text format to this file")
 	)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuProf, *memProf)
+	stopProf, err := prof.Start(*cpuProf, *memProf, *traceOut)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 	defer stopProf()
+
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		defer func() {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			if err := reg.WritePrometheus(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 
 	cfg := experiments.Config{
 		Seed:           *seed,
@@ -58,6 +77,7 @@ func main() {
 		Iterations:     *iters,
 		Noise:          experiments.NoiseKind(*noise),
 		Workers:        *dataW,
+		Obs:            reg,
 		Out:            os.Stdout,
 	}
 	if *etas != "" {

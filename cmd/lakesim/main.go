@@ -34,6 +34,7 @@ import (
 	"enld/internal/lake"
 	"enld/internal/metrics"
 	"enld/internal/nn"
+	"enld/internal/obs"
 )
 
 // buildWorkbench prepares the workload, restoring the platform from
@@ -80,7 +81,12 @@ func main() {
 		interval = flag.Duration("interval", 50*time.Millisecond, "arrival pacing between datasets")
 		timeout  = flag.Duration("timeout", 10*time.Minute, "overall simulation deadline")
 		journal  = flag.String("journal", "", "append an audit journal of detection decisions to this file")
-		httpAddr = flag.String("http", "", "serve a JSON status endpoint on this address (e.g. :8080)")
+		httpAddr = flag.String("http", "", "serve JSON status (/statusz) and Prometheus metrics (/metrics) on this address (e.g. :8080)")
+
+		// Observability.
+		keepRecent = flag.Int("keep-recent", 0, "recent task reports kept in /statusz (0 = default 20)")
+		obsLedger  = flag.String("obs-ledger", "", "append a JSONL ledger of completed spans to this file")
+		linger     = flag.Duration("linger", 0, "keep the HTTP endpoints serving this long after the run (for scraping final state)")
 
 		// Fault injection (internal/fault): deterministic chaos on the
 		// chosen detector.
@@ -117,7 +123,21 @@ func main() {
 	rootCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cfg := experiments.Config{Seed: *seed, DataScale: *scale, Shards: *shards, Workers: *taskW}
+	// One registry observes the whole run: platform setup, every detection
+	// task, the lake service and the breaker all report into it, and the
+	// /metrics endpoint serves it live.
+	reg := obs.NewRegistry()
+	if *obsLedger != "" {
+		f, err := os.OpenFile(*obsLedger, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lakesim: obs-ledger:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		reg.SetSpanLedger(f)
+	}
+
+	cfg := experiments.Config{Seed: *seed, DataScale: *scale, Shards: *shards, Workers: *taskW, Obs: reg}
 	if *watchdog {
 		cfg.Watchdog = nn.WatchdogConfig{
 			Enabled:      true,
@@ -160,6 +180,7 @@ func main() {
 	}
 
 	tracker := lake.NewStatusTracker(nil)
+	tracker.SetKeepRecent(*keepRecent)
 	if *watchdog {
 		h := wb.Platform.Health
 		tracker.SetTrainingHealth(lake.TrainingHealth{
@@ -173,6 +194,7 @@ func main() {
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/statusz", tracker.Handler())
+		mux.Handle("/metrics", reg.Handler())
 		// Explicit read/write timeouts keep a slow or stalled client from
 		// pinning a connection (bare ListenAndServe has none), and Shutdown
 		// drains in-flight requests on interrupt instead of dropping them.
@@ -197,6 +219,7 @@ func main() {
 			}
 		}()
 		fmt.Printf("status endpoint: http://%s/statusz\n", *httpAddr)
+		fmt.Printf("metrics endpoint: http://%s/metrics\n", *httpAddr)
 	}
 
 	for _, d := range experiments.AllMethods(wb, *seed+3) {
@@ -239,8 +262,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lakesim:", err)
 			os.Exit(1)
 		}
+		svc.SetObs(reg)
 		if b := svc.Breaker(); b != nil {
 			tracker.AttachBreaker(b)
+			lake.ObserveBreaker(b, reg)
 			b.OnTransition(func(from, to lake.BreakerState) {
 				fmt.Printf("breaker: %s -> %s\n", from, to)
 			})
@@ -270,6 +295,15 @@ func main() {
 			st := injector.Stats()
 			fmt.Printf("faults injected: calls=%d failures=%d panics=%d slowdowns=%d corruptions=%d\n",
 				st.Calls, st.Failures, st.Panics, st.Slowdowns, st.Corruptions)
+		}
+		if *linger > 0 && *httpAddr != "" {
+			// Hold the endpoints open so a scraper can read the run's final
+			// state; an interrupt ends the wait early.
+			fmt.Printf("lingering %s for scrapes (Ctrl-C to stop)\n", *linger)
+			select {
+			case <-time.After(*linger):
+			case <-rootCtx.Done():
+			}
 		}
 		return
 	}

@@ -9,6 +9,7 @@ import (
 	"enld/internal/detect"
 	"enld/internal/mat"
 	"enld/internal/nn"
+	"enld/internal/obs"
 	"enld/internal/sampling"
 )
 
@@ -155,6 +156,7 @@ func (e *ENLD) DetectFull(d dataset.Set) (*FullResult, error) {
 
 	model := e.Platform.Model.Clone() // θ'
 	trainer := nn.NewTrainer(model, nn.NewSGD(cfg.FinetuneLR, cfg.Momentum, 0))
+	trainer.Obs = e.Platform.Obs
 
 	// Initial ambiguous set and contrastive samples under θ (Algorithm 1
 	// lines 5–7).
@@ -162,6 +164,7 @@ func (e *ENLD) DetectFull(d dataset.Set) (*FullResult, error) {
 		e: e, cfg: cfg, strategy: strategy, rng: rng,
 		d: d, iPrime: iPrime, classes: classes,
 		model: model, trainer: trainer, res: res,
+		obs: e.Platform.Obs,
 	}
 	if err := run.resample(); err != nil {
 		return nil, err
@@ -187,6 +190,7 @@ func (e *ENLD) DetectFull(d dataset.Set) (*FullResult, error) {
 				return nil, err
 			}
 			// Selection pass: compare predictions with observed labels.
+			voteSpan := run.obs.StartSpan("detect/vote")
 			preds := model.PredictBatch(dInputs, cfg.Workers)
 			res.Meter.ForwardPasses += int64(len(d))
 			for i, smp := range d {
@@ -207,6 +211,7 @@ func (e *ENLD) DetectFull(d dataset.Set) (*FullResult, error) {
 					}
 				}
 			}
+			voteSpan.End()
 		}
 		if !cfg.DisableMajorityVoting {
 			for i, c := range count {
@@ -285,6 +290,7 @@ type nldRun struct {
 	model   *nn.Network
 	trainer *nn.Trainer
 	res     *FullResult
+	obs     *obs.Registry
 
 	// Refreshed by resample:
 	ambIdx      []int       // indices of D in the ambiguous set A
@@ -296,11 +302,13 @@ type nldRun struct {
 // (Definition 1 plus the mean-confidence filter of §IV-E), and runs the
 // sampling strategy to produce a fresh contrastive set C.
 func (r *nldRun) resample() error {
+	splitSpan := r.obs.StartSpan("detect/split")
 	dScores := detect.ScoreParallel(r.model, r.d, &r.res.Meter, r.cfg.Workers)
 	iScores := detect.ScoreParallel(r.model, r.iPrime, &r.res.Meter, r.cfg.Workers)
 
 	r.ambIdx = detect.Ambiguous(r.d, dScores.Predicted)
 	r.hqIdx = highQualityFiltered(r.iPrime, iScores)
+	splitSpan.End()
 
 	// Assemble the sampler's view. Missing-label ambiguous samples have no
 	// observed label for the probability draw; substitute the model's
@@ -345,6 +353,7 @@ func (r *nldRun) resample() error {
 		K:                  r.cfg.K,
 		RNG:                r.rng,
 		Meter:              &r.res.Meter,
+		Obs:                r.obs,
 		Workers:            r.cfg.Workers,
 	}
 	if len(amb) == 0 || len(pool) == 0 {
@@ -380,12 +389,14 @@ func (r *nldRun) trainEpoch() error {
 	if len(examples) == 0 {
 		return nil
 	}
+	ftSpan := r.obs.StartSpan("detect/finetune")
 	stats, err := r.trainer.Run(examples, nn.TrainConfig{
 		Epochs:    1,
 		BatchSize: r.cfg.BatchSize,
 		Seed:      r.rng.Uint64(),
 		Workers:   r.cfg.Workers,
 	})
+	ftSpan.End()
 	if err != nil {
 		return fmt.Errorf("core: fine-tune epoch: %w", err)
 	}

@@ -22,6 +22,7 @@ import (
 	"enld/internal/mat"
 	"enld/internal/nn"
 	"enld/internal/noise"
+	"enld/internal/obs"
 )
 
 // PlatformConfig controls general-model initialization.
@@ -91,12 +92,26 @@ type Platform struct {
 	// platform performed (setup plus model updates). It stays zero (with
 	// LastUnhealthyEpoch -1) when Config.Watchdog is disabled.
 	Health nn.WatchdogStats
+
+	// Obs, when set, receives metrics and phase spans from every operation
+	// the platform performs — general-model training, probability
+	// estimation, and each ENLD detection served from this platform. It is
+	// runtime wiring, not state: Save/Load do not persist it (a restored
+	// platform is unobserved until the caller re-attaches a registry).
+	Obs *obs.Registry
 }
 
 // NewPlatform performs model_init(I) of Algorithm 1: a uniform random split
 // of the inventory into I_t and I_c, general-model training on I_t with
 // mixup, and probability estimation on I_c.
 func NewPlatform(inventory dataset.Set, cfg PlatformConfig) (*Platform, error) {
+	return NewPlatformObserved(inventory, cfg, nil)
+}
+
+// NewPlatformObserved is NewPlatform with an observability registry attached
+// before any work runs, so setup training and probability estimation are
+// already instrumented. A nil registry is equivalent to NewPlatform.
+func NewPlatformObserved(inventory dataset.Set, cfg PlatformConfig, reg *obs.Registry) (*Platform, error) {
 	if len(inventory) == 0 {
 		return nil, errors.New("core: empty inventory")
 	}
@@ -113,7 +128,7 @@ func NewPlatform(inventory dataset.Set, cfg PlatformConfig) (*Platform, error) {
 		cfg.BatchSize = 32
 	}
 	sw := cost.StartStopwatch()
-	p := &Platform{Config: cfg, Health: nn.WatchdogStats{LastUnhealthyEpoch: -1}}
+	p := &Platform{Config: cfg, Health: nn.WatchdogStats{LastUnhealthyEpoch: -1}, Obs: reg}
 	rng := mat.NewRNG(cfg.Seed)
 
 	var err error
@@ -143,6 +158,7 @@ func (p *Platform) trainGeneral(model *nn.Network, set dataset.Set, seed uint64)
 		return errors.New("core: no labelled training samples")
 	}
 	trainer := nn.NewTrainer(model, nn.NewSGD(p.Config.LR, p.Config.Momentum, p.Config.WeightDecay))
+	trainer.Obs = p.Obs
 	stats, err := trainer.Run(examples, nn.TrainConfig{
 		Epochs:     p.Config.Epochs,
 		BatchSize:  p.Config.BatchSize,
@@ -169,6 +185,8 @@ func (p *Platform) trainGeneral(model *nn.Network, set dataset.Set, seed uint64)
 
 // estimate recomputes P̃ from the current model and I_c (Eq. 3–5).
 func (p *Platform) estimate() error {
+	sp := p.Obs.StartSpan("platform/estimate")
+	defer sp.End()
 	joint, err := noise.EstimateJointParallel(p.Ic, p.Model, p.Config.Classes, p.Config.Workers)
 	if err != nil {
 		return fmt.Errorf("core: probability estimation: %w", err)

@@ -18,6 +18,7 @@ import (
 	"enld/internal/detect"
 	"enld/internal/metrics"
 	"enld/internal/nn"
+	"enld/internal/obs"
 )
 
 // Config holds the knobs shared by every experiment runner.
@@ -49,6 +50,10 @@ type Config struct {
 	// Watchdog enables the numerical-health watchdog (NaN/Inf detection and
 	// checkpoint rollback) for every training run the platform performs.
 	Watchdog nn.WatchdogConfig
+	// Obs, when set, is attached to the workbench platform so every training
+	// run, probability estimation and detection phase reports metrics and
+	// spans into it. Nil (the default) disables observability entirely.
+	Obs *obs.Registry
 	// Out receives the rendered tables; nil discards them.
 	Out io.Writer
 }

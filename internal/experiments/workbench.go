@@ -113,13 +113,17 @@ func buildWorkbench(preset string, eta float64, cfg Config, platform *core.Platf
 		pcfg.Epochs = cfg.PlatformEpochs
 		pcfg.Workers = cfg.Workers
 		pcfg.Watchdog = cfg.Watchdog
-		platform, err = core.NewPlatform(inventory, pcfg)
+		platform, err = core.NewPlatformObserved(inventory, pcfg, cfg.Obs)
 		if err != nil {
 			return nil, err
 		}
 	} else if platform.Config.Classes != spec.Classes || platform.Config.InputDim != spec.FeatureDim {
 		return nil, fmt.Errorf("experiments: saved platform (classes=%d dim=%d) does not match preset %q (classes=%d dim=%d)",
 			platform.Config.Classes, platform.Config.InputDim, preset, spec.Classes, spec.FeatureDim)
+	} else if cfg.Obs != nil {
+		// A restored platform carries no registry (Save/Load drop it);
+		// re-attach the caller's.
+		platform.Obs = cfg.Obs
 	}
 
 	ecfg := core.DefaultConfig(cfg.Seed + 2)

@@ -35,6 +35,8 @@ type Status struct {
 	// training stack, when one is wired in.
 	Training *TrainingHealth `json:"training_health,omitempty"`
 
+	// KeepRecent is the configured bound of the Recent list.
+	KeepRecent int `json:"keep_recent"`
 	// Recent holds the newest task reports, most recent first.
 	Recent []ReportSummary `json:"recent,omitempty"`
 }
@@ -92,10 +94,24 @@ type StatusTracker struct {
 	keepRecent int
 }
 
+// defaultKeepRecent is the recent-report bound when none is configured.
+const defaultKeepRecent = 20
+
 // NewStatusTracker returns a tracker over an optional store (nil is allowed;
 // store statistics are then omitted).
 func NewStatusTracker(store *Store) *StatusTracker {
-	return &StatusTracker{store: store, keepRecent: 20}
+	return &StatusTracker{store: store, keepRecent: defaultKeepRecent}
+}
+
+// SetKeepRecent bounds the recent-report list served by Snapshot (default
+// 20). Values below 1 restore the default.
+func (t *StatusTracker) SetKeepRecent(n int) {
+	if n < 1 {
+		n = defaultKeepRecent
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.keepRecent = n
 }
 
 // AttachBreaker makes snapshots report the circuit breaker's live state and
@@ -126,7 +142,7 @@ func (t *StatusTracker) Record(rep Report) {
 func (t *StatusTracker) Snapshot() Status {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var st Status
+	st := Status{KeepRecent: t.keepRecent}
 	if t.store != nil {
 		meta := t.store.Meta()
 		st.StoreName = meta.Name

@@ -1,0 +1,109 @@
+package lake
+
+import (
+	"time"
+
+	"enld/internal/obs"
+)
+
+// lakeObs holds the service's pre-interned metric handles.
+type lakeObs struct {
+	reg           *obs.Registry
+	tasksOK       *obs.Counter
+	tasksDegraded *obs.Counter
+	tasksDead     *obs.Counter
+	retries       *obs.Counter
+	taskSeconds   *obs.Histogram
+	queuedSeconds *obs.Histogram
+}
+
+// taskBuckets spans detection-task latencies: sub-millisecond degraded
+// fallbacks up to multi-minute full ENLD runs.
+var taskBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+
+// SetObs attaches an observability registry to the service: per-outcome task
+// counters (enld_lake_tasks_total{outcome=...}), a retry counter, and task
+// latency / queue-wait histograms. Every outcome series is registered up
+// front so scrapes show zeros instead of absent series. Call before Run; a
+// nil registry detaches. Metrics are recorded from worker goroutines — the
+// registry's hot path is lock-free, so this adds no serialization.
+func (s *Service) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		s.obs = nil
+		return
+	}
+	outcome := func(v string) *obs.Counter {
+		return reg.Counter("enld_lake_tasks_total",
+			"Completed lake detection tasks, by outcome.",
+			obs.Label{Key: "outcome", Value: v})
+	}
+	s.obs = &lakeObs{
+		reg:           reg,
+		tasksOK:       outcome("ok"),
+		tasksDegraded: outcome("degraded"),
+		tasksDead:     outcome("dead_letter"),
+		retries: reg.Counter("enld_lake_retries_total",
+			"Extra primary detection attempts consumed by transient failures."),
+		taskSeconds: reg.Histogram("enld_lake_task_seconds",
+			"End-to-end processing time of one lake task (queue wait excluded).", taskBuckets),
+		queuedSeconds: reg.Histogram("enld_lake_queued_seconds",
+			"Time a lake task waited in the queue before a worker picked it up.", taskBuckets),
+	}
+}
+
+// record files one completed task. elapsed is the worker's wall-clock
+// processing time (attempts, backoff and fallback included — unlike
+// Report.Process, which only the successful detector call stamps).
+func (o *lakeObs) record(rep Report, elapsed time.Duration) {
+	if o == nil {
+		return
+	}
+	switch {
+	case rep.DeadLettered:
+		o.tasksDead.Inc()
+	case rep.Degraded:
+		o.tasksDegraded.Inc()
+	default:
+		o.tasksOK.Inc()
+	}
+	o.retries.Add(uint64(rep.Retries))
+	o.taskSeconds.Observe(elapsed.Seconds())
+	o.queuedSeconds.Observe(rep.Queued.Seconds())
+}
+
+// ObserveBreaker exports a breaker's behaviour through the registry:
+// enld_lake_breaker_transitions_total{from,to} counts state changes,
+// enld_lake_breaker_state gauges the current state (0 closed, 1 open,
+// 2 half-open), and enld_lake_breaker_last_transition_timestamp_seconds
+// stamps the most recent change. The four reachable transitions are
+// registered up front so scrapes show them at zero. Nil breaker or registry
+// is a no-op.
+func ObserveBreaker(b *Breaker, reg *obs.Registry) {
+	if b == nil || reg == nil {
+		return
+	}
+	transitions := func(from, to BreakerState) *obs.Counter {
+		return reg.Counter("enld_lake_breaker_transitions_total",
+			"Circuit breaker state transitions.",
+			obs.Label{Key: "from", Value: from.String()},
+			obs.Label{Key: "to", Value: to.String()})
+	}
+	for _, t := range [][2]BreakerState{
+		{BreakerClosed, BreakerOpen},
+		{BreakerOpen, BreakerHalfOpen},
+		{BreakerHalfOpen, BreakerClosed},
+		{BreakerHalfOpen, BreakerOpen},
+	} {
+		transitions(t[0], t[1])
+	}
+	state := reg.Gauge("enld_lake_breaker_state",
+		"Current circuit breaker state: 0 closed, 1 open, 2 half-open.")
+	last := reg.Gauge("enld_lake_breaker_last_transition_timestamp_seconds",
+		"Unix time of the breaker's most recent state transition.")
+	state.Set(float64(b.State()))
+	b.OnTransition(func(from, to BreakerState) {
+		transitions(from, to).Inc()
+		state.Set(float64(to))
+		last.Set(float64(time.Now().UnixNano()) / 1e9)
+	})
+}

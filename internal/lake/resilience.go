@@ -123,9 +123,9 @@ type Breaker struct {
 
 	// now is the clock, swappable in tests.
 	now func() time.Time
-	// onTransition, when set, observes every state change. Called with the
-	// breaker lock held; keep it fast and non-reentrant.
-	onTransition func(from, to BreakerState)
+	// observers watch every state change, in registration order. Called
+	// with the breaker lock held; keep them fast and non-reentrant.
+	observers []func(from, to BreakerState)
 }
 
 // NewBreaker returns a closed breaker tripping after threshold consecutive
@@ -134,11 +134,13 @@ func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
 	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
 }
 
-// OnTransition registers a state-change observer (e.g. a StatusTracker).
+// OnTransition registers a state-change observer (e.g. a StatusTracker or
+// ObserveBreaker's metric recorder). Observers accumulate: registering a
+// second one does not displace the first.
 func (b *Breaker) OnTransition(fn func(from, to BreakerState)) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.onTransition = fn
+	b.observers = append(b.observers, fn)
 }
 
 // State returns the current state, accounting for cooldown expiry.
@@ -217,11 +219,13 @@ func (b *Breaker) open() {
 	b.transition(BreakerOpen)
 }
 
-// transition changes state and notifies the observer. Callers hold mu.
+// transition changes state and notifies the observers. Callers hold mu.
 func (b *Breaker) transition(to BreakerState) {
 	from := b.state
 	b.state = to
-	if b.onTransition != nil && from != to {
-		b.onTransition(from, to)
+	if from != to {
+		for _, fn := range b.observers {
+			fn(from, to)
+		}
 	}
 }

@@ -73,6 +73,9 @@ type Service struct {
 	// (recovered from the journal); Run drops them without processing.
 	skip map[int]bool
 
+	// obs holds the metric handles attached by SetObs; nil means unobserved.
+	obs *lakeObs
+
 	// OnReport, when set, is invoked from worker goroutines as each task
 	// completes — before Run returns — so live dashboards (StatusTracker)
 	// can observe progress. The callback must be safe for concurrent use.
@@ -167,11 +170,17 @@ func (s *Service) Run(ctx context.Context, requests <-chan Request) []Report {
 		}
 	}()
 
-	parallel.New(s.workers).Run(func(int) {
+	pool := parallel.New(s.workers)
+	if s.obs != nil {
+		pool.Instrument(s.obs.reg, "lake")
+	}
+	pool.Run(func(int) {
 		for st := range work {
 			queued := time.Since(st.arrived)
+			began := time.Now()
 			rep := s.process(ctx, st.req)
 			rep.Queued = queued
+			s.obs.record(rep, time.Since(began))
 			if s.OnReport != nil {
 				s.OnReport(rep)
 			}

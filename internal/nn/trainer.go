@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"time"
 
 	"enld/internal/mat"
+	"enld/internal/obs"
 	"enld/internal/parallel"
 )
 
@@ -75,6 +77,11 @@ type Trainer struct {
 	Net *Network
 	Opt Optimizer
 
+	// Obs, when set, receives training metrics: epoch/batch duration and
+	// batch-loss histograms plus watchdog trip/rollback/checkpoint counters.
+	// Nil leaves the hot path untouched — no handles, no clock reads.
+	Obs *obs.Registry
+
 	grads *Grads
 
 	// Data-parallel scratch, (re)built per Run: one BatchScratch and set of
@@ -102,6 +109,52 @@ type Trainer struct {
 
 	// wstats reports what the watchdog did during the last Run.
 	wstats WatchdogStats
+
+	// obsm caches the metric handles resolved from Obs; obsReg tracks which
+	// registry they belong to so a swapped Obs re-interns them.
+	obsm   *trainerObs
+	obsReg *obs.Registry
+}
+
+// trainerObs holds the trainer's pre-interned metric handles, so the batch
+// loop does no registry lookups.
+type trainerObs struct {
+	epochSeconds *obs.Histogram
+	batchSeconds *obs.Histogram
+	batchLoss    *obs.Histogram
+	trips        *obs.Counter
+	rollbacks    *obs.Counter
+	checkpoints  *obs.Counter
+}
+
+// lossBuckets spans the cross-entropy losses seen in practice: from
+// near-converged (≤0.01 nats/sample) to diverging (>10).
+var lossBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// ensureObs resolves the metric handles for the current Obs registry.
+func (t *Trainer) ensureObs() {
+	if t.Obs == nil {
+		t.obsm, t.obsReg = nil, nil
+		return
+	}
+	if t.obsReg == t.Obs {
+		return
+	}
+	t.obsm = &trainerObs{
+		epochSeconds: t.Obs.Histogram("enld_train_epoch_seconds",
+			"Wall-clock duration of one training epoch.", obs.DefBuckets),
+		batchSeconds: t.Obs.Histogram("enld_train_batch_seconds",
+			"Wall-clock duration of one mini-batch update.", obs.DefBuckets),
+		batchLoss: t.Obs.Histogram("enld_train_batch_loss",
+			"Mean per-sample cross-entropy loss of each mini-batch.", lossBuckets),
+		trips: t.Obs.Counter("enld_train_watchdog_trips_total",
+			"Failed numerical-health checks during training."),
+		rollbacks: t.Obs.Counter("enld_train_rollbacks_total",
+			"Checkpoint rollbacks performed by the training watchdog."),
+		checkpoints: t.Obs.Counter("enld_train_checkpoints_total",
+			"Verified checkpoints captured by the training watchdog."),
+	}
+	t.obsReg = t.Obs
 }
 
 // NewTrainer returns a trainer bound to net and opt.
@@ -141,7 +194,8 @@ func (t *Trainer) Run(examples []Example, cfg TrainConfig) ([]EpochStats, error)
 			return nil, errors.New("nn: malformed example at index " + strconv.Itoa(i))
 		}
 	}
-	pool := parallel.New(cfg.Workers)
+	t.ensureObs()
+	pool := parallel.New(cfg.Workers).Instrument(t.Obs, "train")
 	maxBatch := cfg.BatchSize
 	if maxBatch > len(examples) {
 		maxBatch = len(examples)
@@ -154,7 +208,14 @@ func (t *Trainer) Run(examples []Example, cfg TrainConfig) ([]EpochStats, error)
 	rng := mat.NewRNG(cfg.Seed)
 	stats := make([]EpochStats, 0, cfg.Epochs)
 	for e := 0; e < cfg.Epochs; e++ {
+		var epochStart time.Time
+		if t.obsm != nil {
+			epochStart = time.Now()
+		}
 		st, _ := t.epoch(examples, cfg, alpha, rng, pool, nil, e)
+		if t.obsm != nil {
+			t.obsm.epochSeconds.Observe(time.Since(epochStart).Seconds())
+		}
 		if cfg.AfterEpoch != nil {
 			cfg.AfterEpoch(e, t.Net)
 		}
@@ -195,16 +256,29 @@ func (t *Trainer) runWatchdog(examples []Example, cfg TrainConfig, alpha float64
 	// when training goes bad before the first epoch completes.
 	ring.capture(t.Net, *rng, -1)
 	t.wstats.CheckpointsTaken++
+	if t.obsm != nil {
+		t.obsm.checkpoints.Inc()
+	}
 
 	stats := make([]EpochStats, 0, cfg.Epochs)
 	for e := 0; e < cfg.Epochs; e++ {
+		var epochStart time.Time
+		if t.obsm != nil {
+			epochStart = time.Now()
+		}
 		st, herr := t.epoch(examples, cfg, alpha, rng, pool, h, e)
 		if herr == nil {
 			herr = h.observeEpoch(e, st.MeanLoss, t.Net)
 		}
+		if t.obsm != nil {
+			t.obsm.epochSeconds.Observe(time.Since(epochStart).Seconds())
+		}
 		t.wstats.HealthChecks = h.checks
 		if herr != nil {
 			t.wstats.LastUnhealthyEpoch = e
+			if t.obsm != nil {
+				t.obsm.trips.Inc()
+			}
 			if t.wstats.Rollbacks >= wd.MaxRollbacks {
 				return stats, fmt.Errorf("nn: rollback budget (%d) exhausted: %w", wd.MaxRollbacks, herr)
 			}
@@ -214,6 +288,9 @@ func (t *Trainer) runWatchdog(examples []Example, cfg TrainConfig, alpha float64
 				return stats, fmt.Errorf("nn: no verified checkpoint to roll back to: %w", herr)
 			}
 			t.wstats.Rollbacks++
+			if t.obsm != nil {
+				t.obsm.rollbacks.Inc()
+			}
 			t.Opt.Reset()
 			if s, ok := t.Opt.(LRScaler); ok {
 				s.ScaleLR(wd.LRDecay)
@@ -227,6 +304,9 @@ func (t *Trainer) runWatchdog(examples []Example, cfg TrainConfig, alpha float64
 		if (e+1)%wd.CheckpointEvery == 0 {
 			ring.capture(t.Net, *rng, e)
 			t.wstats.CheckpointsTaken++
+			if t.obsm != nil {
+				t.obsm.checkpoints.Inc()
+			}
 		}
 		// The hook runs after the checkpoint is captured, so any state it
 		// perturbs (fault injection in tests, external weight surgery) is
@@ -308,6 +388,10 @@ func (t *Trainer) epoch(examples []Example, cfg TrainConfig, alpha float64, rng 
 			end = len(order)
 		}
 		batch := order[start:end]
+		var batchStart time.Time
+		if t.obsm != nil {
+			batchStart = time.Now()
+		}
 		if cfg.Mixup {
 			// Mix with a uniformly chosen partner (Eq. 1–2):
 			//   x̂ = λ·x_i + (1−λ)·x_j,  ŷ = λ·y_i + (1−λ)·y_j.
@@ -353,6 +437,10 @@ func (t *Trainer) epoch(examples []Example, cfg TrainConfig, alpha float64, rng 
 		st.SamplesSeen += len(batch)
 		t.Opt.Step(t.Net, t.grads, len(batch))
 		st.BatchUpdates++
+		if t.obsm != nil {
+			t.obsm.batchSeconds.Observe(time.Since(batchStart).Seconds())
+			t.obsm.batchLoss.Observe(batchLoss / float64(len(batch)))
+		}
 		if h != nil {
 			if err := h.checkBatch(e, st.BatchUpdates, batchLoss, t.grads, t.Net); err != nil {
 				return st, err

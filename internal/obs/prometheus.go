@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// ContentType is the Prometheus text exposition format version this package
+// emits.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, one HELP and
+// TYPE line each, series in registration order. Histograms emit cumulative
+// `_bucket` series (le-labelled, closing with +Inf), `_sum` and `_count`;
+// the +Inf bucket always equals `_count` because both are derived from one
+// atomic snapshot of the per-bucket cells. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var b bytes.Buffer
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		// New series may be registered while we render; f.series only ever
+		// appends, so a snapshot of the slice header is safe.
+		r.mu.Lock()
+		snapshot := f.series
+		r.mu.Unlock()
+		for _, s := range snapshot {
+			switch f.typ {
+			case typeCounter:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(s.labels, nil), strconv.FormatUint(s.c.Value(), 10))
+			case typeGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(s.labels, nil), formatFloat(s.g.Value()))
+			case typeHistogram:
+				writeHistogram(&b, f, s)
+			}
+		}
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// writeHistogram renders one histogram series from a single atomic read of
+// its bucket cells, so the cumulative counts are internally consistent.
+func writeHistogram(b *bytes.Buffer, f *family, s *series) {
+	counts := make([]uint64, len(s.h.counts))
+	for i := range counts {
+		counts[i] = atomic.LoadUint64(&s.h.counts[i])
+	}
+	var cum uint64
+	for i, bound := range f.buckets {
+		cum += counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+			renderLabels(s.labels, &Label{Key: "le", Value: formatFloat(bound)}), cum)
+	}
+	cum += counts[len(counts)-1]
+	fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+		renderLabels(s.labels, &Label{Key: "le", Value: "+Inf"}), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", f.name, renderLabels(s.labels, nil), formatFloat(s.h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", f.name, renderLabels(s.labels, nil), cum)
+}
+
+// renderLabels renders a label set (plus an optional extra label, for
+// histogram le) as {k="v",...}, escaping values. Empty sets render as "".
+func renderLabels(labels []Label, extra *Label) string {
+	if len(labels) == 0 && extra == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	if extra != nil {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(extra.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double-quote and newline per the text
+// format's label-value rules.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline per the HELP-line rules.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a sample value: shortest round-trip representation,
+// with the spellings the text format prescribes for the non-finite values.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the exposition — mount it as
+// /metrics next to the JSON status endpoint. A nil registry serves an empty
+// (valid) exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

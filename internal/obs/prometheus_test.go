@@ -1,0 +1,415 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promFamily is one parsed metric family.
+type promFamily struct {
+	name    string
+	help    string
+	typ     string
+	samples []promSample
+}
+
+// promSample is one parsed sample line.
+type promSample struct {
+	name   string // full sample name, e.g. foo_bucket
+	labels map[string]string
+	value  float64
+}
+
+// parsePrometheus is a small conformance parser for the text exposition
+// format (version 0.0.4). It enforces the structural rules the format
+// promises — HELP then TYPE before any sample of a family, samples
+// contiguous per family, known types, parseable values, well-formed label
+// escaping — and returns the families for semantic checks.
+func parsePrometheus(t *testing.T, text string) map[string]*promFamily {
+	t.Helper()
+	families := make(map[string]*promFamily)
+	var cur *promFamily
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for line := 1; sc.Scan(); line++ {
+		s := sc.Text()
+		if s == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(s, "# HELP "):
+			rest := strings.TrimPrefix(s, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if name == "" {
+				t.Fatalf("line %d: HELP without a metric name", line)
+			}
+			if families[name] != nil {
+				t.Fatalf("line %d: duplicate HELP for %s", line, name)
+			}
+			cur = &promFamily{name: name, help: unescapeHelp(t, help)}
+			families[name] = cur
+		case strings.HasPrefix(s, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(s, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE line %q", line, s)
+			}
+			name, typ := fields[0], fields[1]
+			if cur == nil || cur.name != name {
+				t.Fatalf("line %d: TYPE %s without a preceding HELP", line, name)
+			}
+			if cur.typ != "" {
+				t.Fatalf("line %d: duplicate TYPE for %s", line, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown type %q", line, typ)
+			}
+			cur.typ = typ
+		case strings.HasPrefix(s, "#"):
+			// Other comments are legal and ignored.
+		default:
+			sample := parseSampleLine(t, line, s)
+			base := sample.name
+			if cur != nil && cur.typ == "histogram" {
+				base = strings.TrimSuffix(base, "_bucket")
+				base = strings.TrimSuffix(base, "_sum")
+				base = strings.TrimSuffix(base, "_count")
+			}
+			if cur == nil || base != cur.name {
+				t.Fatalf("line %d: sample %s outside its family block (current %v)", line, sample.name, cur)
+			}
+			if cur.typ == "" {
+				t.Fatalf("line %d: sample %s before TYPE", line, sample.name)
+			}
+			cur.samples = append(cur.samples, sample)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return families
+}
+
+// parseSampleLine parses `name{k="v",...} value`, unescaping label values.
+func parseSampleLine(t *testing.T, line int, s string) promSample {
+	t.Helper()
+	sample := promSample{labels: map[string]string{}}
+	rest := s
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		t.Fatalf("line %d: malformed sample %q", line, s)
+	} else {
+		sample.name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		rest = rest[1:]
+		for !strings.HasPrefix(rest, "}") {
+			eq := strings.Index(rest, `="`)
+			if eq < 0 {
+				t.Fatalf("line %d: malformed labels in %q", line, s)
+			}
+			key := rest[:eq]
+			rest = rest[eq+2:]
+			var val strings.Builder
+			for {
+				if rest == "" {
+					t.Fatalf("line %d: unterminated label value in %q", line, s)
+				}
+				c := rest[0]
+				if c == '"' {
+					rest = rest[1:]
+					break
+				}
+				if c == '\\' {
+					if len(rest) < 2 {
+						t.Fatalf("line %d: dangling escape in %q", line, s)
+					}
+					switch rest[1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						t.Fatalf("line %d: unknown escape \\%c in %q", line, rest[1], s)
+					}
+					rest = rest[2:]
+					continue
+				}
+				if c == '\n' {
+					t.Fatalf("line %d: raw newline inside label value of %q", line, s)
+				}
+				val.WriteByte(c)
+				rest = rest[1:]
+			}
+			if _, dup := sample.labels[key]; dup {
+				t.Fatalf("line %d: duplicate label %s in %q", line, key, s)
+			}
+			sample.labels[key] = val.String()
+			rest = strings.TrimPrefix(rest, ",")
+		}
+		rest = rest[1:]
+	}
+	rest = strings.TrimSpace(rest)
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		t.Fatalf("line %d: bad sample value %q: %v", line, rest, err)
+	}
+	sample.value = v
+	return sample
+}
+
+func unescapeHelp(t *testing.T, s string) string {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			t.Fatalf("dangling escape in HELP %q", s)
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			t.Fatalf("unknown HELP escape \\%c", s[i])
+		}
+	}
+	return b.String()
+}
+
+// checkHistogram enforces the per-series histogram invariants: cumulative
+// non-decreasing buckets, a closing +Inf bucket equal to _count, and a _sum.
+func checkHistogram(t *testing.T, f *promFamily) {
+	t.Helper()
+	type key = string
+	seriesKey := func(labels map[string]string) key {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%q;", k, labels[k])
+		}
+		return b.String()
+	}
+	type hseries struct {
+		buckets []promSample // in exposition order
+		sum     *float64
+		count   *float64
+	}
+	byKey := map[key]*hseries{}
+	get := func(labels map[string]string) *hseries {
+		k := seriesKey(labels)
+		if byKey[k] == nil {
+			byKey[k] = &hseries{}
+		}
+		return byKey[k]
+	}
+	for _, s := range f.samples {
+		switch s.name {
+		case f.name + "_bucket":
+			h := get(s.labels)
+			h.buckets = append(h.buckets, s)
+		case f.name + "_sum":
+			v := s.value
+			get(s.labels).sum = &v
+		case f.name + "_count":
+			v := s.value
+			get(s.labels).count = &v
+		default:
+			t.Fatalf("histogram %s has stray sample %s", f.name, s.name)
+		}
+	}
+	if len(byKey) == 0 {
+		return
+	}
+	for k, h := range byKey {
+		if h.sum == nil || h.count == nil {
+			t.Fatalf("histogram %s{%s} missing _sum or _count", f.name, k)
+		}
+		if len(h.buckets) == 0 {
+			t.Fatalf("histogram %s{%s} has no buckets", f.name, k)
+		}
+		prevBound := math.Inf(-1)
+		prevCum := -1.0
+		for _, b := range h.buckets {
+			leStr, ok := b.labels["le"]
+			if !ok {
+				t.Fatalf("histogram %s{%s} bucket without le", f.name, k)
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				t.Fatalf("histogram %s{%s} bad le %q: %v", f.name, k, leStr, err)
+			}
+			if le <= prevBound {
+				t.Fatalf("histogram %s{%s} le bounds not increasing (%v after %v)", f.name, k, le, prevBound)
+			}
+			if b.value < prevCum {
+				t.Fatalf("histogram %s{%s} buckets not cumulative (%v after %v)", f.name, k, b.value, prevCum)
+			}
+			prevBound, prevCum = le, b.value
+		}
+		last := h.buckets[len(h.buckets)-1]
+		if last.labels["le"] != "+Inf" {
+			t.Fatalf("histogram %s{%s} does not close with +Inf", f.name, k)
+		}
+		if last.value != *h.count {
+			t.Fatalf("histogram %s{%s}: +Inf bucket %v != _count %v", f.name, k, last.value, *h.count)
+		}
+	}
+}
+
+// TestExpositionConformance round-trips every metric kind — including hostile
+// label values and span-derived series — through the /metrics handler and the
+// conformance parser.
+func TestExpositionConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_tasks_total", "Tasks processed.", Label{Key: "outcome", Value: "ok"}).Add(7)
+	r.Counter("test_tasks_total", "Tasks processed.", Label{Key: "outcome", Value: "dead_letter"})
+	nasty := "a\\b\"c\nd"
+	r.Counter("test_escapes_total", "Help with a \\ backslash\nand newline.", Label{Key: "v", Value: nasty}).Inc()
+	r.Gauge("test_level", "Current level.").Set(-2.5)
+	r.Gauge("test_nan", "A NaN gauge.").Set(math.NaN())
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1, 10}, Label{Key: "op", Value: "x"})
+	for _, v := range []float64{0.05, 0.1, 0.5, 20} {
+		h.Observe(v)
+	}
+	sp := r.StartSpan("detect/split")
+	sp.End()
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content type %q, want %q", ct, ContentType)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+
+	families := parsePrometheus(t, text)
+	for name, wantType := range map[string]string{
+		"test_tasks_total":     "counter",
+		"test_escapes_total":   "counter",
+		"test_level":           "gauge",
+		"test_nan":             "gauge",
+		"test_latency_seconds": "histogram",
+		SpanFamily:             "histogram",
+	} {
+		f := families[name]
+		if f == nil {
+			t.Fatalf("family %s missing from exposition:\n%s", name, text)
+		}
+		if f.typ != wantType {
+			t.Fatalf("family %s type %q, want %q", name, f.typ, wantType)
+		}
+		if f.help == "" {
+			t.Fatalf("family %s has empty help", name)
+		}
+		if f.typ == "histogram" {
+			checkHistogram(t, f)
+		}
+	}
+
+	// Value and label round-trips.
+	found := false
+	for _, s := range families["test_tasks_total"].samples {
+		if s.labels["outcome"] == "ok" {
+			found = true
+			if s.value != 7 {
+				t.Fatalf("test_tasks_total{outcome=ok} = %v, want 7", s.value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("outcome=ok series missing")
+	}
+	esc := families["test_escapes_total"]
+	if got := esc.samples[0].labels["v"]; got != nasty {
+		t.Fatalf("label escaping round-trip: got %q, want %q", got, nasty)
+	}
+	if want := "Help with a \\ backslash\nand newline."; esc.help != want {
+		t.Fatalf("help escaping round-trip: got %q, want %q", esc.help, want)
+	}
+	if got := families["test_level"].samples[0].value; got != -2.5 {
+		t.Fatalf("gauge = %v, want -2.5", got)
+	}
+	if got := families["test_nan"].samples[0].value; !math.IsNaN(got) {
+		t.Fatalf("NaN gauge round-trip = %v", got)
+	}
+	// Histogram values: counts 0.05,0.1 ≤ 0.1 → 2; 0.5 ≤ 1 → 3; ≤ 10 → 3; +Inf 4.
+	var cums []float64
+	for _, s := range families["test_latency_seconds"].samples {
+		if s.name == "test_latency_seconds_bucket" {
+			cums = append(cums, s.value)
+		}
+		if s.name == "test_latency_seconds_sum" && math.Abs(s.value-20.65) > 1e-9 {
+			t.Fatalf("histogram sum = %v, want 20.65", s.value)
+		}
+	}
+	want := []float64{2, 3, 3, 4}
+	if len(cums) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(cums), len(want))
+	}
+	for i := range want {
+		if cums[i] != want[i] {
+			t.Fatalf("cumulative bucket %d = %v, want %v", i, cums[i], want[i])
+		}
+	}
+
+	// Families are sorted by name.
+	var order []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			order = append(order, strings.Fields(line)[2])
+		}
+	}
+	if !sort.StringsAreSorted(order) {
+		t.Fatalf("families not sorted: %v", order)
+	}
+}
+
+// TestEmptyExposition: a registry with no metrics (and the nil registry)
+// serves a valid empty document.
+func TestEmptyExposition(t *testing.T) {
+	for _, r := range []*Registry{nil, NewRegistry()} {
+		srv := httptest.NewServer(r.Handler())
+		resp, err := srv.Client().Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(raw) != 0 {
+			t.Fatalf("empty registry served %q", raw)
+		}
+		resp.Body.Close()
+		srv.Close()
+	}
+}

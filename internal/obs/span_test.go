@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestSpanRecordsHistogramAndRing(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 3; i++ {
+		sp := r.StartSpan("detect/finetune")
+		sp.End()
+	}
+	h := r.Histogram(SpanFamily, spanFamilyHelp, DefBuckets, Label{Key: "span", Value: "detect/finetune"})
+	if got := h.Count(); got != 3 {
+		t.Fatalf("span histogram count = %d, want 3", got)
+	}
+	recent := r.RecentSpans()
+	if len(recent) != 3 {
+		t.Fatalf("recent spans = %d, want 3", len(recent))
+	}
+	for _, rec := range recent {
+		if rec.Name != "detect/finetune" || rec.Duration < 0 || rec.Start.IsZero() {
+			t.Fatalf("bad span record %+v", rec)
+		}
+	}
+}
+
+func TestSpanRingBoundedNewestFirst(t *testing.T) {
+	r := NewRegistry()
+	r.SetSpanRing(4)
+	for i := 0; i < 10; i++ {
+		sp := r.StartSpan("s" + strconv.Itoa(i))
+		sp.End()
+	}
+	recent := r.RecentSpans()
+	if len(recent) != 4 {
+		t.Fatalf("ring kept %d spans, want 4", len(recent))
+	}
+	for i, want := range []string{"s9", "s8", "s7", "s6"} {
+		if recent[i].Name != want {
+			t.Fatalf("recent[%d] = %s, want %s (most recent first)", i, recent[i].Name, want)
+		}
+	}
+	// A partially filled ring reports in order too.
+	r.SetSpanRing(8)
+	for i := 0; i < 3; i++ {
+		sp := r.StartSpan("t" + strconv.Itoa(i))
+		sp.End()
+	}
+	recent = r.RecentSpans()
+	if len(recent) != 3 || recent[0].Name != "t2" || recent[2].Name != "t0" {
+		t.Fatalf("partial ring order wrong: %+v", recent)
+	}
+}
+
+func TestSpanLedgerJSONL(t *testing.T) {
+	r := NewRegistry()
+	var buf bytes.Buffer
+	r.SetSpanLedger(&buf)
+	names := []string{"detect/split", "detect/knn", `weird "name"` + "\n"}
+	for _, n := range names {
+		sp := r.StartSpan(n)
+		sp.End()
+	}
+	r.SetSpanLedger(nil)
+	sp := r.StartSpan("after-detach")
+	sp.End()
+
+	sc := bufio.NewScanner(&buf)
+	var got []spanEvent
+	for sc.Scan() {
+		var ev spanEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad ledger line %q: %v", sc.Text(), err)
+		}
+		got = append(got, ev)
+	}
+	if len(got) != len(names) {
+		t.Fatalf("ledger has %d events, want %d", len(got), len(names))
+	}
+	for i, ev := range got {
+		if ev.Span != names[i] {
+			t.Fatalf("event %d span = %q, want %q", i, ev.Span, names[i])
+		}
+		if ev.DurNS < 0 {
+			t.Fatalf("event %d negative duration", i)
+		}
+		if _, err := time.Parse(time.RFC3339Nano, ev.TS); err != nil {
+			t.Fatalf("event %d bad timestamp %q: %v", i, ev.TS, err)
+		}
+	}
+}

@@ -24,6 +24,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"enld/internal/obs"
 )
 
 // Pool is a reusable fixed-size worker pool. A Pool holds no goroutines
@@ -32,6 +34,11 @@ import (
 // concurrent use.
 type Pool struct {
 	workers int
+
+	// Observability handles, nil unless Instrument was called. Nil handles
+	// are no-ops, so the uninstrumented hot path pays nothing.
+	tasks *obs.Counter
+	busy  *obs.Gauge
 }
 
 // DefaultWorkers returns the worker count used when none is requested:
@@ -49,6 +56,23 @@ func New(workers int) *Pool {
 
 // Workers returns the pool's worker count.
 func (p *Pool) Workers() int { return p.workers }
+
+// Instrument attaches observability to the pool under the given pool name:
+// enld_pool_tasks_total{pool=name} counts executed chunks and
+// enld_pool_busy_workers{pool=name} tracks workers currently inside a Run
+// body. A nil registry leaves the pool uninstrumented (nil handles are
+// no-ops). Returns the pool for chaining:
+//
+//	pool := parallel.New(workers).Instrument(reg, "train")
+func (p *Pool) Instrument(reg *obs.Registry, name string) *Pool {
+	p.tasks = reg.Counter("enld_pool_tasks_total",
+		"Chunks executed by the worker pool, by pool name.",
+		obs.Label{Key: "pool", Value: name})
+	p.busy = reg.Gauge("enld_pool_busy_workers",
+		"Workers currently executing, by pool name.",
+		obs.Label{Key: "pool", Value: name})
+	return p
+}
 
 // WorkerPanic is the panic value re-raised by a pool call when one of its
 // workers panicked. Value is the original panic value and Stack the
@@ -70,6 +94,8 @@ func (w *WorkerPanic) Error() string {
 // is re-raised as a *WorkerPanic after the remaining workers finish.
 func (p *Pool) Run(worker func(id int)) {
 	if p.workers == 1 {
+		p.busy.Add(1)
+		defer p.busy.Add(-1)
 		worker(0)
 		return
 	}
@@ -85,6 +111,8 @@ func (p *Pool) Run(worker func(id int)) {
 					once.Do(func() { wp = &WorkerPanic{Value: r, Stack: debug.Stack()} })
 				}
 			}()
+			p.busy.Add(1)
+			defer p.busy.Add(-1)
 			worker(id)
 		}(id)
 	}
@@ -113,6 +141,7 @@ func (p *Pool) ForEachChunk(n, chunkSize int, fn func(worker, lo, hi int)) {
 		return
 	}
 	nChunks := (n + chunkSize - 1) / chunkSize
+	p.tasks.Add(uint64(nChunks))
 	if p.workers == 1 || nChunks == 1 {
 		for c := 0; c < nChunks; c++ {
 			lo := c * chunkSize

@@ -1,7 +1,9 @@
-// Package prof wires the -cpuprofile/-memprofile flags of the CLIs to
-// runtime/pprof. Inspect the output with the standard tooling, e.g.
+// Package prof wires the -cpuprofile/-memprofile/-trace flags of the CLIs to
+// runtime/pprof and runtime/trace. Inspect the output with the standard
+// tooling, e.g.
 //
 //	go tool pprof -top cpu.out
+//	go tool trace trace.out
 package prof
 
 import (
@@ -9,14 +11,16 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 )
 
-// Start begins CPU profiling when cpuPath is non-empty and returns a stop
-// function that ends it and, when memPath is non-empty, writes a heap profile
-// (after a GC, so it reflects live memory). Empty paths disable the
-// respective profile; stop is always non-nil and safe to defer. Exits through
-// os.Exit skip deferred stops, so profiles cover successful runs only.
-func Start(cpuPath, memPath string) (stop func(), err error) {
+// Start begins CPU profiling when cpuPath is non-empty and execution tracing
+// when tracePath is non-empty, and returns a stop function that ends both
+// and, when memPath is non-empty, writes a heap profile (after a GC, so it
+// reflects live memory). Empty paths disable the respective output; stop is
+// always non-nil and safe to defer. Exits through os.Exit skip deferred
+// stops, so profiles cover successful runs only.
+func Start(cpuPath, memPath, tracePath string) (stop func(), err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
 		cpuFile, err = os.Create(cpuPath)
@@ -28,10 +32,33 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 			return nil, fmt.Errorf("prof: %w", err)
 		}
 	}
+	var traceFile *os.File
+	if tracePath != "" {
+		traceFile, err = os.Create(tracePath)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			traceFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
 	return func() {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
 		}
 		if memPath == "" {
 			return

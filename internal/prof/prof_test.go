@@ -1,0 +1,77 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartAllOutputs: every requested output file is created and non-empty
+// after stop.
+func TestStartAllOutputs(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	tr := filepath.Join(dir, "trace.out")
+	stop, err := Start(cpu, mem, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to flush.
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += float64(i)
+	}
+	_ = x
+	stop()
+	for _, path := range []string{cpu, mem, tr} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", path)
+		}
+	}
+}
+
+// TestStartEmptyPathsNoop: all-empty paths produce a non-nil no-op stop and
+// no files.
+func TestStartEmptyPathsNoop(t *testing.T) {
+	stop, err := Start("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop == nil {
+		t.Fatal("nil stop")
+	}
+	stop()
+}
+
+// TestStartTraceOnly: tracing works without CPU profiling.
+func TestStartTraceOnly(t *testing.T) {
+	tr := filepath.Join(t.TempDir(), "trace.out")
+	stop, err := Start("", "", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if st, err := os.Stat(tr); err != nil || st.Size() == 0 {
+		t.Fatalf("trace output missing or empty: %v", err)
+	}
+}
+
+// TestStartBadPathFails: an uncreatable trace path errors and does not leave
+// CPU profiling running.
+func TestStartBadPathFails(t *testing.T) {
+	cpu := filepath.Join(t.TempDir(), "cpu.out")
+	if _, err := Start(cpu, "", filepath.Join(t.TempDir(), "no", "such", "dir", "t.out")); err == nil {
+		t.Fatal("bad trace path did not error")
+	}
+	// CPU profiling must have been stopped: a fresh Start succeeds.
+	stop, err := Start(cpu, "", "")
+	if err != nil {
+		t.Fatalf("CPU profiler left running: %v", err)
+	}
+	stop()
+}

@@ -21,6 +21,7 @@ import (
 	"enld/internal/kdtree"
 	"enld/internal/mat"
 	"enld/internal/noise"
+	"enld/internal/obs"
 	"enld/internal/parallel"
 )
 
@@ -63,6 +64,12 @@ type Request struct {
 
 	RNG   *mat.RNG
 	Meter *cost.Meter
+
+	// Obs, when set, receives phase spans ("detect/estimate" for the
+	// conditional-probability label draws, "detect/knn" for index build and
+	// neighbor queries) and instruments the k-NN worker pool. Nil disables
+	// all of it.
+	Obs *obs.Registry
 
 	// Workers bounds the parallel k-NN fan-out over ambiguous samples
 	// (0 = all cores). Selection is identical at every worker count: the
@@ -160,8 +167,7 @@ func (c Contrastive) Select(r *Request) (dataset.Set, error) {
 	if len(r.Ambiguous) == 0 || len(r.Pool) == 0 {
 		return nil, nil
 	}
-	// Group pool points by label; build one KD-tree per label (§IV-D
-	// implementation note) unless running the brute-force ablation.
+	// Group pool points by label (§IV-D implementation note).
 	byLabel := make(map[int][]kdtree.Point)
 	for i, smp := range r.Pool {
 		if smp.Observed == dataset.Missing {
@@ -169,20 +175,15 @@ func (c Contrastive) Select(r *Request) (dataset.Set, error) {
 		}
 		byLabel[smp.Observed] = append(byLabel[smp.Observed], kdtree.Point{Vec: r.PoolFeatures[i], Payload: i})
 	}
-	var index *kdtree.ClassIndex
-	if !c.Brute {
-		var err error
-		index, err = kdtree.BuildClassIndex(byLabel)
-		if err != nil {
-			return nil, err
-		}
-	}
 	poolLabels := make(map[int]bool, len(byLabel))
 	for l := range byLabel {
 		poolLabels[l] = true
 	}
 	// Draw every candidate label sequentially first so the RNG stream is
 	// consumed in input order regardless of how the queries are scheduled.
+	// (The index build below consumes no randomness, so drawing before it
+	// leaves the RNG stream unchanged.)
+	estSpan := r.Obs.StartSpan("detect/estimate")
 	draws := make([]int, len(r.Ambiguous))
 	for i, smp := range r.Ambiguous {
 		if c.SameLabel {
@@ -191,10 +192,22 @@ func (c Contrastive) Select(r *Request) (dataset.Set, error) {
 			draws[i] = r.Cond.Sample(smp.Observed, poolLabels, r.RNG)
 		}
 	}
-	// Fan the k-NN queries out across workers. Each worker reuses its own
-	// kdtree.Scratch (no per-query allocation) and writes each sample's
+	estSpan.End()
+	// Build one KD-tree per label unless running the brute-force ablation,
+	// then fan the k-NN queries out across workers. Each worker reuses its
+	// own kdtree.Scratch (no per-query allocation) and writes each sample's
 	// neighbors to that sample's slot, so assembly order is fixed.
-	pool := parallel.New(r.Workers)
+	knnSpan := r.Obs.StartSpan("detect/knn")
+	defer knnSpan.End()
+	var index *kdtree.ClassIndex
+	if !c.Brute {
+		var err error
+		index, err = kdtree.BuildClassIndex(byLabel)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pool := parallel.New(r.Workers).Instrument(r.Obs, "knn")
 	perSample := make([]dataset.Set, len(r.Ambiguous))
 	scratch := make([]kdtree.Scratch, pool.Workers())
 	errs := make([]error, pool.Workers())
