@@ -142,6 +142,11 @@ var hotPaths = map[string]bool{
 	"BenchmarkTrainEpoch/workers=1":    true,
 	"BenchmarkForward/batch-workers=1": true,
 	"BenchmarkForwardBatch/batched":    true,
+	// Storage-engine budgets: append throughput (the nosync variant — the
+	// fsync one measures the disk, not the code) and recovery time of a
+	// 10k-dataset history.
+	"BenchmarkSeglogAppend/nosync": true,
+	"BenchmarkSeglogRecovery10k":   true,
 }
 
 const (

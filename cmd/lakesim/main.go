@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -32,20 +33,32 @@ import (
 	"enld/internal/experiments"
 	"enld/internal/fault"
 	"enld/internal/lake"
+	"enld/internal/lake/seglog"
 	"enld/internal/metrics"
 	"enld/internal/nn"
 	"enld/internal/obs"
 )
 
-// buildWorkbench prepares the workload, restoring the platform from
-// platformPath when a previous run saved one there (crash recovery: no
-// setup-phase retraining) and saving it after a fresh setup otherwise. A
-// snapshot that fails verification (torn write, bit rot, foreign file) is
-// not fatal: the run warns, rebuilds from scratch and atomically replaces
-// the bad file, so a corrupt checkpoint degrades to a slow start instead of
-// a crash loop.
-func buildWorkbench(preset string, eta float64, cfg experiments.Config, platformPath string) (*experiments.Workbench, error) {
-	if platformPath != "" {
+// buildWorkbench prepares the workload, restoring the platform from the
+// inventory (preferred) or from platformPath when a previous run saved one
+// (crash recovery: no setup-phase retraining) and saving it after a fresh
+// setup otherwise. A snapshot that fails verification (torn write, bit rot,
+// foreign file) is not fatal: the run warns, rebuilds from scratch and
+// atomically replaces the bad snapshot, so a corrupt checkpoint degrades to
+// a slow start instead of a crash loop.
+func buildWorkbench(preset string, eta float64, cfg experiments.Config, platformPath string, inv lake.Inventory) (*experiments.Workbench, error) {
+	if inv != nil {
+		p, err := core.LoadPlatformInventory(inv)
+		switch {
+		case err == nil:
+			fmt.Println("platform restored from inventory (setup skipped)")
+			return experiments.BuildWorkbenchFrom(preset, eta, cfg, p)
+		case errors.Is(err, lake.ErrNoSnapshot):
+			// Fresh store: fall through to setup.
+		default:
+			fmt.Fprintf(os.Stderr, "lakesim: platform snapshot rejected, rebuilding from scratch: %v\n", err)
+		}
+	} else if platformPath != "" {
 		if _, err := os.Stat(platformPath); err == nil {
 			p, err := core.LoadPlatformFile(platformPath)
 			if err == nil {
@@ -59,13 +72,52 @@ func buildWorkbench(preset string, eta float64, cfg experiments.Config, platform
 	if err != nil {
 		return nil, err
 	}
-	if platformPath != "" {
+	switch {
+	case inv != nil:
+		if err := core.SavePlatformInventory(wb.Platform, inv); err != nil {
+			return nil, err
+		}
+		fmt.Println("platform saved to inventory")
+	case platformPath != "":
 		if err := core.SavePlatformFile(wb.Platform, platformPath); err != nil {
 			return nil, err
 		}
 		fmt.Printf("platform saved to %s\n", platformPath)
 	}
 	return wb, nil
+}
+
+// openInventory builds the inventory storage the flags ask for. A nil
+// return (no error) means durable storage is off.
+func openInventory(backend, dir string, reg *obs.Registry) (lake.Inventory, error) {
+	switch backend {
+	case "memory":
+		return lake.NewMemInventory(), nil
+	case "seglog":
+		if dir == "" {
+			return nil, nil
+		}
+		lg, err := seglog.Open(dir, seglog.Options{})
+		if err != nil {
+			return nil, err
+		}
+		lg.SetObs(reg)
+		if rec := lg.Stats().Recovery; rec.TornTail {
+			fmt.Fprintf(os.Stderr, "lakesim: storage recovery dropped %d torn record(s), %d bytes at %s offset %d\n",
+				rec.DroppedRecords, rec.DroppedBytes, rec.File, rec.Offset)
+		}
+		return lg, nil
+	case "gob":
+		if dir == "" {
+			return nil, nil
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		return lake.OpenGobInventory(filepath.Join(dir, "inventory.gob"))
+	default:
+		return nil, fmt.Errorf("unknown -store backend %q (want seglog, gob or memory)", backend)
+	}
 }
 
 func main() {
@@ -106,8 +158,14 @@ func main() {
 		fallback    = flag.Bool("fallback", false, "degrade failed tasks to the default baseline detector")
 
 		// Crash recovery.
-		platformPath = flag.String("platform", "", "platform snapshot file: loaded if present (skipping setup), saved after setup otherwise")
+		platformPath = flag.String("platform", "", "platform snapshot file: loaded if present (skipping setup), saved after setup otherwise; ignored when -store-dir is set")
 		resume       = flag.Bool("resume", false, "skip task IDs already recorded in the -journal file")
+
+		// Durable inventory storage (internal/lake/seglog): every arriving
+		// dataset and the platform snapshot go through the inventory, so an
+		// accepted arrival survives a crash.
+		storeKind = flag.String("store", "seglog", "inventory storage backend: seglog (crash-safe segment log), gob (atomic blob), memory")
+		storeDir  = flag.String("store-dir", "", "directory for durable inventory storage (empty = durable storage off unless -store=memory)")
 
 		// Numerical-health watchdog (internal/nn): NaN/Inf and
 		// loss-divergence detection with checkpoint rollback on every
@@ -145,7 +203,18 @@ func main() {
 			MaxRollbacks: *rollbackMax,
 		}
 	}
-	wb, err := buildWorkbench(*preset, *eta, cfg, *platformPath)
+	inv, err := openInventory(*storeKind, *storeDir, reg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lakesim: storage:", err)
+		os.Exit(1)
+	}
+	if inv != nil {
+		defer inv.Close()
+		st := inv.Stats()
+		fmt.Printf("storage: %s backend, %d dataset(s), %d segment(s)\n", st.Backend, st.Datasets, st.Segments)
+	}
+
+	wb, err := buildWorkbench(*preset, *eta, cfg, *platformPath, inv)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lakesim:", err)
 		os.Exit(1)
@@ -161,15 +230,20 @@ func main() {
 	// Recover the journal before serving: the intact prefix tells a
 	// restarted run which tasks are already durable.
 	var jnl *lake.Journal
+	var jrec lake.JournalRecovery
 	done := map[int]bool{}
 	if *journal != "" {
 		var entries []lake.Entry
-		jnl, entries, err = lake.RecoverJournalFile(*journal)
+		jnl, entries, jrec, err = lake.RecoverJournalFile(*journal)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lakesim: journal:", err)
 			os.Exit(1)
 		}
 		defer jnl.Close()
+		if jrec.Torn {
+			fmt.Fprintf(os.Stderr, "lakesim: journal recovery dropped a torn tail: %d bytes at offset %d of %s\n",
+				jrec.DroppedBytes, jrec.Offset, jrec.File)
+		}
 		if *resume {
 			done = lake.DoneTasks(entries)
 			if len(done) > 0 {
@@ -181,6 +255,12 @@ func main() {
 
 	tracker := lake.NewStatusTracker(nil)
 	tracker.SetKeepRecent(*keepRecent)
+	if inv != nil {
+		tracker.AttachInventory(inv)
+	}
+	if *journal != "" {
+		tracker.SetJournalRecovery(jrec)
+	}
 	if *watchdog {
 		h := wb.Platform.Health
 		tracker.SetTrainingHealth(lake.TrainingHealth{
@@ -263,6 +343,9 @@ func main() {
 			os.Exit(1)
 		}
 		svc.SetObs(reg)
+		if inv != nil {
+			svc.SetInventory(inv)
+		}
 		if b := svc.Breaker(); b != nil {
 			tracker.AttachBreaker(b)
 			lake.ObserveBreaker(b, reg)
@@ -291,6 +374,11 @@ func main() {
 		defer cancel()
 		reports := svc.Run(ctx, lake.Feed(ctx, wb.Shards, *interval))
 		summarize(reports, len(wb.Shards), len(done), svc.Breaker())
+		if inv != nil {
+			st := inv.Stats()
+			fmt.Printf("storage: %s backend, %d dataset(s) (%d samples), %d segment(s), %d live / %d dead bytes, %d append(s), %d compaction(s)\n",
+				st.Backend, st.Datasets, st.Samples, st.Segments, st.LiveBytes, st.DeadBytes, st.Appends, st.Compactions)
+		}
 		if injector != nil {
 			st := injector.Stats()
 			fmt.Printf("faults injected: calls=%d failures=%d panics=%d slowdowns=%d corruptions=%d\n",

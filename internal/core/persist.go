@@ -6,10 +6,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"time"
 
 	"enld/internal/dataset"
+	"enld/internal/fsio"
 	"enld/internal/nn"
 	"enld/internal/noise"
 )
@@ -88,42 +88,16 @@ func LoadPlatform(r io.Reader) (*Platform, error) {
 	}, nil
 }
 
-// SavePlatformFile atomically persists p to path: the snapshot is written to
-// a temporary file in the same directory, fsynced, and renamed over path, so
-// a crash mid-save leaves the previous snapshot intact rather than a torn
-// file.
+// SavePlatformFile atomically persists p to path via the shared
+// tmp+fsync+rename helper, so a crash mid-save leaves the previous snapshot
+// intact rather than a torn file.
 func SavePlatformFile(p *Platform, path string) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("core: save platform %s: %w", path, err)
-	}
-	defer func() {
-		if tmp != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
+	return fsio.WriteFileAtomic(path, func(w io.Writer) error {
+		if err := p.Save(w); err != nil {
+			return fmt.Errorf("core: save platform %s: %w", path, err)
 		}
-	}()
-	if err := p.Save(tmp); err != nil {
-		return fmt.Errorf("core: save platform %s: %w", path, err)
-	}
-	if err := tmp.Sync(); err != nil {
-		return fmt.Errorf("core: save platform %s: %w", path, err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("core: save platform %s: %w", path, err)
-	}
-	name := tmp.Name()
-	tmp = nil
-	if err := os.Rename(name, path); err != nil {
-		os.Remove(name)
-		return fmt.Errorf("core: save platform %s: %w", path, err)
-	}
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-	return nil
+		return nil
+	})
 }
 
 // LoadPlatformFile reads a platform snapshot written with SavePlatformFile.
@@ -139,6 +113,45 @@ func LoadPlatformFile(path string) (*Platform, error) {
 	p, err := LoadPlatform(f)
 	if err != nil {
 		return nil, fmt.Errorf("core: load platform %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// PlatformStore is the slice of a durable inventory the platform snapshot
+// needs: store and retrieve one opaque snapshot blob. lake.Inventory
+// satisfies it structurally; core deliberately avoids importing the lake
+// package so the dependency keeps pointing lake → core-free.
+type PlatformStore interface {
+	SavePlatform(snapshot []byte) error
+	LoadPlatform() ([]byte, error)
+}
+
+// SavePlatformInventory persists p's snapshot into a durable inventory. The
+// backend decides durability mechanics (atomic blob rewrite for gob, an
+// appended CRC-framed record for the segment log); a nil error means the
+// snapshot is durable.
+func SavePlatformInventory(p *Platform, inv PlatformStore) error {
+	var buf bytesBuffer
+	if err := p.Save(&buf); err != nil {
+		return err
+	}
+	if err := inv.SavePlatform(buf.data); err != nil {
+		return fmt.Errorf("core: save platform to inventory: %w", err)
+	}
+	return nil
+}
+
+// LoadPlatformInventory restores the platform from a durable inventory.
+// Backend errors (including lake.ErrNoSnapshot for a fresh store) are
+// wrapped with %w, so callers can still errors.Is against the sentinel.
+func LoadPlatformInventory(inv PlatformStore) (*Platform, error) {
+	data, err := inv.LoadPlatform()
+	if err != nil {
+		return nil, fmt.Errorf("core: load platform from inventory: %w", err)
+	}
+	p, err := LoadPlatform(&bytesBuffer{data: data})
+	if err != nil {
+		return nil, fmt.Errorf("core: load platform from inventory: %w", err)
 	}
 	return p, nil
 }

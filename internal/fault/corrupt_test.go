@@ -88,6 +88,62 @@ func TestTearFile(t *testing.T) {
 	}
 }
 
+func TestTruncateAt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	if err := os.WriteFile(path, make([]byte, 100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncateAt(path, 37); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 37 {
+		t.Fatalf("truncated file is %d bytes, want 37", info.Size())
+	}
+	for _, off := range []int64{-1, 38, 1000} {
+		if err := TruncateAt(path, off); err == nil {
+			t.Fatalf("truncate at %d succeeded", off)
+		}
+	}
+	if err := TruncateAt(filepath.Join(t.TempDir(), "absent"), 0); err == nil {
+		t.Fatal("truncating a missing file succeeded")
+	}
+}
+
+func TestDuplicateTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	if err := os.WriteFile(path, []byte{1, 2, 3, 4}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := DuplicateTail(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 2, 3, 4, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("file = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("file = %v, want %v", got, want)
+		}
+	}
+	for _, n := range []int64{0, -3, 7} {
+		if err := DuplicateTail(path, n); err == nil {
+			t.Fatalf("duplicating %d bytes succeeded", n)
+		}
+	}
+	if err := DuplicateTail(filepath.Join(t.TempDir(), "absent"), 1); err == nil {
+		t.Fatal("duplicating tail of a missing file succeeded")
+	}
+}
+
 func TestCorruptFileByte(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ck")
 	if err := os.WriteFile(path, []byte{1, 2, 3, 4}, 0o644); err != nil {

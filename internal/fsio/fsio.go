@@ -1,0 +1,71 @@
+// Package fsio provides the crash-safety file primitives shared by every
+// durable writer in this repository: the nn snapshot files, the platform
+// checkpoint, the lake inventory backends and the segment-log manifest all
+// persist through the same tmp+fsync+rename sequence, so a crash at any
+// instant leaves either the previous file intact or a stray temporary —
+// never a torn file at the destination path.
+package fsio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes the output of write to path atomically: the bytes
+// go to a temporary file in the same directory, are fsynced, and only then
+// renamed over path, followed by a best-effort fsync of the directory so the
+// rename itself is durable. If write (or any later step) fails, the
+// temporary is removed and path is untouched.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fsio: write %s: %w", path, err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("fsio: write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("fsio: write %s: %w", path, err)
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("fsio: write %s: %w", path, err)
+	}
+	SyncDir(dir)
+	return nil
+}
+
+// WriteFileBytesAtomic is WriteFileAtomic for callers that already hold the
+// full contents in memory.
+func WriteFileBytesAtomic(path string, data []byte) error {
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		if _, err := w.Write(data); err != nil {
+			return fmt.Errorf("fsio: write %s: %w", path, err)
+		}
+		return nil
+	})
+}
+
+// SyncDir fsyncs a directory so a just-completed rename or create within it
+// survives power loss. Errors are swallowed: directory fsync is unsupported
+// on some filesystems and the rename itself has already succeeded.
+func SyncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

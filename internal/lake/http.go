@@ -35,6 +35,14 @@ type Status struct {
 	// training stack, when one is wired in.
 	Training *TrainingHealth `json:"training_health,omitempty"`
 
+	// Storage reports the inventory backend's live statistics, when one is
+	// attached — segment counts, live/dead bytes, and what the last
+	// recovery dropped.
+	Storage *InventoryStats `json:"storage,omitempty"`
+	// JournalRecovery reports what the journal's crash recovery found (and,
+	// on a torn tail, dropped), when a journal recovery has been published.
+	JournalRecovery *JournalRecovery `json:"journal_recovery,omitempty"`
+
 	// KeepRecent is the configured bound of the Recent list.
 	KeepRecent int `json:"keep_recent"`
 	// Recent holds the newest task reports, most recent first.
@@ -85,11 +93,13 @@ type ReportSummary struct {
 // StatusTracker accumulates task reports and serves them over HTTP. It is
 // safe for concurrent use: workers record reports while the endpoint reads.
 type StatusTracker struct {
-	mu       sync.Mutex
-	store    *Store
-	breaker  *Breaker
-	training *TrainingHealth
-	reports  []Report
+	mu        sync.Mutex
+	store     *Store
+	breaker   *Breaker
+	training  *TrainingHealth
+	inventory Inventory
+	jrecovery *JournalRecovery
+	reports   []Report
 	// keepRecent bounds the recent-report ring.
 	keepRecent int
 }
@@ -131,6 +141,23 @@ func (t *StatusTracker) SetTrainingHealth(h TrainingHealth) {
 	t.training = &h
 }
 
+// AttachInventory makes snapshots report the storage backend's live
+// statistics (Inventory.Stats is re-read at every snapshot). A nil
+// inventory detaches.
+func (t *StatusTracker) AttachInventory(inv Inventory) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.inventory = inv
+}
+
+// SetJournalRecovery publishes what the journal's crash recovery found, so
+// a dropped torn tail is visible on /statusz instead of only in logs.
+func (t *StatusTracker) SetJournalRecovery(rec JournalRecovery) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.jrecovery = &rec
+}
+
 // Record adds a processed task report.
 func (t *StatusTracker) Record(rep Report) {
 	t.mu.Lock()
@@ -155,6 +182,14 @@ func (t *StatusTracker) Snapshot() Status {
 	if t.training != nil {
 		h := *t.training
 		st.Training = &h
+	}
+	if t.inventory != nil {
+		s := t.inventory.Stats()
+		st.Storage = &s
+	}
+	if t.jrecovery != nil {
+		r := *t.jrecovery
+		st.JournalRecovery = &r
 	}
 	var f1Sum float64
 	var procSum, queueSum time.Duration

@@ -1,0 +1,507 @@
+package lake
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"enld/internal/dataset"
+	"enld/internal/fsio"
+)
+
+// Inventory is the platform's durable storage: the incremental dataset
+// arrivals it has absorbed plus the current platform snapshot (the trained
+// general model and its estimates, serialized by the core package). The
+// paper's deployment scenario (§I, §IV-A) runs indefinitely, so an
+// implementation must survive crashes at any instant: a successful return
+// from a mutating call means the mutation is durable, and reopening after a
+// kill yields a consistent prefix of the accepted mutations.
+//
+// Three backends implement it: GobInventory (the original single-blob gob
+// format, rewritten atomically on every mutation — simple, compatible,
+// O(world) per save), MemInventory (volatile, for tests and benchmarks) and
+// seglog.Log (append-only CRC-framed segment log with background compaction
+// — the scaling backend).
+type Inventory interface {
+	// AppendDataset durably appends one incremental dataset arrival and
+	// returns its assigned ID. IDs are unique and increase with append
+	// order.
+	AppendDataset(name string, set dataset.Set) (uint64, error)
+	// Datasets lists the live datasets in append order.
+	Datasets() ([]DatasetMeta, error)
+	// LoadDataset returns the samples of one stored dataset.
+	LoadDataset(id uint64) (dataset.Set, error)
+	// RemoveDataset durably drops a dataset (e.g. after its samples were
+	// screened and folded into the platform inventory halves). Removing an
+	// unknown ID is an error.
+	RemoveDataset(id uint64) error
+	// SavePlatform durably replaces the platform snapshot.
+	SavePlatform(snapshot []byte) error
+	// LoadPlatform returns the current platform snapshot, or ErrNoSnapshot
+	// when none has been saved.
+	LoadPlatform() ([]byte, error)
+	// Stats reports storage counters for monitoring.
+	Stats() InventoryStats
+	// Close releases the backend's resources; mutating a closed inventory
+	// is an error.
+	Close() error
+}
+
+// ErrNoSnapshot reports a LoadPlatform on an inventory that has never saved
+// a platform snapshot.
+var ErrNoSnapshot = errors.New("lake: inventory holds no platform snapshot")
+
+// ErrInventoryClosed reports an operation on a closed inventory.
+var ErrInventoryClosed = errors.New("lake: inventory is closed")
+
+// DatasetMeta describes one stored dataset.
+type DatasetMeta struct {
+	ID   uint64 `json:"id"`
+	Name string `json:"name"`
+	// Size is the dataset's sample count.
+	Size int `json:"size"`
+}
+
+// InventoryStats reports a backend's storage counters. Fields that a
+// backend has no notion of (segments for the gob blob, bytes for the
+// in-memory store) stay zero.
+type InventoryStats struct {
+	// Backend names the implementation: "gob", "memory" or "seglog".
+	Backend string `json:"backend"`
+	// Datasets is the live dataset count; Samples the live sample total.
+	Datasets int `json:"datasets"`
+	Samples  int `json:"samples"`
+	// HasPlatform reports whether a platform snapshot is stored.
+	HasPlatform bool `json:"has_platform"`
+	// Segments is the on-disk segment-file count (1 for the gob blob).
+	Segments int `json:"segments,omitempty"`
+	// LiveBytes is the on-disk bytes still reachable; DeadBytes the bytes
+	// held by superseded or removed records that compaction can reclaim.
+	LiveBytes int64 `json:"live_bytes,omitempty"`
+	DeadBytes int64 `json:"dead_bytes,omitempty"`
+	// Appends and Compactions count mutations and compaction runs since
+	// open.
+	Appends     uint64 `json:"appends,omitempty"`
+	Compactions uint64 `json:"compactions,omitempty"`
+	// Recovery carries what the last open dropped (torn tail) — zero for
+	// a clean open.
+	Recovery RecoveryStats `json:"recovery"`
+}
+
+// RecoveryStats accounts for what a lenient recovery dropped. A consistent
+// store reports the damage it survived instead of silently truncating.
+type RecoveryStats struct {
+	// TornTail reports that a truncated or corrupted tail record was
+	// dropped.
+	TornTail bool `json:"torn_tail,omitempty"`
+	// DroppedRecords counts record frames dropped at the tail (exact for
+	// framed backends; at least 1 when TornTail is set).
+	DroppedRecords int `json:"dropped_records,omitempty"`
+	// DroppedBytes counts the bytes discarded from the damage offset to
+	// the end of the log.
+	DroppedBytes int64 `json:"dropped_bytes,omitempty"`
+	// Offset is the byte offset the damage started at, within the file
+	// named by File.
+	Offset int64  `json:"offset,omitempty"`
+	File   string `json:"file,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// In-memory backend.
+
+// MemInventory is a volatile Inventory for tests and benchmarks. It is safe
+// for concurrent use.
+type MemInventory struct {
+	mu       sync.Mutex
+	nextID   uint64
+	order    []uint64
+	datasets map[uint64]memDataset
+	platform []byte
+	appends  uint64
+	closed   bool
+}
+
+type memDataset struct {
+	name    string
+	samples dataset.Set
+}
+
+// NewMemInventory returns an empty in-memory inventory.
+func NewMemInventory() *MemInventory {
+	return &MemInventory{datasets: make(map[uint64]memDataset)}
+}
+
+// AppendDataset implements Inventory.
+func (m *MemInventory) AppendDataset(name string, set dataset.Set) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, ErrInventoryClosed
+	}
+	m.nextID++
+	id := m.nextID
+	m.datasets[id] = memDataset{name: name, samples: set.Clone()}
+	m.order = append(m.order, id)
+	m.appends++
+	return id, nil
+}
+
+// Datasets implements Inventory.
+func (m *MemInventory) Datasets() ([]DatasetMeta, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]DatasetMeta, 0, len(m.order))
+	for _, id := range m.order {
+		d := m.datasets[id]
+		out = append(out, DatasetMeta{ID: id, Name: d.name, Size: len(d.samples)})
+	}
+	return out, nil
+}
+
+// LoadDataset implements Inventory.
+func (m *MemInventory) LoadDataset(id uint64) (dataset.Set, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.datasets[id]
+	if !ok {
+		return nil, fmt.Errorf("lake: inventory has no dataset %d", id)
+	}
+	return d.samples.Clone(), nil
+}
+
+// RemoveDataset implements Inventory.
+func (m *MemInventory) RemoveDataset(id uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrInventoryClosed
+	}
+	if _, ok := m.datasets[id]; !ok {
+		return fmt.Errorf("lake: inventory has no dataset %d", id)
+	}
+	delete(m.datasets, id)
+	for i, v := range m.order {
+		if v == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.appends++
+	return nil
+}
+
+// SavePlatform implements Inventory.
+func (m *MemInventory) SavePlatform(snapshot []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrInventoryClosed
+	}
+	m.platform = append([]byte(nil), snapshot...)
+	m.appends++
+	return nil
+}
+
+// LoadPlatform implements Inventory.
+func (m *MemInventory) LoadPlatform() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.platform == nil {
+		return nil, ErrNoSnapshot
+	}
+	return append([]byte(nil), m.platform...), nil
+}
+
+// Stats implements Inventory.
+func (m *MemInventory) Stats() InventoryStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := InventoryStats{
+		Backend:     "memory",
+		Datasets:    len(m.order),
+		HasPlatform: m.platform != nil,
+		Appends:     m.appends,
+	}
+	for _, id := range m.order {
+		st.Samples += len(m.datasets[id].samples)
+	}
+	return st
+}
+
+// Close implements Inventory.
+func (m *MemInventory) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Gob-blob backend.
+
+// GobInventory is the original persistence model kept as the compatibility
+// backend: the whole inventory is one gob blob, atomically rewritten on
+// every mutation. Durable and torn-write-safe (via the shared tmp+rename
+// helper) but O(inventory) per save — the scaling ceiling the segment log
+// removes.
+type GobInventory struct {
+	mu      sync.Mutex
+	path    string
+	blob    gobBlob
+	appends uint64
+	closed  bool
+}
+
+// gobBlob is the gob wire format of the whole inventory.
+type gobBlob struct {
+	NextID   uint64
+	Order    []uint64
+	Names    map[uint64]string
+	Samples  map[uint64]dataset.Set
+	Platform []byte
+}
+
+// OpenGobInventory opens (or creates) a gob-blob inventory at path. A
+// structurally damaged blob is rejected loudly: the atomic writer never
+// leaves a torn file, so damage means external interference, not a crash
+// artifact. Plain gob carries no checksum, so silent bit rot inside values
+// is undetectable here — use the seglog backend when that matters.
+func OpenGobInventory(path string) (*GobInventory, error) {
+	inv := &GobInventory{path: path}
+	f, err := os.Open(path)
+	switch {
+	case err == nil:
+		defer f.Close()
+		if err := gob.NewDecoder(f).Decode(&inv.blob); err != nil {
+			return nil, fmt.Errorf("lake: open gob inventory %s: corrupt blob: %w", path, err)
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh inventory.
+	default:
+		return nil, fmt.Errorf("lake: open gob inventory %s: %w", path, err)
+	}
+	if inv.blob.Names == nil {
+		inv.blob.Names = make(map[uint64]string)
+	}
+	if inv.blob.Samples == nil {
+		inv.blob.Samples = make(map[uint64]dataset.Set)
+	}
+	return inv, nil
+}
+
+// persist rewrites the whole blob atomically. Callers hold the mutex.
+func (g *GobInventory) persist() error {
+	return fsio.WriteFileAtomic(g.path, func(w io.Writer) error {
+		if err := gob.NewEncoder(w).Encode(g.blob); err != nil {
+			return fmt.Errorf("lake: save gob inventory %s: %w", g.path, err)
+		}
+		return nil
+	})
+}
+
+// AppendDataset implements Inventory.
+func (g *GobInventory) AppendDataset(name string, set dataset.Set) (uint64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return 0, ErrInventoryClosed
+	}
+	g.blob.NextID++
+	id := g.blob.NextID
+	g.blob.Order = append(g.blob.Order, id)
+	g.blob.Names[id] = name
+	g.blob.Samples[id] = set.Clone()
+	if err := g.persist(); err != nil {
+		delete(g.blob.Names, id)
+		delete(g.blob.Samples, id)
+		g.blob.Order = g.blob.Order[:len(g.blob.Order)-1]
+		g.blob.NextID--
+		return 0, err
+	}
+	g.appends++
+	return id, nil
+}
+
+// Datasets implements Inventory.
+func (g *GobInventory) Datasets() ([]DatasetMeta, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]DatasetMeta, 0, len(g.blob.Order))
+	for _, id := range g.blob.Order {
+		out = append(out, DatasetMeta{ID: id, Name: g.blob.Names[id], Size: len(g.blob.Samples[id])})
+	}
+	return out, nil
+}
+
+// LoadDataset implements Inventory.
+func (g *GobInventory) LoadDataset(id uint64) (dataset.Set, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	set, ok := g.blob.Samples[id]
+	if !ok {
+		return nil, fmt.Errorf("lake: inventory has no dataset %d", id)
+	}
+	return set.Clone(), nil
+}
+
+// RemoveDataset implements Inventory.
+func (g *GobInventory) RemoveDataset(id uint64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return ErrInventoryClosed
+	}
+	set, ok := g.blob.Samples[id]
+	if !ok {
+		return fmt.Errorf("lake: inventory has no dataset %d", id)
+	}
+	name := g.blob.Names[id]
+	idx := -1
+	for i, v := range g.blob.Order {
+		if v == id {
+			idx = i
+			break
+		}
+	}
+	delete(g.blob.Samples, id)
+	delete(g.blob.Names, id)
+	g.blob.Order = append(g.blob.Order[:idx], g.blob.Order[idx+1:]...)
+	if err := g.persist(); err != nil {
+		g.blob.Samples[id] = set
+		g.blob.Names[id] = name
+		g.blob.Order = append(g.blob.Order[:idx], append([]uint64{id}, g.blob.Order[idx:]...)...)
+		return err
+	}
+	g.appends++
+	return nil
+}
+
+// SavePlatform implements Inventory.
+func (g *GobInventory) SavePlatform(snapshot []byte) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return ErrInventoryClosed
+	}
+	prev := g.blob.Platform
+	g.blob.Platform = append([]byte(nil), snapshot...)
+	if err := g.persist(); err != nil {
+		g.blob.Platform = prev
+		return err
+	}
+	g.appends++
+	return nil
+}
+
+// LoadPlatform implements Inventory.
+func (g *GobInventory) LoadPlatform() ([]byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.blob.Platform == nil {
+		return nil, ErrNoSnapshot
+	}
+	return append([]byte(nil), g.blob.Platform...), nil
+}
+
+// Stats implements Inventory.
+func (g *GobInventory) Stats() InventoryStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := InventoryStats{
+		Backend:     "gob",
+		Datasets:    len(g.blob.Order),
+		HasPlatform: g.blob.Platform != nil,
+		Segments:    1,
+		Appends:     g.appends,
+	}
+	for _, id := range g.blob.Order {
+		st.Samples += len(g.blob.Samples[id])
+	}
+	if info, err := os.Stat(g.path); err == nil {
+		st.LiveBytes = info.Size()
+	}
+	return st
+}
+
+// Close implements Inventory.
+func (g *GobInventory) Close() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.closed = true
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Store bridging.
+
+// StoreFromInventory rebuilds an in-memory Store working set from the live
+// datasets of inv, in append order. Datasets sharing a name supersede each
+// other — only the newest copy is loaded. That rule is what makes
+// PersistStore crash-safe: its append-new-then-remove-old sequence can die
+// between the two steps, and the restart then sees both copies but loads
+// only the newer one. Duplicate sample IDs across *differently named*
+// datasets are still rejected by Store.Add, surfacing ingestion bugs
+// instead of masking them.
+func StoreFromInventory(inv Inventory, meta StoreMeta) (*Store, error) {
+	st, err := NewStore(meta)
+	if err != nil {
+		return nil, err
+	}
+	metas, err := inv.Datasets()
+	if err != nil {
+		return nil, err
+	}
+	SortDatasetMetas(metas)
+	newest := make(map[string]uint64, len(metas))
+	for _, dm := range metas {
+		newest[dm.Name] = dm.ID
+	}
+	for _, dm := range metas {
+		if newest[dm.Name] != dm.ID {
+			continue // superseded by a later same-name dataset
+		}
+		set, err := inv.LoadDataset(dm.ID)
+		if err != nil {
+			return nil, err
+		}
+		if err := st.Add(set); err != nil {
+			return nil, fmt.Errorf("lake: restoring dataset %d (%s): %w", dm.ID, dm.Name, err)
+		}
+	}
+	return st, nil
+}
+
+// PersistStore durably writes the store's current samples to inv as one
+// dataset under name, superseding any previous dataset of that name. The
+// new copy is appended before the old ones are removed, so a crash at any
+// point leaves at least one complete copy; StoreFromInventory's
+// newest-name-wins rule picks the right one on restart, and the next
+// PersistStore sweeps leftover older copies.
+func PersistStore(st *Store, inv Inventory, name string) (uint64, error) {
+	id, err := inv.AppendDataset(name, st.All())
+	if err != nil {
+		return 0, err
+	}
+	metas, err := inv.Datasets()
+	if err != nil {
+		return id, err
+	}
+	for _, dm := range metas {
+		if dm.Name == name && dm.ID != id {
+			if err := inv.RemoveDataset(dm.ID); err != nil {
+				return id, err
+			}
+		}
+	}
+	return id, nil
+}
+
+// SortDatasetMetas orders metas by ID (append order); helper for callers
+// that aggregate across backends.
+func SortDatasetMetas(metas []DatasetMeta) {
+	sort.Slice(metas, func(i, j int) bool { return metas[i].ID < metas[j].ID })
+}

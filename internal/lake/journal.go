@@ -108,11 +108,30 @@ func (j *Journal) Close() error {
 	return nil
 }
 
+// JournalRecovery reports what RecoverJournalFile found and, when the tail
+// was torn, what it dropped — so operators see the damage instead of a
+// silent truncation.
+type JournalRecovery struct {
+	// Entries is the count of intact entries recovered.
+	Entries int `json:"entries"`
+	// Torn reports that a damaged tail was dropped.
+	Torn bool `json:"torn"`
+	// DroppedBytes is the size of the dropped tail; Offset the byte
+	// position the damage started at. (The compacting rewrite re-encodes
+	// the same entries through the same encoder, so the intact prefix is
+	// byte-identical and the offset is exact.)
+	DroppedBytes int64 `json:"dropped_bytes,omitempty"`
+	Offset       int64 `json:"offset,omitempty"`
+	// File is the journal path, for log and /statusz context.
+	File string `json:"file,omitempty"`
+}
+
 // RecoverJournalFile opens the journal at path for crash-safe resumption.
 // It reads the intact entry prefix (tolerating a torn trailing record from
 // a crash mid-append), rewrites that prefix to a temporary file, atomically
 // renames it over path, and returns a Journal that keeps appending to the
 // compacted file with sequence numbers continuing where the prefix ended.
+// The returned JournalRecovery accounts for any dropped tail.
 //
 // The rewrite is not optional bookkeeping: a gob stream cannot be extended
 // by a fresh encoder (the decoder rejects the duplicate type definitions),
@@ -120,37 +139,47 @@ func (j *Journal) Close() error {
 // reader. Compaction both drops torn bytes and restarts a single coherent
 // encoder stream. A missing file starts an empty journal. Callers should
 // Close the returned journal when done.
-func RecoverJournalFile(path string) (*Journal, []Entry, error) {
+func RecoverJournalFile(path string) (*Journal, []Entry, JournalRecovery, error) {
 	var entries []Entry
+	rec := JournalRecovery{File: path}
+	var origSize int64
 	data, err := os.ReadFile(path)
 	switch {
 	case err == nil:
-		entries, _, err = ReadJournalLenient(bytes.NewReader(data))
+		origSize = int64(len(data))
+		entries, rec.Torn, err = ReadJournalLenient(bytes.NewReader(data))
 		if err != nil {
-			return nil, nil, fmt.Errorf("lake: recover journal %s: %w", path, err)
+			return nil, nil, rec, fmt.Errorf("lake: recover journal %s: %w", path, err)
 		}
 	case errors.Is(err, os.ErrNotExist):
 		// Fresh journal.
 	default:
-		return nil, nil, fmt.Errorf("lake: recover journal: %w", err)
+		return nil, nil, rec, fmt.Errorf("lake: recover journal: %w", err)
 	}
+	rec.Entries = len(entries)
 
 	tmp := path + ".recover"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("lake: recover journal: %w", err)
+		return nil, nil, rec, fmt.Errorf("lake: recover journal: %w", err)
 	}
 	j, err := NewJournal(f)
 	if err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return nil, nil, err
+		return nil, nil, rec, err
 	}
 	for _, e := range entries {
 		if err := j.appendPreserving(e); err != nil {
 			f.Close()
 			os.Remove(tmp)
-			return nil, nil, err
+			return nil, nil, rec, err
+		}
+	}
+	if rec.Torn {
+		if pos, err := f.Seek(0, io.SeekCurrent); err == nil {
+			rec.Offset = pos
+			rec.DroppedBytes = origSize - pos
 		}
 	}
 	// Rename over the damaged original; the open handle follows the file,
@@ -158,9 +187,9 @@ func RecoverJournalFile(path string) (*Journal, []Entry, error) {
 	if err := os.Rename(tmp, path); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return nil, nil, fmt.Errorf("lake: recover journal: %w", err)
+		return nil, nil, rec, fmt.Errorf("lake: recover journal: %w", err)
 	}
-	return j, entries, nil
+	return j, entries, rec, nil
 }
 
 // AppendDetection journals a detection task's outcome.

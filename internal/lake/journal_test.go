@@ -141,12 +141,12 @@ func TestRecoverJournalFileCrashRestart(t *testing.T) {
 
 	// First incarnation journals 4 detections, then "crashes" mid-append
 	// (simulated by truncating the file inside the last record).
-	j1, entries, err := RecoverJournalFile(path)
+	j1, entries, jrec, err := RecoverJournalFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 0 {
-		t.Fatalf("fresh journal has %d entries", len(entries))
+	if len(entries) != 0 || jrec.Torn || jrec.Entries != 0 {
+		t.Fatalf("fresh journal: %d entries, recovery %+v", len(entries), jrec)
 	}
 	for i := 0; i < 4; i++ {
 		if _, err := j1.AppendDetection(i, map[int]bool{10 + i: true}, nil, "run1"); err != nil {
@@ -164,14 +164,20 @@ func TestRecoverJournalFileCrashRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Restart: recovery returns the 3 intact entries and the journal keeps
-	// appending with the sequence continuing.
-	j2, entries, err := RecoverJournalFile(path)
+	// Restart: recovery returns the 3 intact entries, reports exactly what
+	// the torn tail cost, and the journal keeps appending with the sequence
+	// continuing.
+	j2, entries, jrec, err := RecoverJournalFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(entries) != 3 {
 		t.Fatalf("recovered %d entries, want 3", len(entries))
+	}
+	// The compacting rewrite re-encodes the intact prefix byte-identically,
+	// so offset + dropped bytes must equal the damaged file's exact size.
+	if !jrec.Torn || jrec.Entries != 3 || jrec.Offset+jrec.DroppedBytes != info.Size()-5 {
+		t.Fatalf("journal recovery stats = %+v (truncated size %d)", jrec, info.Size()-5)
 	}
 	done := DoneTasks(entries)
 	if len(done) != 3 || !done[0] || !done[1] || !done[2] {

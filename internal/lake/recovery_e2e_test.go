@@ -1,0 +1,266 @@
+// The composed storage crash test lives in an external test package: the
+// seglog backend imports lake, so package lake's own tests cannot import it
+// back.
+package lake_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"enld/internal/core"
+	"enld/internal/dataset"
+	"enld/internal/detect"
+	"enld/internal/lake"
+	"enld/internal/lake/seglog"
+	"enld/internal/mat"
+	"enld/internal/nn"
+)
+
+// e2eDetector marks odd IDs noisy (the workload's ground truth).
+type e2eDetector struct{}
+
+func (e2eDetector) Name() string { return "e2e-odd" }
+
+func (e2eDetector) Detect(d dataset.Set) (*detect.Result, error) {
+	res := detect.NewResult()
+	for _, smp := range d {
+		if smp.ID%2 == 1 {
+			res.MarkNoisy(smp.ID)
+		} else {
+			res.MarkClean(smp.ID)
+		}
+	}
+	return res, nil
+}
+
+// e2eShards builds n incremental datasets of size samples each.
+func e2eShards(n, size int) []dataset.Set {
+	out := make([]dataset.Set, n)
+	id := 0
+	for i := range out {
+		for j := 0; j < size; j++ {
+			s := dataset.Sample{ID: id, X: []float64{float64(id), 1}, Observed: id % 3, True: id % 3}
+			if id%2 == 1 {
+				s.True = (s.Observed + 1) % 3
+			}
+			out[i] = append(out[i], s)
+			id++
+		}
+	}
+	return out
+}
+
+// e2ePlatform trains a small deterministic platform.
+func e2ePlatform(t *testing.T, seed uint64) *core.Platform {
+	t.Helper()
+	sp := dataset.Spec{
+		Name: "e2e", Classes: 3, FeatureDim: 5, PerClass: 30,
+		Separation: 4, Spread: 1, Seed: seed,
+	}
+	full, err := sp.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, _, err := dataset.SplitRatio(full, 2.0/3.0, mat.NewRNG(seed+2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultPlatformConfig(sp.Classes, sp.FeatureDim, seed+3)
+	cfg.Epochs = 4
+	cfg.Watchdog = nn.WatchdogConfig{Enabled: true}
+	p, err := core.NewPlatform(inv, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCrashRecoveryComposesSeglogAndJournal is the storage engine's
+// composed crash scenario: the process dies in the middle of a segment-log
+// compaction (new segments on disk, manifest not yet swapped) AND with a
+// torn record at the journal tail. The restarted incarnation must recover a
+// bit-identical platform snapshot from the log, keep every durably appended
+// arrival, and finish the workload with zero lost tasks — every task
+// covered exactly once across both incarnations.
+func TestCrashRecoveryComposesSeglogAndJournal(t *testing.T) {
+	storeDir := t.TempDir()
+	jpath := filepath.Join(t.TempDir(), "journal")
+	ctx := context.Background()
+	allShards := e2eShards(6, 4)
+
+	// First incarnation: platform into the inventory, 3 of 6 tasks served
+	// with durable arrival storage, each journaled.
+	inv1, err := seglog.Open(storeDir, seglog.Options{SegmentTargetBytes: 2048, AutoCompactRatio: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := e2ePlatform(t, 11)
+	if err := core.SavePlatformInventory(p1, inv1); err != nil {
+		t.Fatal(err)
+	}
+	wantSnap, err := inv1.LoadPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j1, entries, _, err := lake.RecoverJournalFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("fresh journal has %d entries", len(entries))
+	}
+	svc1, err := lake.NewService(e2eDetector{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1.SetInventory(inv1)
+	for _, rep := range svc1.Run(ctx, lake.Feed(ctx, allShards[:3], 0)) {
+		if rep.Err != nil {
+			t.Fatalf("task %d: %v", rep.TaskID, rep.Err)
+		}
+		if _, err := j1.AppendDetection(rep.TaskID, rep.Result.Noisy, rep.Result.Clean, "run1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-saving the platform supersedes the first snapshot record — the
+	// dead bytes that make compaction do real work.
+	if err := core.SavePlatformInventory(p1, inv1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash mid-compaction: capture the disk state after the new segments
+	// are written but before the manifest swap commits them.
+	var crashedStore string
+	inv1.SetCompactionHook(func(stage string) {
+		if stage == "segments-written" {
+			crashedStore = copyTree(t, storeDir)
+		}
+	})
+	if err := inv1.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if crashedStore == "" {
+		t.Fatal("compaction hook never fired")
+	}
+	inv1.Close()
+
+	// ...and with a torn journal tail: the crash cut the last record.
+	info, err := os.Stat(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(jpath, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the crashed state. The journal recovers 2 intact entries
+	// and accounts for the torn third...
+	j2, entries, jrec, err := lake.RecoverJournalFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || !jrec.Torn || jrec.DroppedBytes <= 0 {
+		t.Fatalf("journal recovery: %d entries, stats %+v", len(entries), jrec)
+	}
+	defer j2.Close()
+	done := lake.DoneTasks(entries)
+
+	// ...the segment log recovers from the half-finished compaction (the
+	// uncommitted new segments are swept as strays)...
+	inv2, err := seglog.Open(crashedStore, seglog.Options{SegmentTargetBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inv2.Close()
+	if inv2.StraysRemoved() == 0 {
+		t.Fatal("crashed compaction left no strays to sweep")
+	}
+
+	// ...with the platform snapshot bit-identical to the first
+	// incarnation's...
+	gotSnap, err := inv2.LoadPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotSnap, wantSnap) {
+		t.Fatalf("platform snapshot differs after crash recovery: %d vs %d bytes", len(gotSnap), len(wantSnap))
+	}
+	if _, err := core.LoadPlatformInventory(inv2); err != nil {
+		t.Fatalf("recovered platform unusable: %v", err)
+	}
+
+	// ...and every durably appended arrival intact.
+	metas, err := inv2.Datasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrived := map[string]bool{}
+	for _, m := range metas {
+		arrived[m.Name] = true
+	}
+	for i := 0; i < 3; i++ {
+		if !arrived[fmt.Sprintf("task-%d", i)] {
+			t.Fatalf("arrival task-%d lost in crash: %v", i, arrived)
+		}
+	}
+
+	// The restarted service skips the journaled tasks and completes the
+	// rest: zero lost tasks across both incarnations.
+	svc2, err := lake.NewService(e2eDetector{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2.SetInventory(inv2)
+	svc2.SkipCompleted(done)
+	covered := map[int]bool{}
+	for id := range done {
+		covered[id] = true
+	}
+	for _, rep := range svc2.Run(ctx, lake.Feed(ctx, allShards, 0)) {
+		if rep.Err != nil {
+			t.Fatalf("task %d: %v", rep.TaskID, rep.Err)
+		}
+		if covered[rep.TaskID] {
+			t.Fatalf("task %d processed twice", rep.TaskID)
+		}
+		covered[rep.TaskID] = true
+		if _, err := j2.AppendDetection(rep.TaskID, rep.Result.Noisy, rep.Result.Clean, "run2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(covered) != 6 {
+		t.Fatalf("covered %d of 6 tasks: %v", len(covered), covered)
+	}
+}
+
+// copyTree clones every regular file of src into a fresh directory.
+func copyTree(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}

@@ -59,12 +59,12 @@ func TestCrashRecoveryComposesJournalAndCheckpoint(t *testing.T) {
 	if err := core.SavePlatformFile(p1, ppath); err != nil {
 		t.Fatal(err)
 	}
-	j1, entries, err := RecoverJournalFile(jpath)
+	j1, entries, jrec, err := RecoverJournalFile(jpath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 0 {
-		t.Fatalf("fresh journal has %d entries", len(entries))
+	if len(entries) != 0 || jrec.Torn {
+		t.Fatalf("fresh journal: %d entries, recovery %+v", len(entries), jrec)
 	}
 	svc, _ := NewService(flagOdd{}, 2)
 	for _, rep := range svc.Run(ctx, Feed(ctx, shards(6, 2)[:3], 0)) {
@@ -89,13 +89,17 @@ func TestCrashRecoveryComposesJournalAndCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Restart. The journal recovers its intact prefix...
-	j2, entries, err := RecoverJournalFile(jpath)
+	// Restart. The journal recovers its intact prefix and accounts for the
+	// dropped tail...
+	j2, entries, jrec, err := RecoverJournalFile(jpath)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(entries) != 2 {
 		t.Fatalf("recovered %d journal entries, want 2", len(entries))
+	}
+	if !jrec.Torn || jrec.Entries != 2 || jrec.DroppedBytes <= 0 || jrec.Offset <= 0 {
+		t.Fatalf("journal recovery stats = %+v", jrec)
 	}
 	done := DoneTasks(entries)
 

@@ -1,0 +1,199 @@
+package seglog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"enld/internal/fsio"
+	"enld/internal/lake"
+)
+
+// maybeCompact schedules a background compaction when the dead-byte ratio
+// crosses the configured threshold. Callers hold the mutex. At most one
+// compaction is pending or running at a time.
+func (l *Log) maybeCompact() {
+	if l.compactPending || l.closed || l.opts.AutoCompactRatio < 0 {
+		return
+	}
+	if l.deadBytes < l.opts.AutoCompactMinBytes {
+		return
+	}
+	total := l.liveBytes + l.deadBytes
+	if total == 0 || float64(l.deadBytes)/float64(total) < l.opts.AutoCompactRatio {
+		return
+	}
+	l.compactPending = true
+	l.compactWG.Add(1)
+	go func() {
+		defer l.compactWG.Done()
+		// Best effort: a failed background compaction leaves the log fully
+		// usable (dead bytes just stick around until the next trigger), so
+		// the error is surfaced through stats, not a crash.
+		l.Compact()
+		l.mu.Lock()
+		l.compactPending = false
+		l.mu.Unlock()
+	}()
+}
+
+// Compact rewrites every live record into fresh segments and atomically
+// swaps the manifest to them. Sequence numbers are preserved, so a
+// compacted log replays identically; new segments take never-before-used
+// numbers, so a crash at ANY point leaves either the old manifest (strays
+// swept at next open) or the new one (old segments deleted, or swept if the
+// deletion itself crashed) — never a mix.
+//
+// Compaction holds the log mutex for the duration. Appends block behind it;
+// with in-memory state this is a bounded pause (the 10k-dataset torture
+// history compacts in well under a second), accepted in exchange for not
+// needing a side-log protocol.
+func (l *Log) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return lake.ErrInventoryClosed
+	}
+	began := time.Now()
+	live := l.liveRecords()
+
+	// Stage 1: write the survivors into fresh segments. Invisible to
+	// recovery until the manifest names them.
+	var (
+		names    []string
+		sizes    = make(map[string]int64)
+		cur      *os.File
+		curName  string
+		curSize  int64
+		newBytes int64
+	)
+	abort := func(err error) error {
+		if cur != nil {
+			cur.Close()
+		}
+		for _, n := range names {
+			os.Remove(filepath.Join(l.dir, n))
+		}
+		return err
+	}
+	nextSeg := l.nextSeg
+	open := func() error {
+		curName = segmentFileName(nextSeg)
+		nextSeg++
+		f, err := os.OpenFile(filepath.Join(l.dir, curName), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("seglog: compact: create %s: %w", curName, err)
+		}
+		cur = f
+		curSize = 0
+		names = append(names, curName)
+		return nil
+	}
+	seal := func() error {
+		if err := cur.Sync(); err != nil {
+			return fmt.Errorf("seglog: compact: sync %s: %w", curName, err)
+		}
+		if err := cur.Close(); err != nil {
+			return fmt.Errorf("seglog: compact: close %s: %w", curName, err)
+		}
+		sizes[curName] = curSize
+		cur = nil
+		return nil
+	}
+	if err := open(); err != nil {
+		return abort(err)
+	}
+	newAt := make(map[uint64]int64, len(live)) // seq → framed size
+	for _, rec := range live {
+		frame, err := encodeRecord(rec)
+		if err != nil {
+			return abort(err)
+		}
+		if curSize > 0 && curSize+int64(len(frame)) > l.opts.SegmentTargetBytes {
+			if err := seal(); err != nil {
+				cur = nil
+				return abort(err)
+			}
+			if err := open(); err != nil {
+				return abort(err)
+			}
+		}
+		if _, err := cur.Write(frame); err != nil {
+			return abort(fmt.Errorf("seglog: compact: write %s: %w", curName, err))
+		}
+		curSize += int64(len(frame))
+		newAt[rec.Seq] = int64(len(frame))
+		newBytes += int64(len(frame))
+	}
+	if err := seal(); err != nil {
+		cur = nil
+		return abort(err)
+	}
+	fsio.SyncDir(l.dir)
+	l.hook("segments-written")
+
+	// Stage 2: the commit point — swap the manifest to the new segments.
+	// The last new segment becomes the active one.
+	old := l.segments
+	m := manifest{
+		Segments:         names,
+		NextSegment:      nextSeg,
+		MinNextSeq:       l.nextSeq,
+		MinNextDatasetID: l.nextID,
+	}
+	if err := writeManifest(l.dir, m); err != nil {
+		return abort(err)
+	}
+	l.hook("manifest-swapped")
+
+	// Stage 3: adopt the new active segment and drop the old files. From
+	// here failures are non-fatal — the old segments are already dead, and
+	// a crashed deletion is swept at the next open.
+	if l.active != nil {
+		l.active.Close()
+	}
+	activeName := names[len(names)-1]
+	f, err := os.OpenFile(filepath.Join(l.dir, activeName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("seglog: compact: reopening active segment %s: %w", activeName, err)
+	}
+	l.active = f
+	l.activeName = activeName
+	l.activeSize = sizes[activeName]
+	l.segments = names
+	l.nextSeg = nextSeg
+	l.sealedSize = sizes
+	delete(l.sealedSize, activeName)
+	for id, ent := range l.datasets {
+		if sz, ok := newAt[ent.seq]; ok && sz != ent.bytes {
+			ent.bytes = sz
+			l.datasets[id] = ent
+		}
+	}
+	if l.platform != nil {
+		if sz, ok := newAt[l.platformSeq]; ok {
+			l.platformBytes = sz
+		}
+	}
+	l.liveBytes = newBytes
+	l.deadBytes = 0
+	l.compactions++
+
+	for _, name := range old {
+		os.Remove(filepath.Join(l.dir, name))
+	}
+	fsio.SyncDir(l.dir)
+	l.hook("old-segments-deleted")
+
+	l.obs.recordCompaction(time.Since(began))
+	l.updateObsGauges()
+	return nil
+}
+
+// hook invokes the test-only compaction stage hook.
+func (l *Log) hook(stage string) {
+	if l.compactHook != nil {
+		l.compactHook(stage)
+	}
+}

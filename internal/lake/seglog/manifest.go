@@ -1,0 +1,137 @@
+package seglog
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"enld/internal/fsio"
+)
+
+// manifestName is the manifest's file name inside the log directory.
+const manifestName = "MANIFEST"
+
+// manifest names the live segment files in order and carries the counters
+// that only the manifest can make durable: compaction folds records away,
+// so the maximum dataset ID and sequence number seen in the segments can
+// regress across a compaction — the manifest floors both so IDs and
+// sequence numbers are never reused.
+//
+// The manifest is the log's commit point: it is only ever replaced
+// atomically (tmp+fsync+rename), and a segment file not named by it does
+// not exist as far as recovery is concerned. That single rule is what makes
+// rotation and compaction crash-safe — at every instant the manifest on
+// disk names one consistent set of segments.
+type manifest struct {
+	Version int `json:"version"`
+	// Segments lists live segment file names, oldest first; the last one
+	// is the active (appendable) segment.
+	Segments []string `json:"segments"`
+	// NextSegment is the number the next created segment file will take.
+	// Segment numbers are never reused, so stray files from a crashed
+	// rotation or compaction can always be told apart from live ones.
+	NextSegment uint64 `json:"next_segment"`
+	// MinNextSeq floors the next record sequence number.
+	MinNextSeq uint64 `json:"min_next_seq"`
+	// MinNextDatasetID floors the next dataset ID.
+	MinNextDatasetID uint64 `json:"min_next_dataset_id"`
+}
+
+const manifestVersion = 1
+
+// writeManifest atomically replaces the manifest in dir.
+func writeManifest(dir string, m manifest) error {
+	m.Version = manifestVersion
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("seglog: encode manifest: %w", err)
+	}
+	if err := fsio.WriteFileBytesAtomic(filepath.Join(dir, manifestName), append(data, '\n')); err != nil {
+		return fmt.Errorf("seglog: write manifest: %w", err)
+	}
+	return nil
+}
+
+// readManifest loads the manifest from dir. A missing manifest returns
+// os.ErrNotExist; a malformed one is a loud error (the atomic writer never
+// leaves a torn manifest, so damage is not a crash artifact).
+func readManifest(dir string) (manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return manifest{}, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return manifest{}, fmt.Errorf("seglog: corrupt manifest in %s: %w", dir, err)
+	}
+	if m.Version != manifestVersion {
+		return manifest{}, fmt.Errorf("seglog: manifest in %s has version %d (this build reads version %d)", dir, m.Version, manifestVersion)
+	}
+	if len(m.Segments) == 0 {
+		return manifest{}, fmt.Errorf("seglog: manifest in %s names no segments", dir)
+	}
+	seen := make(map[string]bool, len(m.Segments))
+	for _, name := range m.Segments {
+		if filepath.Base(name) != name || filepath.Ext(name) != ".log" {
+			return manifest{}, fmt.Errorf("seglog: manifest in %s names invalid segment %q", dir, name)
+		}
+		if seen[name] {
+			return manifest{}, fmt.Errorf("seglog: manifest in %s names segment %q twice", dir, name)
+		}
+		seen[name] = true
+	}
+	return m, nil
+}
+
+// segmentFileName renders the canonical name of segment n.
+func segmentFileName(n uint64) string {
+	return fmt.Sprintf("seg-%08d.log", n)
+}
+
+// sweepStrays removes files in dir that look like log artifacts but are not
+// named by the manifest: segments written by a crashed rotation or
+// compaction, manifest temporaries from a crashed atomic write. It returns
+// how many files it removed. Unknown files are left alone.
+func sweepStrays(dir string, m manifest) (int, error) {
+	live := make(map[string]bool, len(m.Segments)+1)
+	for _, name := range m.Segments {
+		live[name] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("seglog: sweep %s: %w", dir, err)
+	}
+	removed := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || live[name] || name == manifestName {
+			continue
+		}
+		stray := (filepath.Ext(name) == ".log" && len(name) == len(segmentFileName(0))) ||
+			matchesTempPattern(name)
+		if !stray {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return removed, fmt.Errorf("seglog: sweep %s: %w", dir, err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		fsio.SyncDir(dir)
+	}
+	return removed, nil
+}
+
+// matchesTempPattern reports whether name looks like an fsio atomic-write
+// temporary (MANIFEST.tmp-* or seg-*.log.tmp-*).
+func matchesTempPattern(name string) bool {
+	ok, _ := filepath.Match(manifestName+".tmp-*", name)
+	if ok {
+		return true
+	}
+	ok, _ = filepath.Match("seg-*.log.tmp-*", name)
+	return ok
+}

@@ -1,0 +1,214 @@
+// Package seglog implements the lake's append-only segment-log inventory
+// backend: every mutation (dataset arrival, dataset removal, platform
+// snapshot) is one CRC-framed record appended to the active segment file,
+// segments rotate at a size target, a manifest names the live segments, and
+// background compaction folds dead records (removed datasets, superseded
+// platform snapshots) into fresh segments — crash-safely at every step.
+//
+// The record frame reuses the shape of the internal/nn snapshot header
+// (magic, version, length, CRC32 — see nn/snapshot.go), so the same class
+// of damage is rejected the same way across the repository:
+//
+//	offset  size  field
+//	0       6     magic "ENLDSG"
+//	6       2     format version, big-endian uint16
+//	8       8     payload length, big-endian uint64
+//	16      4     CRC-32 (IEEE) of the payload, big-endian uint32
+//	20      n     gob-encoded record payload
+//
+// Recovery is lenient exactly once, at the tail of the final segment: a
+// record truncated by a torn append, or a corrupted record that is the last
+// frame of the log, is dropped and counted. Corruption anywhere else —
+// interior records, sealed segments, bad magic, out-of-order sequence
+// numbers — fails loudly with segment and byte-offset context, because a
+// damaged interior is not a crash artifact and replay must not paper over
+// it.
+package seglog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"enld/internal/dataset"
+)
+
+const (
+	recordMagic   = "ENLDSG"
+	recordVersion = 1
+	headerSize    = len(recordMagic) + 2 + 8 + 4
+	// maxRecordBytes bounds the declared payload length so a corrupted or
+	// hostile header cannot drive a huge allocation.
+	maxRecordBytes = 1 << 30
+)
+
+// recordKind tags what a record mutates.
+type recordKind uint8
+
+const (
+	// kindDataset appends an incremental dataset arrival.
+	kindDataset recordKind = 1
+	// kindPlatform replaces the platform snapshot.
+	kindPlatform recordKind = 2
+	// kindRemove tombstones a dataset.
+	kindRemove recordKind = 3
+)
+
+// record is the gob payload of one frame. Every record carries a
+// log-unique, strictly increasing sequence number; recovery rejects
+// regressions (a duplicated or replayed frame) loudly.
+type record struct {
+	Seq  uint64
+	Kind recordKind
+	// ID is the dataset ID for kindDataset and kindRemove.
+	ID   uint64
+	Name string
+	// Samples carries the dataset of a kindDataset record.
+	Samples dataset.Set
+	// Snapshot carries the platform blob of a kindPlatform record.
+	Snapshot []byte
+}
+
+// encodeRecord renders rec as one framed record.
+func encodeRecord(rec record) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
+		return nil, fmt.Errorf("seglog: encode record seq %d: %w", rec.Seq, err)
+	}
+	out := make([]byte, headerSize, headerSize+payload.Len())
+	copy(out, recordMagic)
+	binary.BigEndian.PutUint16(out[6:], recordVersion)
+	binary.BigEndian.PutUint64(out[8:], uint64(payload.Len()))
+	binary.BigEndian.PutUint32(out[16:], crc32.ChecksumIEEE(payload.Bytes()))
+	return append(out, payload.Bytes()...), nil
+}
+
+// recordAt pairs a decoded record with its frame position.
+type recordAt struct {
+	rec record
+	// off is the frame's byte offset in its segment; size its framed
+	// length (header + payload).
+	off  int64
+	size int64
+}
+
+// SegmentScan reports what reading one segment found beyond the records
+// themselves.
+type SegmentScan struct {
+	// Records is the count of intact records.
+	Records int
+	// LiveEnd is the byte offset one past the last intact record — the
+	// truncation point a lenient recovery restores the segment to.
+	LiveEnd int64
+	// TornTail reports that a damaged tail was dropped (lenient scans
+	// only).
+	TornTail bool
+	// DroppedRecords and DroppedBytes account for the dropped tail: the
+	// byte count is exact, the record count is the number of frames
+	// definitely present in the dropped region (at least 1).
+	DroppedRecords int
+	DroppedBytes   int64
+	// DroppedAt is the byte offset the damage started at.
+	DroppedAt int64
+}
+
+// CorruptionError is a hard recovery failure: structural damage at a known
+// position that leniency must not absorb.
+type CorruptionError struct {
+	Segment string
+	Offset  int64
+	Reason  string
+}
+
+// Error implements error.
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("seglog: segment %s: corrupt record at offset %d: %s", e.Segment, e.Offset, e.Reason)
+}
+
+// errTornFrame tags a frame whose damage is consistent with a torn append:
+// the distinction between "drop leniently" and "fail loudly".
+var errTornFrame = errors.New("torn frame")
+
+// readFrame decodes the frame at data[off:]. A frame that is structurally
+// torn (incomplete header, or payload shorter than declared) or that is the
+// final frame with a checksum/decode failure returns errTornFrame; other
+// damage returns a *CorruptionError.
+func readFrame(segment string, data []byte, off int64) (record, int64, error) {
+	rem := int64(len(data)) - off
+	if rem < int64(headerSize) {
+		return record{}, 0, fmt.Errorf("%w: %d trailing bytes, need %d for a header", errTornFrame, rem, headerSize)
+	}
+	hdr := data[off:]
+	if string(hdr[:len(recordMagic)]) != recordMagic {
+		return record{}, 0, &CorruptionError{Segment: segment, Offset: off, Reason: "bad magic"}
+	}
+	if v := binary.BigEndian.Uint16(hdr[6:]); v != recordVersion {
+		return record{}, 0, &CorruptionError{Segment: segment, Offset: off,
+			Reason: fmt.Sprintf("unsupported record version %d (this build reads version %d)", v, recordVersion)}
+	}
+	plen := binary.BigEndian.Uint64(hdr[8:])
+	if plen > maxRecordBytes {
+		return record{}, 0, &CorruptionError{Segment: segment, Offset: off,
+			Reason: fmt.Sprintf("declared payload size %d exceeds the %d-byte limit", plen, int64(maxRecordBytes))}
+	}
+	size := int64(headerSize) + int64(plen)
+	if rem < size {
+		return record{}, 0, fmt.Errorf("%w: frame declares %d payload bytes, only %d present", errTornFrame, plen, rem-int64(headerSize))
+	}
+	payload := data[off+int64(headerSize) : off+size]
+	final := off+size == int64(len(data))
+	if want, got := binary.BigEndian.Uint32(hdr[16:]), crc32.ChecksumIEEE(payload); got != want {
+		reason := fmt.Sprintf("checksum mismatch (header %08x, payload %08x)", want, got)
+		if final {
+			return record{}, 0, fmt.Errorf("%w: final frame %s", errTornFrame, reason)
+		}
+		return record{}, 0, &CorruptionError{Segment: segment, Offset: off, Reason: reason}
+	}
+	var rec record
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+		reason := fmt.Sprintf("payload decode: %v", err)
+		if final {
+			return record{}, 0, fmt.Errorf("%w: final frame %s", errTornFrame, reason)
+		}
+		return record{}, 0, &CorruptionError{Segment: segment, Offset: off, Reason: reason}
+	}
+	return rec, size, nil
+}
+
+// readSegment scans every frame of one segment image. With lenientTail a
+// torn or corrupted final frame is dropped and accounted in the scan;
+// without it (sealed segments) any damage is a *CorruptionError. The
+// returned records carry their frame offsets for dead-byte accounting.
+func readSegment(segment string, data []byte, lenientTail bool) ([]recordAt, SegmentScan, error) {
+	var recs []recordAt
+	var scan SegmentScan
+	off := int64(0)
+	for off < int64(len(data)) {
+		rec, size, err := readFrame(segment, data, off)
+		if err != nil {
+			if errors.Is(err, errTornFrame) && lenientTail {
+				scan.TornTail = true
+				scan.DroppedRecords = 1
+				scan.DroppedBytes = int64(len(data)) - off
+				scan.DroppedAt = off
+				break
+			}
+			var ce *CorruptionError
+			if errors.As(err, &ce) {
+				return recs, scan, ce
+			}
+			// A torn frame in a sealed segment: sealed segments are
+			// immutable after rotation, so a short tail there is not a
+			// crash artifact.
+			return recs, scan, &CorruptionError{Segment: segment, Offset: off, Reason: err.Error()}
+		}
+		recs = append(recs, recordAt{rec: rec, off: off, size: size})
+		off += size
+		scan.Records++
+		scan.LiveEnd = off
+	}
+	return recs, scan, nil
+}

@@ -1,0 +1,587 @@
+package seglog
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"enld/internal/dataset"
+	"enld/internal/fsio"
+	"enld/internal/lake"
+)
+
+// Options tunes a Log. The zero value is production-ready.
+type Options struct {
+	// SegmentTargetBytes rotates the active segment once it reaches this
+	// size (default 4 MiB). Records are never split: a segment holds at
+	// least one record however large.
+	SegmentTargetBytes int64
+	// NoSyncEachAppend skips the per-append fsync, leaving durability to
+	// segment rotation and Close. Crash-window appends may then be lost
+	// (but never corrupt the log — the torn tail is dropped on recovery).
+	// For benchmarks and bulk loads; leave false in production.
+	NoSyncEachAppend bool
+	// AutoCompactRatio starts a background compaction when dead bytes
+	// exceed this fraction of the log (default 0.5; negative disables).
+	AutoCompactRatio float64
+	// AutoCompactMinBytes is the dead-byte floor below which auto
+	// compaction never triggers (default 1 MiB), so small logs don't churn.
+	AutoCompactMinBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentTargetBytes <= 0 {
+		o.SegmentTargetBytes = 4 << 20
+	}
+	if o.AutoCompactRatio == 0 {
+		o.AutoCompactRatio = 0.5
+	}
+	if o.AutoCompactMinBytes <= 0 {
+		o.AutoCompactMinBytes = 1 << 20
+	}
+	return o
+}
+
+// datasetEntry is the in-memory index of one live dataset.
+type datasetEntry struct {
+	name    string
+	samples dataset.Set
+	// seq is the record's sequence number; bytes its framed size, counted
+	// dead when the dataset is removed.
+	seq   uint64
+	bytes int64
+}
+
+// Log is the append-only segment-log inventory. It implements
+// lake.Inventory. All samples are additionally indexed in memory (like the
+// other backends — the log is the durability layer, not an out-of-core
+// store), so reads never touch disk. It is safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	closed bool
+
+	// manifest state (mirrored on disk).
+	segments   []string
+	nextSeg    uint64
+	nextSeq    uint64
+	nextID     uint64
+	sealedSize map[string]int64 // sealed segment name → byte size
+
+	// active segment.
+	active     *os.File
+	activeName string
+	activeSize int64
+
+	// live state.
+	order    []uint64
+	datasets map[uint64]datasetEntry
+	platform []byte
+	// platformSeq/platformBytes locate the live platform record for
+	// dead-byte accounting when it is superseded.
+	platformSeq   uint64
+	platformBytes int64
+
+	liveBytes int64
+	deadBytes int64
+
+	appends     uint64
+	compactions uint64
+	recovery    lake.RecoveryStats
+	// straysRemoved counts crash artifacts swept at open.
+	straysRemoved int
+
+	// compactPending dedups background compaction triggers; compactWG
+	// tracks the in-flight goroutine so Close can wait for it.
+	compactPending bool
+	compactWG      sync.WaitGroup
+	// compactHook, when set by tests, is called at each named stage of a
+	// compaction so crash states can be captured between stages.
+	compactHook func(stage string)
+
+	obs *logObs
+}
+
+// Open opens (or creates) a segment log in dir. Recovery reads every
+// manifest-named segment, drops and counts a torn tail on the active
+// segment, fails loudly on interior corruption, and sweeps stray files left
+// by a crashed rotation or compaction.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("seglog: open %s: %w", dir, err)
+	}
+	l := &Log{
+		dir:        dir,
+		opts:       opts,
+		datasets:   make(map[uint64]datasetEntry),
+		sealedSize: make(map[string]int64),
+	}
+
+	m, err := readManifest(dir)
+	switch {
+	case err == nil:
+	case errors.Is(err, os.ErrNotExist):
+		if m, err = initFresh(dir); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, err
+	}
+
+	l.segments = append([]string(nil), m.Segments...)
+	l.nextSeg = m.NextSegment
+	l.nextSeq = m.MinNextSeq
+	l.nextID = m.MinNextDatasetID
+	if l.nextSeq == 0 {
+		l.nextSeq = 1
+	}
+	if l.nextID == 0 {
+		l.nextID = 1
+	}
+
+	if err := l.recover(); err != nil {
+		return nil, err
+	}
+
+	// Sweep crash artifacts only after recovery committed to this manifest
+	// view, so a failed open never deletes anything.
+	if l.straysRemoved, err = sweepStrays(dir, m); err != nil {
+		l.closeFiles()
+		return nil, err
+	}
+	return l, nil
+}
+
+// initFresh initializes an empty log directory: first the initial segment
+// file, then the manifest naming it. A crash between the two leaves an
+// empty stray segment and no manifest, which the next Open recognizes and
+// redoes; non-empty segments without a manifest are refused loudly (that is
+// data loss from outside interference, not a crash artifact).
+func initFresh(dir string) (manifest, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return manifest{}, fmt.Errorf("seglog: open %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".log" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return manifest{}, fmt.Errorf("seglog: open %s: %w", dir, err)
+		}
+		if info.Size() > 0 {
+			return manifest{}, fmt.Errorf("seglog: %s has segment %s but no manifest; refusing to initialize over existing data", dir, e.Name())
+		}
+	}
+	first := segmentFileName(1)
+	f, err := os.OpenFile(filepath.Join(dir, first), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return manifest{}, fmt.Errorf("seglog: init %s: %w", dir, err)
+	}
+	if err := f.Close(); err != nil {
+		return manifest{}, fmt.Errorf("seglog: init %s: %w", dir, err)
+	}
+	fsio.SyncDir(dir)
+	m := manifest{
+		Segments:         []string{first},
+		NextSegment:      2,
+		MinNextSeq:       1,
+		MinNextDatasetID: 1,
+	}
+	if err := writeManifest(dir, m); err != nil {
+		return manifest{}, err
+	}
+	return m, nil
+}
+
+// recover replays every manifest-named segment into the in-memory state and
+// reopens the active segment for appending, truncated past any dropped
+// tail.
+func (l *Log) recover() error {
+	lastSeq := uint64(0)
+	for i, name := range l.segments {
+		path := filepath.Join(l.dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("seglog: recover %s: manifest names segment %s: %w", l.dir, name, err)
+		}
+		isActive := i == len(l.segments)-1
+		recs, scan, err := readSegment(name, data, isActive)
+		if err != nil {
+			return err
+		}
+		for _, ra := range recs {
+			if ra.rec.Seq <= lastSeq {
+				return &CorruptionError{Segment: name, Offset: ra.off,
+					Reason: fmt.Sprintf("sequence regression: %d after %d (duplicated or reordered record)", ra.rec.Seq, lastSeq)}
+			}
+			lastSeq = ra.rec.Seq
+			if err := l.apply(ra, name); err != nil {
+				return err
+			}
+		}
+		if isActive {
+			if scan.TornTail {
+				l.recovery = lake.RecoveryStats{
+					TornTail:       true,
+					DroppedRecords: scan.DroppedRecords,
+					DroppedBytes:   scan.DroppedBytes,
+					Offset:         scan.DroppedAt,
+					File:           name,
+				}
+				// Make the drop physical before appending anything.
+				if err := os.Truncate(path, scan.LiveEnd); err != nil {
+					return fmt.Errorf("seglog: recover %s: truncating torn tail of %s: %w", l.dir, name, err)
+				}
+			}
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("seglog: recover %s: reopening active segment: %w", l.dir, err)
+			}
+			l.active = f
+			l.activeName = name
+			l.activeSize = scan.LiveEnd
+		} else {
+			l.sealedSize[name] = int64(len(data))
+		}
+	}
+	if lastSeq >= l.nextSeq {
+		l.nextSeq = lastSeq + 1
+	}
+	return nil
+}
+
+// apply folds one recovered record into the in-memory state.
+func (l *Log) apply(ra recordAt, segment string) error {
+	rec := ra.rec
+	switch rec.Kind {
+	case kindDataset:
+		if _, dup := l.datasets[rec.ID]; dup {
+			return &CorruptionError{Segment: segment, Offset: ra.off,
+				Reason: fmt.Sprintf("dataset %d appended twice", rec.ID)}
+		}
+		l.datasets[rec.ID] = datasetEntry{name: rec.Name, samples: rec.Samples, seq: rec.Seq, bytes: ra.size}
+		l.order = append(l.order, rec.ID)
+		l.liveBytes += ra.size
+		if rec.ID >= l.nextID {
+			l.nextID = rec.ID + 1
+		}
+	case kindRemove:
+		ent, ok := l.datasets[rec.ID]
+		if !ok {
+			return &CorruptionError{Segment: segment, Offset: ra.off,
+				Reason: fmt.Sprintf("tombstone for unknown dataset %d", rec.ID)}
+		}
+		delete(l.datasets, rec.ID)
+		for i, id := range l.order {
+			if id == rec.ID {
+				l.order = append(l.order[:i], l.order[i+1:]...)
+				break
+			}
+		}
+		// The removed dataset's record and the tombstone itself are both
+		// dead weight now.
+		l.liveBytes -= ent.bytes
+		l.deadBytes += ent.bytes + ra.size
+		if rec.ID >= l.nextID {
+			l.nextID = rec.ID + 1
+		}
+	case kindPlatform:
+		if l.platform != nil {
+			l.deadBytes += l.platformBytes
+		}
+		l.platform = rec.Snapshot
+		l.platformSeq = rec.Seq
+		l.liveBytes += ra.size - l.platformBytes
+		l.platformBytes = ra.size
+	default:
+		return &CorruptionError{Segment: segment, Offset: ra.off,
+			Reason: fmt.Sprintf("unknown record kind %d", rec.Kind)}
+	}
+	return nil
+}
+
+// closeFiles releases the active segment handle (recovery-failure path).
+func (l *Log) closeFiles() {
+	if l.active != nil {
+		l.active.Close()
+		l.active = nil
+	}
+}
+
+// appendRecord frames rec, assigns its sequence number, rotates the active
+// segment if it is full, writes and (by default) fsyncs. Callers hold the
+// mutex. On a write failure the segment is truncated back so a half-written
+// frame never survives into the next append.
+func (l *Log) appendRecord(rec record) (recordAt, error) {
+	if l.closed {
+		return recordAt{}, lake.ErrInventoryClosed
+	}
+	began := time.Now()
+	rec.Seq = l.nextSeq
+	frame, err := encodeRecord(rec)
+	if err != nil {
+		return recordAt{}, err
+	}
+	if l.activeSize > 0 && l.activeSize+int64(len(frame)) > l.opts.SegmentTargetBytes {
+		if err := l.rotate(); err != nil {
+			return recordAt{}, err
+		}
+	}
+	off := l.activeSize
+	if _, err := l.active.Write(frame); err != nil {
+		// Cut the possibly half-written frame off; if even that fails the
+		// next open's lenient tail read drops it.
+		l.active.Truncate(off)
+		return recordAt{}, fmt.Errorf("seglog: append to %s: %w", l.activeName, err)
+	}
+	if !l.opts.NoSyncEachAppend {
+		if err := l.active.Sync(); err != nil {
+			return recordAt{}, fmt.Errorf("seglog: append to %s: %w", l.activeName, err)
+		}
+	}
+	l.activeSize += int64(len(frame))
+	l.nextSeq++
+	l.appends++
+	l.obs.recordAppend(time.Since(began))
+	return recordAt{rec: rec, off: off, size: int64(len(frame))}, nil
+}
+
+// rotate seals the active segment and starts the next one: fsync + close
+// the old file, create the new one, then commit it with a manifest update.
+// A crash between file creation and manifest write leaves a stray the next
+// open sweeps.
+func (l *Log) rotate() error {
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("seglog: rotate %s: %w", l.activeName, err)
+	}
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("seglog: rotate %s: %w", l.activeName, err)
+	}
+	l.sealedSize[l.activeName] = l.activeSize
+
+	name := segmentFileName(l.nextSeg)
+	f, err := os.OpenFile(filepath.Join(l.dir, name), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("seglog: rotate: create %s: %w", name, err)
+	}
+	fsio.SyncDir(l.dir)
+	m := manifest{
+		Segments:         append(append([]string(nil), l.segments...), name),
+		NextSegment:      l.nextSeg + 1,
+		MinNextSeq:       l.nextSeq,
+		MinNextDatasetID: l.nextID,
+	}
+	if err := writeManifest(l.dir, m); err != nil {
+		f.Close()
+		os.Remove(filepath.Join(l.dir, name))
+		return err
+	}
+	l.segments = m.Segments
+	l.nextSeg = m.NextSegment
+	l.active = f
+	l.activeName = name
+	l.activeSize = 0
+	l.obs.setSegments(len(l.segments))
+	return nil
+}
+
+// AppendDataset implements lake.Inventory.
+func (l *Log) AppendDataset(name string, set dataset.Set) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, lake.ErrInventoryClosed
+	}
+	id := l.nextID
+	clone := set.Clone()
+	ra, err := l.appendRecord(record{Kind: kindDataset, ID: id, Name: name, Samples: clone})
+	if err != nil {
+		return 0, err
+	}
+	l.nextID = id + 1
+	l.datasets[id] = datasetEntry{name: name, samples: clone, seq: ra.rec.Seq, bytes: ra.size}
+	l.order = append(l.order, id)
+	l.liveBytes += ra.size
+	l.updateObsGauges()
+	l.maybeCompact()
+	return id, nil
+}
+
+// Datasets implements lake.Inventory.
+func (l *Log) Datasets() ([]lake.DatasetMeta, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]lake.DatasetMeta, 0, len(l.order))
+	for _, id := range l.order {
+		ent := l.datasets[id]
+		out = append(out, lake.DatasetMeta{ID: id, Name: ent.name, Size: len(ent.samples)})
+	}
+	return out, nil
+}
+
+// LoadDataset implements lake.Inventory.
+func (l *Log) LoadDataset(id uint64) (dataset.Set, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ent, ok := l.datasets[id]
+	if !ok {
+		return nil, fmt.Errorf("seglog: no dataset %d", id)
+	}
+	return ent.samples.Clone(), nil
+}
+
+// RemoveDataset implements lake.Inventory.
+func (l *Log) RemoveDataset(id uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return lake.ErrInventoryClosed
+	}
+	ent, ok := l.datasets[id]
+	if !ok {
+		return fmt.Errorf("seglog: no dataset %d", id)
+	}
+	ra, err := l.appendRecord(record{Kind: kindRemove, ID: id})
+	if err != nil {
+		return err
+	}
+	delete(l.datasets, id)
+	for i, v := range l.order {
+		if v == id {
+			l.order = append(l.order[:i], l.order[i+1:]...)
+			break
+		}
+	}
+	l.liveBytes -= ent.bytes
+	l.deadBytes += ent.bytes + ra.size
+	l.updateObsGauges()
+	l.maybeCompact()
+	return nil
+}
+
+// SavePlatform implements lake.Inventory.
+func (l *Log) SavePlatform(snapshot []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return lake.ErrInventoryClosed
+	}
+	clone := append([]byte(nil), snapshot...)
+	ra, err := l.appendRecord(record{Kind: kindPlatform, Snapshot: clone})
+	if err != nil {
+		return err
+	}
+	if l.platform != nil {
+		l.deadBytes += l.platformBytes
+	}
+	l.platform = clone
+	l.platformSeq = ra.rec.Seq
+	l.liveBytes += ra.size - l.platformBytes
+	l.platformBytes = ra.size
+	l.updateObsGauges()
+	l.maybeCompact()
+	return nil
+}
+
+// LoadPlatform implements lake.Inventory.
+func (l *Log) LoadPlatform() ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.platform == nil {
+		return nil, lake.ErrNoSnapshot
+	}
+	return append([]byte(nil), l.platform...), nil
+}
+
+// Stats implements lake.Inventory.
+func (l *Log) Stats() lake.InventoryStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := lake.InventoryStats{
+		Backend:     "seglog",
+		Datasets:    len(l.order),
+		HasPlatform: l.platform != nil,
+		Segments:    len(l.segments),
+		LiveBytes:   l.liveBytes,
+		DeadBytes:   l.deadBytes,
+		Appends:     l.appends,
+		Compactions: l.compactions,
+		Recovery:    l.recovery,
+	}
+	for _, id := range l.order {
+		st.Samples += len(l.datasets[id].samples)
+	}
+	return st
+}
+
+// StraysRemoved reports how many crash artifacts (stray segments, manifest
+// temporaries) the opening sweep removed.
+func (l *Log) StraysRemoved() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.straysRemoved
+}
+
+// Close waits for any in-flight compaction, fsyncs and closes the active
+// segment. Mutations after Close return lake.ErrInventoryClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	// Wait with the lock released: the compaction goroutine needs it.
+	l.compactWG.Wait()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return nil
+	}
+	err := l.active.Sync()
+	if cerr := l.active.Close(); err == nil {
+		err = cerr
+	}
+	l.active = nil
+	if err != nil {
+		return fmt.Errorf("seglog: close %s: %w", l.dir, err)
+	}
+	return nil
+}
+
+// SetCompactionHook installs fn to be called at each named compaction
+// stage ("segments-written", "manifest-swapped", "old-segments-deleted"),
+// each reached with the stage's files fsync'd — the seam crash-recovery
+// tests use to capture mid-compaction disk states. Nil removes the hook.
+// The hook runs with the log mutex held; it must not call back into the
+// log.
+func (l *Log) SetCompactionHook(fn func(stage string)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.compactHook = fn
+}
+
+// liveRecords returns every live record in sequence order — the compaction
+// working set. Callers hold the mutex.
+func (l *Log) liveRecords() []record {
+	out := make([]record, 0, len(l.order)+1)
+	for id, ent := range l.datasets {
+		out = append(out, record{Seq: ent.seq, Kind: kindDataset, ID: id, Name: ent.name, Samples: ent.samples})
+	}
+	if l.platform != nil {
+		out = append(out, record{Seq: l.platformSeq, Kind: kindPlatform, Snapshot: l.platform})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

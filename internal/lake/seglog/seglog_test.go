@@ -1,0 +1,531 @@
+package seglog
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"enld/internal/dataset"
+	"enld/internal/fault"
+	"enld/internal/lake"
+)
+
+var _ lake.Inventory = (*Log)(nil)
+
+// testSet builds a small dataset whose sample IDs start at base.
+func testSet(base, n int) dataset.Set {
+	out := make(dataset.Set, n)
+	for i := range out {
+		out[i] = dataset.Sample{ID: base + i, X: []float64{float64(i), 1}, Observed: i % 2, True: i % 2}
+	}
+	return out
+}
+
+// copyDir clones every regular file of src into a fresh directory — the
+// crash-state capture used by the compaction-stage tests.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// mustOpen opens a log and fails the test on error.
+func mustOpen(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// activePath returns the log's active segment file path.
+func activePath(t *testing.T, dir string) string {
+	t.Helper()
+	m, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, m.Segments[len(m.Segments)-1])
+}
+
+func TestLogReopenDurability(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	id1, err := l.AppendDataset("a", testSet(0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := l.AppendDataset("b", testSet(100, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SavePlatform([]byte("snap-v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RemoveDataset(id1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	metas, err := l2.Datasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 1 || metas[0].ID != id2 || metas[0].Name != "b" || metas[0].Size != 2 {
+		t.Fatalf("reopened metas = %+v", metas)
+	}
+	set, err := l2.LoadDataset(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 || set[0].ID != 100 {
+		t.Fatalf("reloaded dataset: %d samples, first ID %d", len(set), set[0].ID)
+	}
+	snap, err := l2.LoadPlatform()
+	if err != nil || string(snap) != "snap-v1" {
+		t.Fatalf("reloaded platform = %q, %v", snap, err)
+	}
+	id3, err := l2.AppendDataset("c", testSet(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 <= id2 {
+		t.Fatalf("IDs regressed across reopen: %d then %d", id2, id3)
+	}
+	st := l2.Stats()
+	if st.Backend != "seglog" || st.Datasets != 2 || st.DeadBytes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLogRotation(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentTargetBytes: 2048})
+	for i := 0; i < 20; i++ {
+		if _, err := l.AppendDataset("d", testSet(i*10, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("no rotation after 20 appends at a 2 KiB target: %d segments", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := mustOpen(t, dir, Options{SegmentTargetBytes: 2048})
+	defer l2.Close()
+	metas, _ := l2.Datasets()
+	if len(metas) != 20 {
+		t.Fatalf("recovered %d datasets across segments, want 20", len(metas))
+	}
+}
+
+// TestLogTornTailDropped: a torn final record is dropped, counted, and the
+// rest of the log survives — the lenient half of the recovery contract.
+func TestLogTornTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	if _, err := l.AppendDataset("keep", testSet(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendDataset("torn", testSet(50, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := activePath(t, dir)
+	if err := fault.TearFile(path, 0.6); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	metas, _ := l2.Datasets()
+	if len(metas) != 1 || metas[0].Name != "keep" {
+		t.Fatalf("after torn tail, metas = %+v", metas)
+	}
+	rec := l2.Stats().Recovery
+	if !rec.TornTail || rec.DroppedRecords != 1 || rec.DroppedBytes <= 0 || rec.File == "" {
+		t.Fatalf("recovery stats = %+v", rec)
+	}
+	// The drop is physical: appending after recovery and reopening again
+	// must not resurrect or trip over the torn frame.
+	if _, err := l2.AppendDataset("after", testSet(90, 2)); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3 := mustOpen(t, dir, Options{})
+	defer l3.Close()
+	metas, _ = l3.Datasets()
+	if len(metas) != 2 || metas[1].Name != "after" {
+		t.Fatalf("after reopen, metas = %+v", metas)
+	}
+	if l3.Stats().Recovery.TornTail {
+		t.Fatal("second recovery still reports a torn tail")
+	}
+}
+
+// TestLogInteriorCorruptionLoud: a flipped byte in a non-final record must
+// fail the open with segment and offset context — never a silent drop.
+func TestLogInteriorCorruptionLoud(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	if _, err := l.AppendDataset("a", testSet(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendDataset("b", testSet(50, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := activePath(t, dir)
+	// Flip a byte inside the first record's payload.
+	if err := fault.CorruptFileByte(path, int64(headerSize)+4); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(dir, Options{})
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("open err = %v, want CorruptionError", err)
+	}
+	if ce.Offset != 0 || !strings.Contains(ce.Reason, "checksum") {
+		t.Fatalf("corruption context = %+v", ce)
+	}
+}
+
+// TestLogSealedSegmentNeverLenient: damage at the tail of a sealed (rotated)
+// segment is interior damage, not a crash artifact.
+func TestLogSealedSegmentNeverLenient(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentTargetBytes: 1024})
+	for i := 0; i < 10; i++ {
+		if _, err := l.AppendDataset("d", testSet(i*10, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Segments) < 2 {
+		t.Fatalf("need a sealed segment, have %d", len(m.Segments))
+	}
+	if err := fault.TearFile(filepath.Join(dir, m.Segments[0]), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir, Options{SegmentTargetBytes: 1024})
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("open err = %v, want CorruptionError", err)
+	}
+	if ce.Segment != m.Segments[0] {
+		t.Fatalf("corruption blamed on %s, want %s", ce.Segment, m.Segments[0])
+	}
+}
+
+// TestLogDuplicateRecordLoud: a re-appended (duplicated) final frame is a
+// sequence regression and must fail loudly with its offset.
+func TestLogDuplicateRecordLoud(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	if _, err := l.AppendDataset("a", testSet(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(activePath(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendDataset("b", testSet(50, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := activePath(t, dir)
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.DuplicateTail(path, after.Size()-before.Size()); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir, Options{})
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("open err = %v, want CorruptionError", err)
+	}
+	if ce.Offset != after.Size() || !strings.Contains(ce.Reason, "regression") {
+		t.Fatalf("duplicate-record context = %+v", ce)
+	}
+}
+
+// TestLogTruncateMidRecordDropped: truncation inside the final record (the
+// torn-append shape TruncateAt injects) drops exactly that record.
+func TestLogTruncateMidRecordDropped(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	if _, err := l.AppendDataset("keep", testSet(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(activePath(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendDataset("cut", testSet(50, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := activePath(t, dir)
+	if err := fault.TruncateAt(path, before.Size()+int64(headerSize)+2); err != nil {
+		t.Fatal(err)
+	}
+	l2 := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	metas, _ := l2.Datasets()
+	if len(metas) != 1 || metas[0].Name != "keep" {
+		t.Fatalf("after truncation, metas = %+v", metas)
+	}
+	rec := l2.Stats().Recovery
+	if !rec.TornTail || rec.Offset != before.Size() {
+		t.Fatalf("recovery stats = %+v, want drop at %d", rec, before.Size())
+	}
+}
+
+// TestLogCompactionFoldsDeadRecords: compaction reclaims removed datasets
+// and superseded platform snapshots, and the compacted log replays
+// identically.
+func TestLogCompactionFoldsDeadRecords(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentTargetBytes: 2048, AutoCompactRatio: -1})
+	var ids []uint64
+	for i := 0; i < 12; i++ {
+		id, err := l.AppendDataset("d", testSet(i*10, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids[:8] {
+		if err := l.RemoveDataset(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.SavePlatform([]byte(strings.Repeat("s", 100+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.Stats()
+	if before.DeadBytes == 0 {
+		t.Fatal("no dead bytes to compact")
+	}
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := l.Stats()
+	if after.DeadBytes != 0 || after.LiveBytes >= before.LiveBytes+before.DeadBytes || after.Compactions != 1 {
+		t.Fatalf("compaction accounting: before %+v, after %+v", before, after)
+	}
+	// The compacted log keeps accepting appends and replays identically.
+	idNew, err := l.AppendDataset("post", testSet(900, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idNew <= ids[len(ids)-1] {
+		t.Fatalf("post-compaction ID regressed: %d after %d", idNew, ids[len(ids)-1])
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := mustOpen(t, dir, Options{SegmentTargetBytes: 2048})
+	defer l2.Close()
+	metas, _ := l2.Datasets()
+	if len(metas) != 5 {
+		t.Fatalf("recovered %d datasets after compaction, want 5", len(metas))
+	}
+	snap, err := l2.LoadPlatform()
+	if err != nil || len(snap) != 102 {
+		t.Fatalf("platform after compaction: %d bytes, %v", len(snap), err)
+	}
+}
+
+// TestLogCompactionCrashStages reopens crash-state copies captured at each
+// compaction stage: before the manifest swap the old state must recover
+// (new segments swept as strays), after it the new state must recover (old
+// segments swept). Either way, the same live data.
+func TestLogCompactionCrashStages(t *testing.T) {
+	for _, stage := range []string{"segments-written", "manifest-swapped", "old-segments-deleted"} {
+		t.Run(stage, func(t *testing.T) {
+			dir := t.TempDir()
+			l := mustOpen(t, dir, Options{SegmentTargetBytes: 2048, AutoCompactRatio: -1})
+			var ids []uint64
+			for i := 0; i < 12; i++ {
+				id, err := l.AppendDataset("d", testSet(i*10, 5))
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids = append(ids, id)
+			}
+			for _, id := range ids[:6] {
+				if err := l.RemoveDataset(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.SavePlatform([]byte("snap")); err != nil {
+				t.Fatal(err)
+			}
+
+			var crashed string
+			l.compactHook = func(s string) {
+				if s == stage {
+					crashed = copyDir(t, dir)
+				}
+			}
+			if err := l.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			if crashed == "" {
+				t.Fatalf("stage %s never reached", stage)
+			}
+			l.Close()
+
+			l2 := mustOpen(t, crashed, Options{SegmentTargetBytes: 2048})
+			defer l2.Close()
+			metas, _ := l2.Datasets()
+			if len(metas) != 6 {
+				t.Fatalf("crash at %s: recovered %d datasets, want 6", stage, len(metas))
+			}
+			for i, m := range metas {
+				if m.ID != ids[6+i] {
+					t.Fatalf("crash at %s: metas = %+v", stage, metas)
+				}
+			}
+			snap, err := l2.LoadPlatform()
+			if err != nil || string(snap) != "snap" {
+				t.Fatalf("crash at %s: platform = %q, %v", stage, snap, err)
+			}
+			// IDs must not be reused after recovery from the crash state.
+			idNew, err := l2.AppendDataset("post", testSet(0, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if idNew <= ids[len(ids)-1] {
+				t.Fatalf("crash at %s: ID reuse: %d after %d", stage, idNew, ids[len(ids)-1])
+			}
+		})
+	}
+}
+
+// TestLogAutoCompaction: crossing the dead-byte ratio triggers a background
+// compaction without any explicit call.
+func TestLogAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{AutoCompactRatio: 0.3, AutoCompactMinBytes: 1})
+	var ids []uint64
+	for i := 0; i < 10; i++ {
+		id, err := l.AppendDataset("d", testSet(i*10, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids[:8] {
+		if err := l.RemoveDataset(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close waits for the background compaction.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if got := l2.Stats(); got.Datasets != 2 {
+		t.Fatalf("after auto compaction, stats = %+v", got)
+	}
+}
+
+// TestLogFreshInitCrashRedone: a crash between creating the first segment
+// and writing the manifest leaves an empty stray; the next open must
+// re-initialize, while a NON-empty unmanifested segment must refuse.
+func TestLogFreshInitCrashRedone(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segmentFileName(1)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := mustOpen(t, dir, Options{})
+	if _, err := l.AppendDataset("a", testSet(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, segmentFileName(1)), []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir2, Options{}); err == nil {
+		t.Fatal("open over unmanifested data succeeded")
+	}
+}
+
+// TestLogStraySweep: files a crashed rotation or atomic write would leave
+// are removed at open; unknown files are left alone.
+func TestLogStraySweep(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	if _, err := l.AppendDataset("a", testSet(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	for _, name := range []string{segmentFileName(99), manifestName + ".tmp-123", "seg-00000042.log.tmp-7"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("stray"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keep := filepath.Join(dir, "NOTES.txt")
+	if err := os.WriteFile(keep, []byte("mine"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2 := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if got := l2.StraysRemoved(); got != 3 {
+		t.Fatalf("swept %d strays, want 3", got)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatalf("sweep removed an unrelated file: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segmentFileName(99))); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("stray segment survived the sweep")
+	}
+}

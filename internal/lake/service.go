@@ -76,6 +76,10 @@ type Service struct {
 	// obs holds the metric handles attached by SetObs; nil means unobserved.
 	obs *lakeObs
 
+	// inventory, when set, durably records every arriving dataset before a
+	// worker may process it.
+	inventory Inventory
+
 	// OnReport, when set, is invoked from worker goroutines as each task
 	// completes — before Run returns — so live dashboards (StatusTracker)
 	// can observe progress. The callback must be safe for concurrent use.
@@ -132,6 +136,15 @@ func (s *Service) SkipCompleted(ids map[int]bool) {
 	}
 }
 
+// SetInventory attaches durable storage: every arriving dataset is appended
+// to inv before a worker may process it, so an accepted arrival survives a
+// crash even if its detection never ran. A task whose durable append fails
+// is dead-lettered with the storage error — processing data the platform
+// could not retain would fake durability. Call before Run; nil detaches.
+func (s *Service) SetInventory(inv Inventory) {
+	s.inventory = inv
+}
+
 // Run consumes requests until the channel closes or ctx is cancelled, and
 // returns one report per processed request, ordered by TaskID. A cancelled
 // context abandons queued requests but waits for in-flight ones.
@@ -160,6 +173,24 @@ func (s *Service) Run(ctx context.Context, requests <-chan Request) []Report {
 				}
 				if s.skip[req.TaskID] {
 					continue
+				}
+				if s.inventory != nil {
+					if _, err := s.inventory.AppendDataset(fmt.Sprintf("task-%d", req.TaskID), req.Data); err != nil {
+						rep := Report{
+							TaskID:       req.TaskID,
+							Size:         len(req.Data),
+							DeadLettered: true,
+							Err:          fmt.Errorf("lake: task %d: durable append: %w", req.TaskID, err),
+						}
+						s.obs.record(rep, 0)
+						if s.OnReport != nil {
+							s.OnReport(rep)
+						}
+						mu.Lock()
+						reports = append(reports, rep)
+						mu.Unlock()
+						continue
+					}
 				}
 				select {
 				case work <- stamped{req: req, arrived: time.Now()}:

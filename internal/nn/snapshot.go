@@ -9,8 +9,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
-	"path/filepath"
 
+	"enld/internal/fsio"
 	"enld/internal/mat"
 )
 
@@ -136,43 +136,16 @@ func Load(r io.Reader) (*Network, error) {
 	return n, nil
 }
 
-// SaveFile atomically writes the network snapshot to path: the bytes go to a
-// temporary file in the same directory, are fsynced, and only then renamed
-// over path. A crash at any point leaves either the previous file intact or
-// a stray temporary — never a torn snapshot at path.
+// SaveFile atomically writes the network snapshot to path via the shared
+// tmp+fsync+rename helper. A crash at any point leaves either the previous
+// file intact or a stray temporary — never a torn snapshot at path.
 func (n *Network) SaveFile(path string) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("nn: save %s: %w", path, err)
-	}
-	defer func() {
-		if tmp != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
+	return fsio.WriteFileAtomic(path, func(w io.Writer) error {
+		if err := n.Save(w); err != nil {
+			return fmt.Errorf("nn: save %s: %w", path, err)
 		}
-	}()
-	if err := n.Save(tmp); err != nil {
-		return fmt.Errorf("nn: save %s: %w", path, err)
-	}
-	if err := tmp.Sync(); err != nil {
-		return fmt.Errorf("nn: save %s: %w", path, err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("nn: save %s: %w", path, err)
-	}
-	name := tmp.Name()
-	tmp = nil
-	if err := os.Rename(name, path); err != nil {
-		os.Remove(name)
-		return fmt.Errorf("nn: save %s: %w", path, err)
-	}
-	// Best-effort directory sync so the rename itself is durable.
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-	return nil
+		return nil
+	})
 }
 
 // LoadFile reads a snapshot previously written with SaveFile (or Save).
