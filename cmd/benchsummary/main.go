@@ -25,6 +25,13 @@
 // variants measure pure pool overhead and the ratio sits near (or below) 1.
 // The committed BENCH_ci.json is the latest recorded run; CI regenerates it
 // per PR and uploads the result as an artifact.
+//
+// With -load the command instead gates a loadgen BENCH_load.json: every
+// scenario must pass its declared SLOs, and with -load-baseline each load
+// metric is compared against the committed artifact with the same
+// warn/hard-fail tiering (wider tiers — wall-clock load numbers are noisier
+// than ns/op). The SLO table is appended to $GITHUB_STEP_SUMMARY when CI
+// provides one. See load.go.
 package main
 
 import (
@@ -307,8 +314,24 @@ func main() {
 		out      = flag.String("out", "BENCH_ci.json", "JSON summary destination")
 		baseline = flag.String("baseline", "", "committed BENCH_ci.json to gate regressions against")
 		warnOnly = flag.Bool("warn-only", false, "downgrade hot-path gate failures to warnings")
+
+		// Load mode (see load.go): gate a loadgen BENCH_load.json on its SLO
+		// verdicts and against a committed baseline, and render the SLO table
+		// into $GITHUB_STEP_SUMMARY when CI provides one.
+		load         = flag.String("load", "", "fresh BENCH_load.json to gate (enables load mode; benchmark input is not read)")
+		loadBaseline = flag.String("load-baseline", "", "committed BENCH_load.json to compare load metrics against")
+		loadOut      = flag.String("load-out", "", "write the gated load summary (with comparisons) to this path")
 	)
 	flag.Parse()
+
+	if *load != "" {
+		runLoadMode(*load, *loadBaseline, *loadOut, *warnOnly)
+		return
+	}
+	if *loadBaseline != "" {
+		fmt.Fprintln(os.Stderr, "benchsummary: -load-baseline needs -load")
+		os.Exit(1)
+	}
 
 	src := io.Reader(os.Stdin)
 	if *in != "" {

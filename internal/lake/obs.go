@@ -15,6 +15,7 @@ type lakeObs struct {
 	retries       *obs.Counter
 	taskSeconds   *obs.Histogram
 	queuedSeconds *obs.Histogram
+	inflight      *obs.Gauge
 }
 
 // taskBuckets spans detection-task latencies: sub-millisecond degraded
@@ -48,7 +49,25 @@ func (s *Service) SetObs(reg *obs.Registry) {
 			"End-to-end processing time of one lake task (queue wait excluded).", taskBuckets),
 		queuedSeconds: reg.Histogram("enld_lake_queued_seconds",
 			"Time a lake task waited in the queue before a worker picked it up.", taskBuckets),
+		inflight: reg.Gauge("enld_lake_inflight_tasks",
+			"Lake tasks currently being processed by a worker. Pinned at the worker count when the service is saturated — the load harness reads this to tell queueing delay from processing delay."),
 	}
+}
+
+// taskStarted/taskFinished bracket one worker's processing of a task for the
+// in-flight gauge. Nil-safe like every obs handle.
+func (o *lakeObs) taskStarted() {
+	if o == nil {
+		return
+	}
+	o.inflight.Add(1)
+}
+
+func (o *lakeObs) taskFinished() {
+	if o == nil {
+		return
+	}
+	o.inflight.Add(-1)
 }
 
 // record files one completed task. elapsed is the worker's wall-clock

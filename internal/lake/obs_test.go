@@ -5,8 +5,20 @@ import (
 	"testing"
 	"time"
 
+	"enld/internal/dataset"
+	"enld/internal/detect"
 	"enld/internal/obs"
 )
+
+// funcDetector runs fn on every Detect call and returns an empty result.
+type funcDetector func()
+
+func (funcDetector) Name() string { return "func" }
+
+func (f funcDetector) Detect(dataset.Set) (*detect.Result, error) {
+	f()
+	return detect.NewResult(), nil
+}
 
 func lakeCounter(reg *obs.Registry, outcome string) *obs.Counter {
 	return reg.Counter("enld_lake_tasks_total",
@@ -65,6 +77,39 @@ func TestServiceObsOutcomes(t *testing.T) {
 		obs.Label{Key: "pool", Value: "lake"})
 	if got := busy.Value(); got != 0 {
 		t.Fatalf("lake pool busy gauge = %v after drain, want 0", got)
+	}
+	inflight := reg.Gauge("enld_lake_inflight_tasks",
+		"Lake tasks currently being processed by a worker. Pinned at the worker count when the service is saturated — the load harness reads this to tell queueing delay from processing delay.")
+	if got := inflight.Value(); got != 0 {
+		t.Fatalf("inflight gauge = %v after drain, want 0", got)
+	}
+}
+
+// TestServiceObsInflight: the in-flight gauge rises while a worker holds a
+// task and returns to zero once the run drains.
+func TestServiceObsInflight(t *testing.T) {
+	release := make(chan struct{})
+	observed := make(chan float64, 1)
+	reg := obs.NewRegistry()
+	det := funcDetector(func() { // blocks until released, sampling the gauge
+		observed <- reg.Gauge("enld_lake_inflight_tasks",
+			"Lake tasks currently being processed by a worker. Pinned at the worker count when the service is saturated — the load harness reads this to tell queueing delay from processing delay.").Value()
+		<-release
+	})
+	svc, err := NewService(det, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.SetObs(reg)
+	ctx := context.Background()
+	done := make(chan []Report, 1)
+	go func() { done <- svc.Run(ctx, Feed(ctx, shards(1, 4), 0)) }()
+	if got := <-observed; got != 1 {
+		t.Fatalf("inflight gauge mid-task = %v, want 1", got)
+	}
+	close(release)
+	if reports := <-done; len(reports) != 1 {
+		t.Fatalf("%d reports", len(reports))
 	}
 }
 

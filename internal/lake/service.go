@@ -208,9 +208,11 @@ func (s *Service) Run(ctx context.Context, requests <-chan Request) []Report {
 	pool.Run(func(int) {
 		for st := range work {
 			queued := time.Since(st.arrived)
+			s.obs.taskStarted()
 			began := time.Now()
 			rep := s.process(ctx, st.req)
 			rep.Queued = queued
+			s.obs.taskFinished()
 			s.obs.record(rep, time.Since(began))
 			if s.OnReport != nil {
 				s.OnReport(rep)

@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"fmt"
+
+	"enld/internal/dataset"
+	"enld/internal/mat"
+	"enld/internal/noise"
+)
+
+// catalogSeedSalt decorrelates per-entry materialization RNGs from the
+// trace stream.
+const catalogSeedSalt = 0xd1b54a32d192ed03
+
+// Materialize builds the catalog datasets a trace references: entry j draws
+// its samples (without replacement) from the clean pool and corrupts them
+// with its assigned noise class. classes is the label-space size of the pool
+// (needed to build transition matrices). The result is deterministic from
+// the trace and seed; entries may be submitted repeatedly during replay, so
+// detectors must treat request data as read-only (every detector in this
+// repository does, and the chaos injector's label scrambler clones first).
+func Materialize(t *Trace, pool dataset.Set, classes int) ([]dataset.Set, error) {
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("workload: empty catalog pool")
+	}
+	out := make([]dataset.Set, len(t.Catalog))
+	for j, meta := range t.Catalog {
+		if meta.Samples > len(pool) {
+			return nil, fmt.Errorf("workload: catalog entry %d wants %d samples, pool has %d",
+				j, meta.Samples, len(pool))
+		}
+		rng := mat.NewRNG(t.Seed ^ catalogSeedSalt ^ (uint64(j+1) * 0x9e3779b97f4a7c15))
+		perm := rng.Perm(len(pool))
+		set := make(dataset.Set, meta.Samples)
+		for i := 0; i < meta.Samples; i++ {
+			set[i] = pool[perm[i]]
+		}
+		if meta.NoiseRate > 0 {
+			var tm noise.TransitionMatrix
+			var err error
+			switch meta.NoiseKind {
+			case NoisePair:
+				tm, err = noise.Pair(classes, meta.NoiseRate)
+			case NoiseSymmetric:
+				tm, err = noise.Symmetric(classes, meta.NoiseRate)
+			default:
+				err = fmt.Errorf("workload: catalog entry %d: unknown noise kind %q", j, meta.NoiseKind)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if _, err := noise.Apply(set, tm, rng); err != nil {
+				return nil, fmt.Errorf("workload: catalog entry %d: %w", j, err)
+			}
+		}
+		out[j] = set
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package workload
+
+import "fmt"
+
+// SLO declares a scenario's service-level objectives. Zero-valued latency
+// and throughput fields are unset (no objective); the count limits use
+// pointers because zero is the interesting value there ("zero dead-letters
+// at steady state", "the breaker never opens").
+type SLO struct {
+	MaxP50TaskSeconds   float64 `json:"max_p50_task_seconds,omitempty"`
+	MaxP95TaskSeconds   float64 `json:"max_p95_task_seconds,omitempty"`
+	MaxP99TaskSeconds   float64 `json:"max_p99_task_seconds,omitempty"`
+	MaxP99QueuedSeconds float64 `json:"max_p99_queued_seconds,omitempty"`
+	MinThroughputRPS    float64 `json:"min_throughput_rps,omitempty"`
+	MaxDeadLetters      *int    `json:"max_dead_letters,omitempty"`
+	MaxDegraded         *int    `json:"max_degraded,omitempty"`
+	MaxBreakerOpens     *int    `json:"max_breaker_opens,omitempty"`
+	// MinCompletedRatio bounds lost work: completed (ok + degraded +
+	// dead-lettered) over offered. 1.0 demands every offered request is
+	// accounted for.
+	MinCompletedRatio float64 `json:"min_completed_ratio,omitempty"`
+}
+
+// Empty reports whether no objective is declared.
+func (s SLO) Empty() bool {
+	return s.MaxP50TaskSeconds == 0 && s.MaxP95TaskSeconds == 0 && s.MaxP99TaskSeconds == 0 &&
+		s.MaxP99QueuedSeconds == 0 && s.MinThroughputRPS == 0 && s.MinCompletedRatio == 0 &&
+		s.MaxDeadLetters == nil && s.MaxDegraded == nil && s.MaxBreakerOpens == nil
+}
+
+// Evaluate checks r against the declared objectives and returns one
+// violation string per breached objective (empty = pass). A latency
+// objective whose percentile could not be measured (empty histogram) is
+// itself a violation: an SLO gate that silently passes on an empty run
+// would hide a dead service.
+func (s SLO) Evaluate(r *ScenarioResult) []string {
+	var v []string
+	latency := func(name string, limit, got float64, count uint64) {
+		if limit <= 0 {
+			return
+		}
+		switch {
+		case count == 0:
+			v = append(v, fmt.Sprintf("%s unmeasurable (no observations), limit %.3fs", name, limit))
+		case got > limit:
+			v = append(v, fmt.Sprintf("%s = %.3fs, above the %.3fs limit", name, got, limit))
+		}
+	}
+	latency("task p50", s.MaxP50TaskSeconds, r.TaskSeconds.P50, r.TaskSeconds.Count)
+	latency("task p95", s.MaxP95TaskSeconds, r.TaskSeconds.P95, r.TaskSeconds.Count)
+	latency("task p99", s.MaxP99TaskSeconds, r.TaskSeconds.P99, r.TaskSeconds.Count)
+	latency("queued p99", s.MaxP99QueuedSeconds, r.QueuedSeconds.P99, r.QueuedSeconds.Count)
+
+	if s.MinThroughputRPS > 0 && r.ThroughputRPS < s.MinThroughputRPS {
+		v = append(v, fmt.Sprintf("throughput = %.2f req/s, below the %.2f req/s floor", r.ThroughputRPS, s.MinThroughputRPS))
+	}
+	count := func(name string, limit *int, got int) {
+		if limit != nil && got > *limit {
+			v = append(v, fmt.Sprintf("%s = %d, above the limit of %d", name, got, *limit))
+		}
+	}
+	count("dead-lettered tasks", s.MaxDeadLetters, r.Outcomes["dead_letter"])
+	count("degraded tasks", s.MaxDegraded, r.Outcomes["degraded"])
+	count("breaker opens", s.MaxBreakerOpens, r.BreakerOpens)
+	if s.MinCompletedRatio > 0 {
+		ratio := 1.0
+		if r.Offered > 0 {
+			ratio = float64(r.Completed) / float64(r.Offered)
+		}
+		if ratio < s.MinCompletedRatio {
+			v = append(v, fmt.Sprintf("completed ratio = %.3f (%d of %d offered), below the %.3f floor",
+				ratio, r.Completed, r.Offered, s.MinCompletedRatio))
+		}
+	}
+	return v
+}

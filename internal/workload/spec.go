@@ -1,0 +1,219 @@
+// Package workload is the traffic generator and latency-SLO harness for the
+// lake serving stack: declarative workload specs (arrival rate phases with
+// ramps and bursts, Zipf-skewed dataset popularity, dataset-size and
+// noise-rate mixes), deterministic seed-driven trace generation, replay
+// against a live lake.Service, and SLO evaluation over the latency
+// histograms the service already exports through internal/obs.
+//
+// The shape of the API follows ReqBench's Workload (gen_trace → play):
+// generation and replay are separate so a trace can be inspected, hashed and
+// pinned by tests before anything runs, and the same trace replays
+// identically at any worker count. The noise-rate mix makes load scenarios
+// vary detection difficulty — not just arrival rate — as the noisy-label
+// benchmarking literature prescribes: a burst of high-noise datasets costs
+// more per task than the same burst of clean ones.
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Phase is one segment of the arrival schedule. Rate is the arrival rate in
+// requests per second at the start of the phase; RateEnd, when non-zero,
+// ramps the instantaneous rate linearly toward it across the phase (a burst
+// is simply a short phase at a high rate).
+type Phase struct {
+	Name            string  `json:"name"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Rate            float64 `json:"rate"`
+	RateEnd         float64 `json:"rate_end,omitempty"`
+}
+
+// SizeClass is one weighted entry of the dataset-size mix.
+type SizeClass struct {
+	Samples int     `json:"samples"`
+	Weight  float64 `json:"weight"`
+}
+
+// NoiseClass is one weighted entry of the noise mix: the label-noise rate
+// and corruption model applied to catalog datasets assigned this class.
+// Kind is "pair" or "symmetric" (empty defaults to pair); Rate 0 means the
+// dataset arrives clean.
+type NoiseClass struct {
+	Rate   float64 `json:"rate"`
+	Kind   string  `json:"kind,omitempty"`
+	Weight float64 `json:"weight"`
+}
+
+// FaultSpec configures deterministic chaos on the detector during replay
+// (internal/fault), so load scenarios can measure serving behaviour under
+// failure, not just under traffic.
+type FaultSpec struct {
+	FailRate      float64 `json:"fail_rate,omitempty"`
+	PanicRate     float64 `json:"panic_rate,omitempty"`
+	SlowRate      float64 `json:"slow_rate,omitempty"`
+	SlowLatencyMS float64 `json:"slow_latency_ms,omitempty"`
+	CorruptRate   float64 `json:"corrupt_rate,omitempty"`
+	Seed          uint64  `json:"seed,omitempty"`
+}
+
+// PolicySpec configures the service's resilience policy (lake.Policy) for
+// the scenario.
+type PolicySpec struct {
+	TaskTimeoutSeconds float64 `json:"task_timeout_seconds,omitempty"`
+	Retries            int     `json:"retries,omitempty"`
+	RetryBaseMS        float64 `json:"retry_base_ms,omitempty"`
+	BreakerThreshold   int     `json:"breaker_threshold,omitempty"`
+	BreakerCooldownMS  float64 `json:"breaker_cooldown_ms,omitempty"`
+	Fallback           bool    `json:"fallback,omitempty"`
+}
+
+// Spec is one declarative load scenario. Everything that shapes the
+// workload or the system under test lives here, so a scenario file fully
+// determines a run; environment concerns (storage directory, output paths,
+// time compression) stay on the loadgen command line.
+type Spec struct {
+	Name string `json:"name"`
+	// Seed drives trace generation and catalog materialization; a fixed
+	// seed reproduces the trace bit-for-bit.
+	Seed uint64 `json:"seed"`
+
+	// System under test.
+	Preset      string  `json:"preset"`                 // emnist | cifar100 | tinyimagenet
+	Eta         float64 `json:"eta"`                    // platform-inventory noise rate
+	Scale       float64 `json:"scale,omitempty"`        // dataset size factor (0 = 1.0)
+	Method      string  `json:"method"`                 // detector under load
+	Workers     int     `json:"workers"`                // concurrent service workers
+	TaskWorkers int     `json:"task_workers,omitempty"` // data-parallel workers per task (0 = 1)
+
+	// Traffic shape.
+	Phases []Phase `json:"phases"`
+	// Arrivals selects the inter-arrival model: "poisson" (exponential
+	// gaps, the default) or "uniform" (evenly spaced).
+	Arrivals string `json:"arrivals,omitempty"`
+
+	// Catalog: the population of distinct datasets requests draw from.
+	// Popularity is Zipf-distributed with exponent Skew (0 = uniform):
+	// entry j is picked proportionally to 1/(j+1)^skew, so low-numbered
+	// entries are hot and the tail is cold.
+	Datasets int          `json:"datasets"`
+	Skew     float64      `json:"skew,omitempty"`
+	Sizes    []SizeClass  `json:"sizes"`
+	NoiseMix []NoiseClass `json:"noise_mix"`
+
+	Fault  FaultSpec  `json:"fault,omitempty"`
+	Policy PolicySpec `json:"policy,omitempty"`
+	SLO    SLO        `json:"slo,omitempty"`
+}
+
+// LoadSpec reads and validates one scenario spec file.
+func LoadSpec(path string) (Spec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	var s Spec
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return Spec{}, fmt.Errorf("workload: parsing %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("workload: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Validate rejects specs that cannot generate a sound trace.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario has no name")
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("scenario %s has no phases", s.Name)
+	}
+	for i, p := range s.Phases {
+		if p.DurationSeconds <= 0 {
+			return fmt.Errorf("scenario %s phase %d: non-positive duration", s.Name, i)
+		}
+		if p.Rate < 0 || p.RateEnd < 0 {
+			return fmt.Errorf("scenario %s phase %d: negative rate", s.Name, i)
+		}
+		if p.Rate == 0 && p.RateEnd == 0 {
+			return fmt.Errorf("scenario %s phase %d: zero rate (drop the phase instead)", s.Name, i)
+		}
+	}
+	switch s.Arrivals {
+	case "", ArrivalsPoisson, ArrivalsUniform:
+	default:
+		return fmt.Errorf("scenario %s: unknown arrivals model %q", s.Name, s.Arrivals)
+	}
+	if s.Datasets < 1 {
+		return fmt.Errorf("scenario %s: catalog needs at least one dataset", s.Name)
+	}
+	if s.Skew < 0 {
+		return fmt.Errorf("scenario %s: negative skew", s.Name)
+	}
+	if err := validateWeights(len(s.Sizes), func(i int) float64 { return s.Sizes[i].Weight }); err != nil {
+		return fmt.Errorf("scenario %s sizes: %w", s.Name, err)
+	}
+	for i, c := range s.Sizes {
+		if c.Samples < 1 {
+			return fmt.Errorf("scenario %s sizes[%d]: non-positive sample count", s.Name, i)
+		}
+	}
+	if err := validateWeights(len(s.NoiseMix), func(i int) float64 { return s.NoiseMix[i].Weight }); err != nil {
+		return fmt.Errorf("scenario %s noise_mix: %w", s.Name, err)
+	}
+	for i, c := range s.NoiseMix {
+		if c.Rate < 0 || c.Rate >= 1 {
+			return fmt.Errorf("scenario %s noise_mix[%d]: rate %v outside [0, 1)", s.Name, i, c.Rate)
+		}
+		switch c.Kind {
+		case "", NoisePair, NoiseSymmetric:
+		default:
+			return fmt.Errorf("scenario %s noise_mix[%d]: unknown kind %q", s.Name, i, c.Kind)
+		}
+	}
+	return nil
+}
+
+// Arrival models.
+const (
+	ArrivalsPoisson = "poisson"
+	ArrivalsUniform = "uniform"
+)
+
+// Noise kinds of the catalog mix.
+const (
+	NoisePair      = "pair"
+	NoiseSymmetric = "symmetric"
+)
+
+func validateWeights(n int, weight func(int) float64) error {
+	if n == 0 {
+		return fmt.Errorf("empty mix")
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		w := weight(i)
+		if w < 0 {
+			return fmt.Errorf("negative weight at %d", i)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return fmt.Errorf("weights sum to zero")
+	}
+	return nil
+}
+
+// Duration returns the total scheduled length of the scenario.
+func (s Spec) Duration() time.Duration {
+	total := 0.0
+	for _, p := range s.Phases {
+		total += p.DurationSeconds
+	}
+	return time.Duration(total * float64(time.Second))
+}

@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"enld/internal/obs"
+)
+
+// LatencySummary is one histogram reduced to the numbers the SLO gate and
+// the BENCH_load.json artifact carry. Percentiles are estimated from the
+// scraped bucket layout the way Prometheus's histogram_quantile does, so
+// the artifact states exactly what a production dashboard would.
+type LatencySummary struct {
+	P50   float64 `json:"p50_seconds"`
+	P95   float64 `json:"p95_seconds"`
+	P99   float64 `json:"p99_seconds"`
+	Mean  float64 `json:"mean_seconds"`
+	Count uint64  `json:"count"`
+}
+
+// ScenarioResult is one scenario's measured outcome in BENCH_load.json.
+type ScenarioResult struct {
+	Name        string  `json:"name"`
+	Seed        uint64  `json:"seed"`
+	Offered     int     `json:"offered"`
+	Completed   int     `json:"completed"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// ThroughputRPS is completed tasks over the replay wall clock, in trace
+	// time (speed compression undone).
+	ThroughputRPS float64        `json:"throughput_rps"`
+	Outcomes      map[string]int `json:"outcomes"`
+	Retries       int            `json:"retries"`
+	TaskSeconds   LatencySummary `json:"task_seconds"`
+	QueuedSeconds LatencySummary `json:"queued_seconds"`
+	BreakerOpens  int            `json:"breaker_opens"`
+	// MaxSendLagSeconds is the generator's worst schedule slip; a large
+	// value taints the latency numbers (see PlayOptions.Obs).
+	MaxSendLagSeconds float64 `json:"max_send_lag_seconds"`
+
+	SLO        SLO      `json:"slo"`
+	Violations []string `json:"violations,omitempty"`
+	Pass       bool     `json:"pass"`
+}
+
+// LoadSummary is the BENCH_load.json document.
+type LoadSummary struct {
+	GoVersion string           `json:"go_version,omitempty"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// Scenario returns the named scenario result, or nil.
+func (s *LoadSummary) Scenario(name string) *ScenarioResult {
+	for i := range s.Scenarios {
+		if s.Scenarios[i].Name == name {
+			return &s.Scenarios[i]
+		}
+	}
+	return nil
+}
+
+// Summarize reduces a replay to its ScenarioResult by scraping the service's
+// metrics out of reg — the same registry svc.SetObs was given — rather than
+// reading the in-process reports: the artifact then measures exactly what
+// the /metrics endpoint exposes, and the one scrape path also serves live
+// HTTP endpoints (SummarizeScrape). The SLO verdict is filled in.
+func Summarize(spec Spec, res *PlayResult, reg *obs.Registry) (*ScenarioResult, error) {
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		return nil, err
+	}
+	parsed, err := obs.ParseText(&buf)
+	if err != nil {
+		return nil, err
+	}
+	out, err := summarizeParsed(spec.Name, parsed)
+	if err != nil {
+		return nil, err
+	}
+	out.Seed = spec.Seed
+	out.Offered = res.Offered
+	out.WallSeconds = res.WallSeconds
+	out.MaxSendLagSeconds = res.MaxSendLagSeconds
+	if res.WallSeconds > 0 {
+		out.ThroughputRPS = float64(out.Completed) / res.WallSeconds
+	}
+	finishSLO(out, spec.SLO)
+	return out, nil
+}
+
+// SummarizeScrape builds a ScenarioResult from a live /metrics endpoint —
+// the over-HTTP mode: point it at a running lakesim and evaluate the same
+// SLOs against whatever the service has served so far. Offered and
+// throughput come from the exposition (tasks completed over wallSeconds, if
+// positive), not from a replay.
+func SummarizeScrape(name, url string, slo SLO, wallSeconds float64) (*ScenarioResult, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("workload: scraping %s: %s", url, resp.Status)
+	}
+	return SummarizeReader(name, resp.Body, slo, wallSeconds)
+}
+
+// SummarizeReader is SummarizeScrape over an already-open exposition stream.
+func SummarizeReader(name string, r io.Reader, slo SLO, wallSeconds float64) (*ScenarioResult, error) {
+	parsed, err := obs.ParseText(r)
+	if err != nil {
+		return nil, err
+	}
+	out, err := summarizeParsed(name, parsed)
+	if err != nil {
+		return nil, err
+	}
+	out.Offered = out.Completed
+	out.WallSeconds = wallSeconds
+	if wallSeconds > 0 {
+		out.ThroughputRPS = float64(out.Completed) / wallSeconds
+	}
+	finishSLO(out, slo)
+	return out, nil
+}
+
+// summarizeParsed extracts the lake-service families from a parsed
+// exposition. Absent families are an error, not zeros: a load run whose
+// service exported nothing measured nothing.
+func summarizeParsed(name string, parsed obs.Parsed) (*ScenarioResult, error) {
+	out := &ScenarioResult{Name: name, Outcomes: map[string]int{}}
+	for _, outcome := range []string{"ok", "degraded", "dead_letter"} {
+		v, ok := parsed.Counter("enld_lake_tasks_total", map[string]string{"outcome": outcome})
+		if !ok {
+			return nil, fmt.Errorf("workload: scrape is missing enld_lake_tasks_total{outcome=%q} — is the service observed?", outcome)
+		}
+		out.Outcomes[outcome] = int(v)
+		out.Completed += int(v)
+	}
+	if v, ok := parsed.Counter("enld_lake_retries_total", nil); ok {
+		out.Retries = int(v)
+	}
+	var err error
+	if out.TaskSeconds, err = latencySummary(parsed, "enld_lake_task_seconds"); err != nil {
+		return nil, err
+	}
+	if out.QueuedSeconds, err = latencySummary(parsed, "enld_lake_queued_seconds"); err != nil {
+		return nil, err
+	}
+	// The breaker families only exist when a breaker is configured
+	// (lake.ObserveBreaker); absent means zero opens by construction.
+	if v, ok := parsed.Counter("enld_lake_breaker_transitions_total",
+		map[string]string{"from": "closed", "to": "open"}); ok {
+		out.BreakerOpens = int(v)
+	}
+	if v, ok := parsed.Counter("enld_lake_breaker_transitions_total",
+		map[string]string{"from": "half-open", "to": "open"}); ok {
+		out.BreakerOpens += int(v)
+	}
+	return out, nil
+}
+
+func latencySummary(parsed obs.Parsed, family string) (LatencySummary, error) {
+	s, ok := parsed.Histogram(family, nil)
+	if !ok {
+		return LatencySummary{}, fmt.Errorf("workload: scrape is missing histogram %s — is the service observed?", family)
+	}
+	out := LatencySummary{Count: s.Count}
+	if s.Count > 0 {
+		// finite() guards JSON encodability: a quantile can only be NaN on
+		// an empty histogram, which Count == 0 already marks — the SLO
+		// evaluator treats Count == 0 as unmeasurable, never as fast.
+		out.P50 = finite(s.Quantile(0.50))
+		out.P95 = finite(s.Quantile(0.95))
+		out.P99 = finite(s.Quantile(0.99))
+		out.Mean = finite(s.Sum / float64(s.Count))
+	}
+	return out, nil
+}
+
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// finishSLO stamps the verdict.
+func finishSLO(r *ScenarioResult, slo SLO) {
+	r.SLO = slo
+	r.Violations = slo.Evaluate(r)
+	r.Pass = len(r.Violations) == 0
+}
