@@ -16,6 +16,7 @@ package enld
 import (
 	"testing"
 
+	"enld/internal/ann"
 	"enld/internal/core"
 	"enld/internal/dataset"
 	"enld/internal/experiments"
@@ -23,6 +24,7 @@ import (
 	"enld/internal/mat"
 	"enld/internal/nn"
 	"enld/internal/obs"
+	"enld/internal/parallel"
 	"enld/internal/sampling"
 )
 
@@ -93,6 +95,7 @@ func BenchmarkContrastiveIndex(b *testing.B) {
 	for _, strat := range []sampling.Strategy{
 		sampling.Contrastive{},
 		sampling.Contrastive{Brute: true},
+		sampling.Contrastive{ANN: true},
 	} {
 		cfg := wb.ENLDCfg
 		cfg.Strategy = strat
@@ -140,6 +143,29 @@ func BenchmarkDetect(b *testing.B) {
 		cfg.Workers = workers
 		d := &core.ENLD{Platform: wb.Platform, Config: cfg}
 		b.Run("enld-workers="+itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Detect(shard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// Opt-in fast paths (DESIGN.md §4): float32 ranking forwards, the
+	// approximate IVF k-NN index, and both stacked. Guardrail tests bound
+	// each one's accuracy; these pin the speed side of the trade.
+	for _, variant := range []struct {
+		name     string
+		f32, ann bool
+	}{
+		{"enld-f32", true, false},
+		{"enld-ann", false, true},
+		{"enld-ann-f32", true, true},
+	} {
+		cfg := wb.ENLDCfg
+		cfg.Float32 = variant.f32
+		cfg.ANN = variant.ann
+		d := &core.ENLD{Platform: wb.Platform, Config: cfg}
+		b.Run(variant.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := d.Detect(shard); err != nil {
 					b.Fatal(err)
@@ -207,6 +233,73 @@ func BenchmarkKNN(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				kdtree.BruteKNearest(pts, query, k)
 			}
+		})
+	}
+}
+
+// BenchmarkANN compares the approximate IVF index against the exact KD-tree
+// on the same query stream and reports the achieved recall@k per size, so
+// the speed and accuracy sides of the approximation land in the same
+// BENCH_ci.json row.
+func BenchmarkANN(b *testing.B) {
+	rng := mat.NewRNG(5)
+	const dim, k = 64, 3
+	// Clustered blobs, the shape of per-class feature activations the
+	// contrastive sampler indexes (uniform Gaussian data is IVF's worst
+	// case and not what the pipeline sees).
+	means := make([][]float64, 12)
+	for c := range means {
+		means[c] = rng.NormVec(make([]float64, dim), 0, 4)
+	}
+	for _, n := range []int{256, 1024, 4096} {
+		pts := make([]kdtree.Point, n)
+		for i := range pts {
+			v := rng.NormVec(make([]float64, dim), 0, 1)
+			for d, mv := range means[i%len(means)] {
+				v[d] += mv
+			}
+			pts[i] = kdtree.Point{Vec: v, Payload: i}
+		}
+		query := append([]float64(nil), means[3]...)
+		for d := range query {
+			query[d] += rng.Norm()
+		}
+		idx, err := ann.Build(pts, ann.Params{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("build/n="+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ann.Build(pts, ann.Params{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("query/n="+itoa(n), func(b *testing.B) {
+			var s ann.Scratch
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := idx.KNearestInto(&s, query, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			var sr ann.Scratch
+			got, err := idx.KNearestInto(&sr, query, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exact := make(map[int]bool, k)
+			for _, nb := range kdtree.BruteKNearest(pts, query, k) {
+				exact[nb.Point.Payload] = true
+			}
+			hits := 0
+			for _, nb := range got {
+				if exact[nb.Point.Payload] {
+					hits++
+				}
+			}
+			b.ReportMetric(float64(hits)/float64(k), "recall@k")
 		})
 	}
 }
@@ -335,6 +428,31 @@ func BenchmarkGemm(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				C.Zero()
 				mat.Gemm(C, A, B)
+			}
+		})
+	}
+	// Parallel variants: output rows fanned over a pool, bit-identical to
+	// the sequential kernel at every worker count. At n=128 the product sits
+	// above parGemmMinWork, so the split actually engages; real speedup
+	// needs real cores (see the native-GOMAXPROCS CI leg).
+	for _, workers := range []int{1, 4} {
+		pool := parallel.New(workers)
+		A, B, C := newM(128, 128), newM(128, 128), mat.NewMatrix(128, 128)
+		b.Run("par/workers="+itoa(workers)+"/n=128", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				C.Zero()
+				mat.ParallelGemm(pool, C, A, B)
+			}
+		})
+	}
+	{
+		pool := parallel.New(4)
+		A, B2 := newM(64, 128), newM(96, 128)
+		C := mat.NewMatrix(64, 96)
+		b.Run("par-nt/workers=4/batch=64-128x96", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				C.Zero()
+				mat.ParallelGemmNT(pool, C, A, B2)
 			}
 		})
 	}

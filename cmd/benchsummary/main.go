@@ -118,6 +118,14 @@ var speedupPairs = [][3]string{
 	// Batching speedup (not a parallel pair): one blocked-GEMM forward pass
 	// over a chunk versus the same samples through the per-sample path.
 	{"gemm-batching", "BenchmarkForwardBatch/persample", "BenchmarkForwardBatch/batched"},
+	// Row-parallel GEMM: the same 128³ product with output rows fanned over
+	// a 4-worker pool (bit-identical results; speedup needs real cores).
+	{"gemm-parallel", "BenchmarkGemm/par/workers=1/n=128", "BenchmarkGemm/par/workers=4/n=128"},
+	// Opt-in fast paths over the float64-exact default (not parallel pairs):
+	// float32 ranking forwards, the approximate IVF k-NN index, and both.
+	{"detect-f32", "BenchmarkDetect/enld", "BenchmarkDetect/enld-f32"},
+	{"detect-ann", "BenchmarkDetect/enld", "BenchmarkDetect/enld-ann"},
+	{"detect-ann-f32", "BenchmarkDetect/enld", "BenchmarkDetect/enld-ann-f32"},
 }
 
 // overheadPairs lists the (name, base, variant, limit) tuples of the
@@ -149,6 +157,10 @@ var hotPaths = map[string]bool{
 	"BenchmarkTrainEpoch/workers=1":    true,
 	"BenchmarkForward/batch-workers=1": true,
 	"BenchmarkForwardBatch/batched":    true,
+	// New kernels of the perf PR: the row-parallel GEMM's sequential leg and
+	// the fully stacked fast-path detection run.
+	"BenchmarkGemm/par/workers=1/n=128": true,
+	"BenchmarkDetect/enld-ann-f32":      true,
 	// Storage-engine budgets: append throughput (the nosync variant — the
 	// fsync one measures the disk, not the code) and recovery time of a
 	// 10k-dataset history.

@@ -130,6 +130,8 @@ func main() {
 		shards   = flag.Int("shards", 0, "incremental dataset count (0 = paper count)")
 		workers  = flag.Int("workers", 2, "concurrent detection workers")
 		taskW    = flag.Int("task-workers", 1, "data-parallel workers inside each detection task (0 = all cores); per-task results are identical at any count")
+		useANN   = flag.Bool("ann", false, "use the approximate IVF k-NN index for ENLD's contrastive sampling (faster; detection quality within the guardrail budget of the exact default)")
+		useF32   = flag.Bool("f32", false, "run ENLD's ranking-only forward passes in float32 (deterministic, but not bit-identical to the float64 default)")
 		interval = flag.Duration("interval", 50*time.Millisecond, "arrival pacing between datasets")
 		timeout  = flag.Duration("timeout", 10*time.Minute, "overall simulation deadline")
 		journal  = flag.String("journal", "", "append an audit journal of detection decisions to this file")
@@ -195,7 +197,7 @@ func main() {
 		reg.SetSpanLedger(f)
 	}
 
-	cfg := experiments.Config{Seed: *seed, DataScale: *scale, Shards: *shards, Workers: *taskW, Obs: reg}
+	cfg := experiments.Config{Seed: *seed, DataScale: *scale, Shards: *shards, Workers: *taskW, Obs: reg, ANN: *useANN, Float32: *useF32}
 	if *watchdog {
 		cfg.Watchdog = nn.WatchdogConfig{
 			Enabled:      true,

@@ -1,0 +1,228 @@
+package ann
+
+import (
+	"testing"
+
+	"enld/internal/kdtree"
+	"enld/internal/mat"
+)
+
+// clusteredPoints draws n points from `centers` Gaussian blobs — the shape
+// of the feature distributions contrastive sampling indexes (per-class
+// activations of a trained network cluster by true label).
+func clusteredPoints(rng *mat.RNG, n, dim, centers int, spread float64) []kdtree.Point {
+	means := make([][]float64, centers)
+	for c := range means {
+		means[c] = make([]float64, dim)
+		rng.NormVec(means[c], 0, 4)
+	}
+	pts := make([]kdtree.Point, n)
+	for i := range pts {
+		v := make([]float64, dim)
+		m := means[i%centers]
+		rng.NormVec(v, 0, spread)
+		for d := range v {
+			v[d] += m[d]
+		}
+		pts[i] = kdtree.Point{Vec: v, Payload: i}
+	}
+	return pts
+}
+
+// TestRecallAtK is the approximation guardrail from DESIGN.md §4: with
+// default parameters the IVF index must find ≥ 95% of the true k nearest
+// neighbors on clustered data, averaged over queries.
+func TestRecallAtK(t *testing.T) {
+	rng := mat.NewRNG(7)
+	const n, dim, k, queries = 2000, 16, 10, 200
+	pts := clusteredPoints(rng, n, dim, 12, 1)
+	idx, err := Build(pts, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var s Scratch
+	hits, total := 0, 0
+	for q := 0; q < queries; q++ {
+		query := make([]float64, dim)
+		rng.NormVec(query, 0, 4)
+		got, err := idx.KNearestInto(&s, query, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != k {
+			t.Fatalf("query %d: got %d neighbors, want %d", q, len(got), k)
+		}
+		want := kdtree.BruteKNearest(pts, query, k)
+		exact := make(map[int]bool, k)
+		for _, nb := range want {
+			exact[nb.Point.Payload] = true
+		}
+		for _, nb := range got {
+			if exact[nb.Point.Payload] {
+				hits++
+			}
+		}
+		total += k
+	}
+	recall := float64(hits) / float64(total)
+	t.Logf("recall@%d = %.4f over %d queries (nlist=%d)", k, recall, queries, idx.Lists())
+	if recall < 0.95 {
+		t.Fatalf("recall@%d = %.4f, want >= 0.95", k, recall)
+	}
+}
+
+// TestFullProbeIsExact: probing every list degenerates to brute force, so
+// results must match the reference bit-for-bit (same order, same distances).
+func TestFullProbeIsExact(t *testing.T) {
+	rng := mat.NewRNG(11)
+	pts := clusteredPoints(rng, 300, 8, 5, 1)
+	idx, err := Build(pts, Params{NList: 8, NProbe: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Scratch
+	for q := 0; q < 50; q++ {
+		query := make([]float64, 8)
+		rng.NormVec(query, 0, 4)
+		got, err := idx.KNearestInto(&s, query, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := kdtree.BruteKNearest(pts, query, 7)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d vs %d neighbors", q, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Point.Payload != want[i].Point.Payload || got[i].SqDist != want[i].SqDist {
+				t.Fatalf("query %d neighbor %d: got payload %d dist %v, want payload %d dist %v",
+					q, i, got[i].Point.Payload, got[i].SqDist, want[i].Point.Payload, want[i].SqDist)
+			}
+		}
+	}
+}
+
+// TestBuildDeterminism: two builds over the same points answer every query
+// identically, and KNearest matches KNearestInto.
+func TestBuildDeterminism(t *testing.T) {
+	rng := mat.NewRNG(13)
+	pts := clusteredPoints(rng, 500, 12, 6, 1)
+	a, err := Build(pts, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(pts, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sa, sb Scratch
+	for q := 0; q < 40; q++ {
+		query := make([]float64, 12)
+		rng.NormVec(query, 0, 4)
+		ra, _ := a.KNearestInto(&sa, query, 5)
+		rb, _ := b.KNearestInto(&sb, query, 5)
+		rc, _ := a.KNearest(query, 5)
+		if len(ra) != len(rb) || len(ra) != len(rc) {
+			t.Fatalf("query %d: result lengths differ", q)
+		}
+		for i := range ra {
+			if ra[i].Point.Payload != rb[i].Point.Payload || ra[i].SqDist != rb[i].SqDist {
+				t.Fatalf("query %d: builds disagree at %d", q, i)
+			}
+			if ra[i].Point.Payload != rc[i].Point.Payload {
+				t.Fatalf("query %d: KNearest disagrees with KNearestInto at %d", q, i)
+			}
+		}
+	}
+}
+
+// TestSmallIndexes: an index always returns min(k, n) results, even when the
+// default nprobe covers a fraction of the lists — tiny per-class pools are
+// common in early ENLD iterations.
+func TestSmallIndexes(t *testing.T) {
+	rng := mat.NewRNG(17)
+	for _, n := range []int{1, 2, 3, 5, 9, 40} {
+		pts := clusteredPoints(rng, n, 4, 2, 1)
+		idx, err := Build(pts, Params{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		query := make([]float64, 4)
+		rng.NormVec(query, 0, 4)
+		for _, k := range []int{1, 3, n, n + 5} {
+			got, err := idx.KNearest(query, k)
+			if err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			want := k
+			if want > n {
+				want = n
+			}
+			if len(got) != want {
+				t.Fatalf("n=%d k=%d: got %d neighbors, want %d", n, k, len(got), want)
+			}
+		}
+	}
+}
+
+// TestErrorsAndEdgeCases mirrors the kdtree package's input validation.
+func TestErrorsAndEdgeCases(t *testing.T) {
+	if _, err := Build(nil, Params{}); err == nil {
+		t.Fatal("Build accepted no points")
+	}
+	if _, err := Build([]kdtree.Point{{Vec: nil}}, Params{}); err == nil {
+		t.Fatal("Build accepted zero-dimensional points")
+	}
+	if _, err := Build([]kdtree.Point{{Vec: []float64{1}}, {Vec: []float64{1, 2}}}, Params{}); err == nil {
+		t.Fatal("Build accepted inconsistent dimensions")
+	}
+	idx, err := Build([]kdtree.Point{{Vec: []float64{1, 2}, Payload: 0}}, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.KNearest([]float64{1}, 1); err != kdtree.ErrDimensionMismatch {
+		t.Fatalf("dimension mismatch: got %v", err)
+	}
+	if got, err := idx.KNearest([]float64{1, 2}, 0); err != nil || got != nil {
+		t.Fatalf("k=0: got %v, %v", got, err)
+	}
+}
+
+// TestClassIndex exercises the per-label wrapper against the kdtree version.
+func TestClassIndex(t *testing.T) {
+	rng := mat.NewRNG(19)
+	byLabel := map[int][]kdtree.Point{
+		0: clusteredPoints(rng, 120, 6, 3, 1),
+		2: clusteredPoints(rng, 80, 6, 3, 1),
+		5: nil,
+	}
+	ci, err := BuildClassIndex(byLabel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ci.Labels(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Labels() = %v", got)
+	}
+	if ci.Size(0) != 120 || ci.Size(2) != 80 || ci.Size(5) != 0 || ci.TotalSize() != 200 {
+		t.Fatalf("sizes: %d %d %d total %d", ci.Size(0), ci.Size(2), ci.Size(5), ci.TotalSize())
+	}
+	query := make([]float64, 6)
+	rng.NormVec(query, 0, 4)
+	var s Scratch
+	if nbrs, err := ci.KNearestInto(&s, 7, query, 3); err != nil || nbrs != nil {
+		t.Fatalf("unindexed label: got %v, %v", nbrs, err)
+	}
+	nbrs, err := ci.KNearestInto(&s, 0, query, 3)
+	if err != nil || len(nbrs) != 3 {
+		t.Fatalf("label 0: got %d neighbors, %v", len(nbrs), err)
+	}
+	plain, err := ci.KNearest(0, query, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nbrs {
+		if plain[i].Point.Payload != nbrs[i].Point.Payload {
+			t.Fatalf("KNearest disagrees with KNearestInto at %d", i)
+		}
+	}
+}

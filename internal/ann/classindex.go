@@ -1,0 +1,78 @@
+package ann
+
+import (
+	"fmt"
+	"sort"
+
+	"enld/internal/kdtree"
+)
+
+// ClassIndex maintains one IVF index per label, mirroring
+// kdtree.ClassIndex: contrastive sampling queries the k nearest high-quality
+// samples of a specific candidate label, so indexing per class shrinks each
+// index and removes a post-filter. The two class indexes are drop-in
+// replacements for one another in sampling.Contrastive.
+type ClassIndex struct {
+	indexes map[int]*Index
+	sizes   map[int]int
+}
+
+// BuildClassIndex groups points by their label and builds one IVF index per
+// label with default parameters. Labels with no points have no index.
+func BuildClassIndex(points map[int][]kdtree.Point) (*ClassIndex, error) {
+	ci := &ClassIndex{indexes: make(map[int]*Index), sizes: make(map[int]int)}
+	for label, pts := range points {
+		if len(pts) == 0 {
+			continue
+		}
+		x, err := Build(pts, Params{})
+		if err != nil {
+			return nil, fmt.Errorf("ann: class %d: %w", label, err)
+		}
+		ci.indexes[label] = x
+		ci.sizes[label] = len(pts)
+	}
+	return ci, nil
+}
+
+// KNearest returns the (approximately) k nearest points of the given label,
+// nearest-first, or nil if the label has no indexed points.
+func (ci *ClassIndex) KNearest(label int, query []float64, k int) ([]kdtree.Neighbor, error) {
+	x, ok := ci.indexes[label]
+	if !ok {
+		return nil, nil
+	}
+	return x.KNearest(query, k)
+}
+
+// KNearestInto is KNearest with caller-provided scratch: the returned slice
+// aliases s and is valid only until the next query through s.
+func (ci *ClassIndex) KNearestInto(s *Scratch, label int, query []float64, k int) ([]kdtree.Neighbor, error) {
+	x, ok := ci.indexes[label]
+	if !ok {
+		return nil, nil
+	}
+	return x.KNearestInto(s, query, k)
+}
+
+// Labels returns the labels that have at least one indexed point, sorted.
+func (ci *ClassIndex) Labels() []int {
+	out := make([]int, 0, len(ci.indexes))
+	for l := range ci.indexes {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Size returns the number of indexed points for label.
+func (ci *ClassIndex) Size(label int) int { return ci.sizes[label] }
+
+// TotalSize returns the number of indexed points across all labels.
+func (ci *ClassIndex) TotalSize() int {
+	total := 0
+	for _, n := range ci.sizes {
+		total += n
+	}
+	return total
+}

@@ -1,0 +1,26 @@
+package core
+
+import "testing"
+
+// TestENLDANNF1Guardrail is the approximate-k-NN path's end-to-end budget
+// (DESIGN.md §4): on seed scenarios detection F1 with the IVF index must
+// stay within 0.05 of the exact KD-tree path. The ann package's recall test
+// bounds the neighbor-level approximation; this pins that the residual
+// neighbor churn does not materially move the detector's output.
+func TestENLDANNF1Guardrail(t *testing.T) {
+	for _, seed := range []uint64{3, 8} {
+		w := newWorkload(t, 0.2, false, seed)
+
+		exactCfg := DefaultConfig(4)
+		exact := detectF1(t, w, exactCfg)
+
+		annCfg := DefaultConfig(4)
+		annCfg.ANN = true
+		approx := detectF1(t, w, annCfg)
+
+		t.Logf("seed %d: exact F1 %.4f, ann F1 %.4f", seed, exact.F1, approx.F1)
+		if approx.F1 < exact.F1-0.05 {
+			t.Fatalf("seed %d: ann F1 %.4f more than 0.05 below exact %.4f", seed, approx.F1, exact.F1)
+		}
+	}
+}

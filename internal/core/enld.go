@@ -59,6 +59,23 @@ type Config struct {
 	// at every worker count; see nn.TrainConfig.Workers for the contract.
 	Workers int
 
+	// ANN replaces contrastive sampling's exact per-class KD-trees with the
+	// approximate IVF index of internal/ann. Detection results stay close to
+	// the exact path but are not identical: the ann package pins
+	// recall@k ≥ 0.95, and a core-level guardrail test bounds the detection-F1
+	// gap on seed scenarios. Ignored when Strategy is set explicitly.
+	ANN bool
+
+	// Float32 switches the ranking-only forward passes — the re-scoring that
+	// feeds the ambiguous/high-quality split and sampling, and the per-step
+	// vote predictions — to a float32 snapshot of the fine-tuned model (see
+	// DESIGN.md §4). Training, warmup validation and every gradient
+	// computation stay float64. This is a versioned numeric profile: results
+	// are deterministic at every worker count, but not bit-identical to the
+	// float64 default; the differential tests bound the drift and pin equal
+	// noisy sets on the seed scenarios.
+	Float32 bool
+
 	Seed uint64
 }
 
@@ -139,7 +156,7 @@ func (e *ENLD) DetectFull(d dataset.Set) (*FullResult, error) {
 	}
 	strategy := cfg.Strategy
 	if strategy == nil {
-		strategy = sampling.Contrastive{}
+		strategy = sampling.Contrastive{ANN: cfg.ANN}
 	}
 
 	sw := cost.StartStopwatch()
@@ -191,7 +208,7 @@ func (e *ENLD) DetectFull(d dataset.Set) (*FullResult, error) {
 			}
 			// Selection pass: compare predictions with observed labels.
 			voteSpan := run.obs.StartSpan("detect/vote")
-			preds := model.PredictBatch(dInputs, cfg.Workers)
+			preds := run.predict(dInputs)
 			res.Meter.ForwardPasses += int64(len(d))
 			for i, smp := range d {
 				pred := preds[i]
@@ -292,6 +309,10 @@ type nldRun struct {
 	res     *FullResult
 	obs     *obs.Registry
 
+	// f32 is the float32 forward snapshot, refreshed from model before each
+	// ranking-only scoring pass when cfg.Float32 is set.
+	f32 nn.Network32
+
 	// Refreshed by resample:
 	ambIdx      []int       // indices of D in the ambiguous set A
 	hqIdx       []int       // indices of I' in the filtered high-quality set H'
@@ -303,8 +324,15 @@ type nldRun struct {
 // sampling strategy to produce a fresh contrastive set C.
 func (r *nldRun) resample() error {
 	splitSpan := r.obs.StartSpan("detect/split")
-	dScores := detect.ScoreParallel(r.model, r.d, &r.res.Meter, r.cfg.Workers)
-	iScores := detect.ScoreParallel(r.model, r.iPrime, &r.res.Meter, r.cfg.Workers)
+	var dScores, iScores *detect.Scores
+	if r.cfg.Float32 {
+		r.model.Snapshot32(&r.f32)
+		dScores = detect.ScoreParallel32(&r.f32, r.d, &r.res.Meter, r.cfg.Workers)
+		iScores = detect.ScoreParallel32(&r.f32, r.iPrime, &r.res.Meter, r.cfg.Workers)
+	} else {
+		dScores = detect.ScoreParallel(r.model, r.d, &r.res.Meter, r.cfg.Workers)
+		iScores = detect.ScoreParallel(r.model, r.iPrime, &r.res.Meter, r.cfg.Workers)
+	}
 
 	r.ambIdx = detect.Ambiguous(r.d, dScores.Predicted)
 	r.hqIdx = highQualityFiltered(r.iPrime, iScores)
@@ -366,6 +394,18 @@ func (r *nldRun) resample() error {
 	}
 	r.contrastive = c
 	return nil
+}
+
+// predict returns argmax predictions for xs under the current model — the
+// per-step vote pass. With cfg.Float32 it refreshes and uses the float32
+// ranking snapshot; warmup's validation accuracy intentionally stays
+// float64 (it selects a parameter snapshot rather than ranking samples).
+func (r *nldRun) predict(xs [][]float64) []int {
+	if r.cfg.Float32 {
+		r.model.Snapshot32(&r.f32)
+		return r.f32.PredictBatch32(xs, r.cfg.Workers)
+	}
+	return r.model.PredictBatch(xs, r.cfg.Workers)
 }
 
 // mergeClean appends D's currently selected clean samples to C

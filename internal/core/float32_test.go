@@ -1,0 +1,38 @@
+package core
+
+import "testing"
+
+// TestENLDFloat32MatchesFloat64 is the float32 ranking path's end-to-end
+// guardrail (DESIGN.md §4): on seed scenarios the versioned float32 numeric
+// profile must make exactly the decisions of the float64 reference — the
+// detected noisy set is identical, not merely close. The ≤1e-4 relative
+// drift bounded by the nn-level differential tests sits below every decision
+// margin in these scenarios, so any divergence here is a wiring bug, not
+// numeric noise.
+func TestENLDFloat32MatchesFloat64(t *testing.T) {
+	for _, seed := range []uint64{3, 8} {
+		w := newWorkload(t, 0.2, false, seed)
+
+		run := func(f32 bool) map[int]bool {
+			cfg := DefaultConfig(4)
+			cfg.Float32 = f32
+			e := &ENLD{Platform: w.platform, Config: cfg}
+			res, err := e.DetectFull(w.incr)
+			if err != nil {
+				t.Fatalf("seed %d float32=%v: %v", seed, f32, err)
+			}
+			return res.Noisy
+		}
+
+		want := run(false)
+		got := run(true)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: float32 flagged %d noisy, float64 flagged %d", seed, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("seed %d: sample %d noisy under float64 but not float32", seed, id)
+			}
+		}
+	}
+}

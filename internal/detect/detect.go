@@ -94,6 +94,33 @@ func ScoreParallel(model *nn.Network, d dataset.Set, meter *cost.Meter, workers 
 	return s
 }
 
+// ScoreParallel32 is ScoreParallel over a float32 forward snapshot: the
+// linear algebra runs in the float32 numeric profile (see DESIGN.md §4) and
+// the derived statistics are computed in float64 from the widened outputs.
+// The caller owns refreshing model32 from the live network. Results are
+// identical at every worker count within the float32 profile.
+func ScoreParallel32(model32 *nn.Network32, d dataset.Set, meter *cost.Meter, workers int) *Scores {
+	s := &Scores{
+		Predicted: make([]int, len(d)),
+		MaxConf:   make([]float64, len(d)),
+		Entropy:   make([]float64, len(d)),
+	}
+	xs := make([][]float64, len(d))
+	for i, smp := range d {
+		xs[i] = smp.X
+	}
+	s.Confidences, s.Features = model32.EvaluateBatch32(xs, workers)
+	for i, conf := range s.Confidences {
+		s.Predicted[i] = mat.ArgMax(conf)
+		s.MaxConf[i] = mat.Max(conf)
+		s.Entropy[i] = mat.Entropy(conf)
+	}
+	if meter != nil {
+		meter.ForwardPasses += int64(len(d))
+	}
+	return s
+}
+
 // Ambiguous returns the indices of d whose predicted label disagrees with
 // the observed label — the set A of Definition 1. Samples with missing
 // labels are always ambiguous (they have no observed label to agree with).

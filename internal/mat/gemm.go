@@ -1,6 +1,9 @@
 package mat
 
-import "unsafe"
+import (
+	"sync"
+	"unsafe"
+)
 
 // Blocked matrix-matrix kernels.
 //
@@ -18,6 +21,22 @@ import "unsafe"
 // to their per-sample counterparts: the blocking only changes which elements
 // are computed together, never the order of the additions inside one element.
 //
+// Two consequences of that contract shape the fast paths in this file:
+//
+//   - Row ranges compose. Output rows never share an accumulator, so
+//     computing C in arbitrary disjoint row ranges ([i0,i1) via GemmRows /
+//     GemmTNRows) produces bit-identical results to one full-matrix call.
+//     That is what licenses splitting the M dimension across the worker pool
+//     (gemm_par.go): each row is single-writer and its k-loop stays
+//     sequential no matter which worker runs it.
+//
+//   - The A·Bᵀ product is computed by repacking Bᵀ once (PackNT) and running
+//     the A·B kernel on the packed panel. Element (i,j) still sums
+//     A[i,p]·B[j,p] in increasing p order — packing moves bytes, not the
+//     addition order — and the packed layout is the one the SIMD micro-kernel
+//     (gemm_amd64.s) can vectorize across j without touching per-element
+//     accumulation order.
+//
 // All variants accumulate (C += ...); callers wanting a plain product zero C
 // first. C must not share backing storage with A or B (the kernels read
 // operand tiles while writing C), which is enforced with a panic.
@@ -33,45 +52,74 @@ func Gemm(C, A, B *Matrix) {
 		panic("mat: Gemm dimension mismatch")
 	}
 	checkGemmAlias(C, A, B)
-	m, n, k := C.Rows, C.Cols, A.Cols
-	if m == 0 || n == 0 || k == 0 {
-		return
-	}
-	for i0 := 0; i0 < m; i0 += gemmTile {
-		i1 := min(i0+gemmTile, m)
-		for j0 := 0; j0 < n; j0 += gemmTile {
-			j1 := min(j0+gemmTile, n)
-			if i1-i0 == gemmTile && j1-j0 == gemmTile {
-				gemmTileNN(C, A, B, i0, j0, k)
-			} else {
-				gemmEdgeNN(C, A, B, i0, i1, j0, j1, k)
-			}
-		}
-	}
+	gemmRowsNN(C, A, B, 0, C.Rows)
 }
+
+// GemmRows computes rows [i0,i1) of C += A·B. A disjoint cover of [0,m) by
+// GemmRows calls — in any order, from any goroutine — produces bit-identical
+// results to one Gemm call: rows never share accumulators and each element's
+// k-loop is sequential regardless of the split.
+// It panics on dimension mismatch, an invalid row range, or aliasing.
+func GemmRows(C, A, B *Matrix, i0, i1 int) {
+	if A.Cols != B.Rows || C.Rows != A.Rows || C.Cols != B.Cols {
+		panic("mat: GemmRows dimension mismatch")
+	}
+	if i0 < 0 || i1 > C.Rows || i0 > i1 {
+		panic("mat: GemmRows invalid row range")
+	}
+	checkGemmAlias(C, A, B)
+	gemmRowsNN(C, A, B, i0, i1)
+}
+
+// ntPanels recycles the scratch panels GemmNT packs Bᵀ into.
+var ntPanels = sync.Pool{New: func() any { return new(Matrix) }}
 
 // GemmNT computes C += A·Bᵀ where A is (m×k), B is (n×k) and C is (m×n).
 // Both operands are walked along contiguous rows, which makes this the
 // natural forward-pass kernel: Y += X·Wᵀ with row-major X and W.
+//
+// Internally B is repacked as Bᵀ (a k×n panel) and the product runs through
+// the A·B row kernel; see PackNT for why results are unchanged. Callers that
+// reuse one B across many calls (a weight matrix across batch chunks) should
+// PackNT once themselves and call GemmRows directly.
 // It panics on dimension mismatch or when C aliases A or B.
 func GemmNT(C, A, B *Matrix) {
 	if A.Cols != B.Cols || C.Rows != A.Rows || C.Cols != B.Rows {
 		panic("mat: GemmNT dimension mismatch")
 	}
 	checkGemmAlias(C, A, B)
-	m, n, k := C.Rows, C.Cols, A.Cols
-	if m == 0 || n == 0 || k == 0 {
+	if C.Rows == 0 || C.Cols == 0 || A.Cols == 0 {
 		return
 	}
-	for i0 := 0; i0 < m; i0 += gemmTile {
-		i1 := min(i0+gemmTile, m)
-		for j0 := 0; j0 < n; j0 += gemmTile {
-			j1 := min(j0+gemmTile, n)
-			if i1-i0 == gemmTile && j1-j0 == gemmTile {
-				gemmTileNT(C, A, B, i0, j0, k)
-			} else {
-				gemmEdgeNT(C, A, B, i0, i1, j0, j1, k)
-			}
+	bt := ntPanels.Get().(*Matrix)
+	PackNT(bt, B)
+	gemmRowsNN(C, A, bt, 0, C.Rows)
+	ntPanels.Put(bt)
+}
+
+// PackNT resizes dst to (B.Cols × B.Rows) and fills dst[p,j] = B[j,p], i.e.
+// dst = Bᵀ. A GemmNT product then becomes GemmRows against the panel:
+// element (i,j) still accumulates A[i,p]·B[j,p] in strictly increasing p
+// order — transposition moves bytes, never the order of additions — so
+// PackNT+GemmRows is bit-identical to GemmNT. dst's backing array is reused
+// when it has capacity.
+func PackNT(dst, B *Matrix) {
+	if dst == B {
+		panic("mat: PackNT destination aliases operand")
+	}
+	k, n := B.Cols, B.Rows
+	dst.Rows, dst.Cols = k, n
+	need := k * n
+	if cap(dst.Data) < need {
+		dst.Data = make([]float64, need)
+	} else {
+		dst.Data = dst.Data[:need]
+	}
+	dd := dst.Data
+	for j := 0; j < n; j++ {
+		br := B.Row(j)
+		for p, v := range br {
+			dd[p*n+j] = v
 		}
 	}
 }
@@ -86,18 +134,69 @@ func GemmTN(C, A, B *Matrix) {
 		panic("mat: GemmTN dimension mismatch")
 	}
 	checkGemmAlias(C, A, B)
-	m, n, k := C.Rows, C.Cols, A.Rows
-	if m == 0 || n == 0 || k == 0 {
+	gemmRowsTN(C, A, B, 0, C.Rows)
+}
+
+// GemmTNRows computes rows [i0,i1) of C += Aᵀ·B (row i of C reads column i
+// of A). Like GemmRows, any disjoint cover of [0,m) is bit-identical to one
+// GemmTN call.
+// It panics on dimension mismatch, an invalid row range, or aliasing.
+func GemmTNRows(C, A, B *Matrix, i0, i1 int) {
+	if A.Rows != B.Rows || C.Rows != A.Cols || C.Cols != B.Cols {
+		panic("mat: GemmTNRows dimension mismatch")
+	}
+	if i0 < 0 || i1 > C.Rows || i0 > i1 {
+		panic("mat: GemmTNRows invalid row range")
+	}
+	checkGemmAlias(C, A, B)
+	gemmRowsTN(C, A, B, i0, i1)
+}
+
+// gemmRowsNN computes rows [i0,i1) of C += A·B, dispatching to the AVX2
+// micro-kernel when available and falling back to the register-tiled scalar
+// kernel otherwise. Both paths add the same products in the same per-element
+// order.
+func gemmRowsNN(C, A, B *Matrix, i0, i1 int) {
+	n, k := C.Cols, A.Cols
+	if i0 >= i1 || n == 0 || k == 0 {
 		return
 	}
-	for i0 := 0; i0 < m; i0 += gemmTile {
-		i1 := min(i0+gemmTile, m)
-		for j0 := 0; j0 < n; j0 += gemmTile {
-			j1 := min(j0+gemmTile, n)
-			if i1-i0 == gemmTile && j1-j0 == gemmTile {
-				gemmTileTN(C, A, B, i0, j0, k)
+	if simdGemm && n >= simdMinCols {
+		gemmRowsNNSIMD(C, A, B, i0, i1)
+		return
+	}
+	for ib := i0; ib < i1; ib += gemmTile {
+		ie := min(ib+gemmTile, i1)
+		for jb := 0; jb < n; jb += gemmTile {
+			je := min(jb+gemmTile, n)
+			if ie-ib == gemmTile && je-jb == gemmTile {
+				gemmTileNN(C, A, B, ib, jb, k)
 			} else {
-				gemmEdgeTN(C, A, B, i0, i1, j0, j1, k)
+				gemmEdgeNN(C, A, B, ib, ie, jb, je, k)
+			}
+		}
+	}
+}
+
+// gemmRowsTN computes rows [i0,i1) of C += Aᵀ·B with the same dispatch rule
+// as gemmRowsNN.
+func gemmRowsTN(C, A, B *Matrix, i0, i1 int) {
+	n, k := C.Cols, A.Rows
+	if i0 >= i1 || n == 0 || k == 0 {
+		return
+	}
+	if simdGemm && n >= simdMinCols {
+		gemmRowsTNSIMD(C, A, B, i0, i1)
+		return
+	}
+	for ib := i0; ib < i1; ib += gemmTile {
+		ie := min(ib+gemmTile, i1)
+		for jb := 0; jb < n; jb += gemmTile {
+			je := min(jb+gemmTile, n)
+			if ie-ib == gemmTile && je-jb == gemmTile {
+				gemmTileTN(C, A, B, ib, jb, k)
+			} else {
+				gemmEdgeTN(C, A, B, ib, ie, jb, je, k)
 			}
 		}
 	}
@@ -283,182 +382,6 @@ func gemmEdgeNN(C, A, B *Matrix, i0, i1, j0, j1, k int) {
 			s := cr[j]
 			for p := 0; p < k; p++ {
 				s += ar[p] * bd[p*bc+j]
-			}
-			cr[j] = s
-		}
-	}
-}
-
-// gemmTileNT is the 4×4 micro-kernel of GemmNT: all eight operand streams are
-// contiguous rows, trimmed to [:k] for bounds-check elimination. The p-loop is
-// unrolled — each accumulator still adds its products in strictly increasing
-// p order, so the unroll changes scheduling, not results.
-func gemmTileNT(C, A, B *Matrix, i0, j0, k int) {
-	a0, a1, a2, a3 := A.Row(i0)[:k], A.Row(i0 + 1)[:k], A.Row(i0 + 2)[:k], A.Row(i0 + 3)[:k]
-	r0, r1, r2, r3 := B.Row(j0)[:k], B.Row(j0 + 1)[:k], B.Row(j0 + 2)[:k], B.Row(j0 + 3)[:k]
-	c0 := C.Row(i0)[j0 : j0+4 : j0+4]
-	c1 := C.Row(i0 + 1)[j0 : j0+4 : j0+4]
-	c2 := C.Row(i0 + 2)[j0 : j0+4 : j0+4]
-	c3 := C.Row(i0 + 3)[j0 : j0+4 : j0+4]
-	c00, c01, c02, c03 := c0[0], c0[1], c0[2], c0[3]
-	c10, c11, c12, c13 := c1[0], c1[1], c1[2], c1[3]
-	c20, c21, c22, c23 := c2[0], c2[1], c2[2], c2[3]
-	c30, c31, c32, c33 := c3[0], c3[1], c3[2], c3[3]
-	p := 0
-	for ; p+3 < k; p += 4 {
-		b0, b1, b2, b3 := r0[p], r1[p], r2[p], r3[p]
-		e0, e1, e2, e3 := r0[p+1], r1[p+1], r2[p+1], r3[p+1]
-		f0, f1, f2, f3 := r0[p+2], r1[p+2], r2[p+2], r3[p+2]
-		g0, g1, g2, g3 := r0[p+3], r1[p+3], r2[p+3], r3[p+3]
-		av, aw, ax, ay := a0[p], a0[p+1], a0[p+2], a0[p+3]
-		c00 += av * b0
-		c00 += aw * e0
-		c00 += ax * f0
-		c00 += ay * g0
-		c01 += av * b1
-		c01 += aw * e1
-		c01 += ax * f1
-		c01 += ay * g1
-		c02 += av * b2
-		c02 += aw * e2
-		c02 += ax * f2
-		c02 += ay * g2
-		c03 += av * b3
-		c03 += aw * e3
-		c03 += ax * f3
-		c03 += ay * g3
-		av, aw, ax, ay = a1[p], a1[p+1], a1[p+2], a1[p+3]
-		c10 += av * b0
-		c10 += aw * e0
-		c10 += ax * f0
-		c10 += ay * g0
-		c11 += av * b1
-		c11 += aw * e1
-		c11 += ax * f1
-		c11 += ay * g1
-		c12 += av * b2
-		c12 += aw * e2
-		c12 += ax * f2
-		c12 += ay * g2
-		c13 += av * b3
-		c13 += aw * e3
-		c13 += ax * f3
-		c13 += ay * g3
-		av, aw, ax, ay = a2[p], a2[p+1], a2[p+2], a2[p+3]
-		c20 += av * b0
-		c20 += aw * e0
-		c20 += ax * f0
-		c20 += ay * g0
-		c21 += av * b1
-		c21 += aw * e1
-		c21 += ax * f1
-		c21 += ay * g1
-		c22 += av * b2
-		c22 += aw * e2
-		c22 += ax * f2
-		c22 += ay * g2
-		c23 += av * b3
-		c23 += aw * e3
-		c23 += ax * f3
-		c23 += ay * g3
-		av, aw, ax, ay = a3[p], a3[p+1], a3[p+2], a3[p+3]
-		c30 += av * b0
-		c30 += aw * e0
-		c30 += ax * f0
-		c30 += ay * g0
-		c31 += av * b1
-		c31 += aw * e1
-		c31 += ax * f1
-		c31 += ay * g1
-		c32 += av * b2
-		c32 += aw * e2
-		c32 += ax * f2
-		c32 += ay * g2
-		c33 += av * b3
-		c33 += aw * e3
-		c33 += ax * f3
-		c33 += ay * g3
-	}
-	for ; p+1 < k; p += 2 {
-		b0, b1, b2, b3 := r0[p], r1[p], r2[p], r3[p]
-		e0, e1, e2, e3 := r0[p+1], r1[p+1], r2[p+1], r3[p+1]
-		av, aw := a0[p], a0[p+1]
-		c00 += av * b0
-		c00 += aw * e0
-		c01 += av * b1
-		c01 += aw * e1
-		c02 += av * b2
-		c02 += aw * e2
-		c03 += av * b3
-		c03 += aw * e3
-		av, aw = a1[p], a1[p+1]
-		c10 += av * b0
-		c10 += aw * e0
-		c11 += av * b1
-		c11 += aw * e1
-		c12 += av * b2
-		c12 += aw * e2
-		c13 += av * b3
-		c13 += aw * e3
-		av, aw = a2[p], a2[p+1]
-		c20 += av * b0
-		c20 += aw * e0
-		c21 += av * b1
-		c21 += aw * e1
-		c22 += av * b2
-		c22 += aw * e2
-		c23 += av * b3
-		c23 += aw * e3
-		av, aw = a3[p], a3[p+1]
-		c30 += av * b0
-		c30 += aw * e0
-		c31 += av * b1
-		c31 += aw * e1
-		c32 += av * b2
-		c32 += aw * e2
-		c33 += av * b3
-		c33 += aw * e3
-	}
-	if p < k {
-		b0, b1, b2, b3 := r0[p], r1[p], r2[p], r3[p]
-		av := a0[p]
-		c00 += av * b0
-		c01 += av * b1
-		c02 += av * b2
-		c03 += av * b3
-		av = a1[p]
-		c10 += av * b0
-		c11 += av * b1
-		c12 += av * b2
-		c13 += av * b3
-		av = a2[p]
-		c20 += av * b0
-		c21 += av * b1
-		c22 += av * b2
-		c23 += av * b3
-		av = a3[p]
-		c30 += av * b0
-		c31 += av * b1
-		c32 += av * b2
-		c33 += av * b3
-	}
-	c0[0], c0[1], c0[2], c0[3] = c00, c01, c02, c03
-	c1[0], c1[1], c1[2], c1[3] = c10, c11, c12, c13
-	c2[0], c2[1], c2[2], c2[3] = c20, c21, c22, c23
-	c3[0], c3[1], c3[2], c3[3] = c30, c31, c32, c33
-}
-
-// gemmEdgeNT handles partial GemmNT tiles; each element is a plain Dot of two
-// contiguous rows.
-func gemmEdgeNT(C, A, B *Matrix, i0, i1, j0, j1, k int) {
-	for i := i0; i < i1; i++ {
-		ar := A.Row(i)[:k]
-		cr := C.Row(i)
-		for j := j0; j < j1; j++ {
-			br := B.Row(j)[:k]
-			s := cr[j]
-			for p := 0; p < k; p++ {
-				s += ar[p] * br[p]
 			}
 			cr[j] = s
 		}
@@ -669,7 +592,7 @@ func checkGemmAlias(C, A, B *Matrix) {
 }
 
 // sliceOverlap reports whether a and b share any element.
-func sliceOverlap(a, b []float64) bool {
+func sliceOverlap[T any](a, b []T) bool {
 	if len(a) == 0 || len(b) == 0 {
 		return false
 	}

@@ -1,0 +1,182 @@
+package mat
+
+// float32 matrices and the forward-only GEMM they need.
+//
+// The float32 path exists for one purpose (DESIGN.md §4): forward passes
+// whose outputs feed *ranking* — confidences and features consumed by
+// argmax, top-k selection or neighbor distances — where a ~1e-7 relative
+// perturbation cannot flip decisions that the detection pipeline's
+// guardrail tests don't already tolerate. Training never runs in float32.
+//
+// Within the float32 path the determinism story is the same as float64:
+// each output element accumulates by a sequential k-loop of single-rounded
+// float32 multiplies and adds, the SIMD kernel (gemm_amd64.s) uses separate
+// VMULPS/VADDPS so it rounds identically, and row splits cannot reorder any
+// element's additions. float32 results are therefore bit-identical at any
+// worker count and with SIMD on or off — they are simply a different,
+// versioned numeric profile from the float64 reference.
+
+// Matrix32 is a dense row-major float32 matrix.
+type Matrix32 struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix32 allocates a zeroed rows×cols matrix.
+func NewMatrix32(rows, cols int) *Matrix32 {
+	return &Matrix32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Resize reshapes m to rows×cols, reusing the backing array when it has
+// capacity. Contents are unspecified after a resize; callers zero or fill.
+func (m *Matrix32) Resize(rows, cols int) {
+	m.Rows, m.Cols = rows, cols
+	need := rows * cols
+	if cap(m.Data) < need {
+		m.Data = make([]float32, need)
+	} else {
+		m.Data = m.Data[:need]
+	}
+}
+
+// Row returns row i as a slice sharing the matrix's backing array.
+func (m *Matrix32) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Zero sets every element to zero.
+func (m *Matrix32) Zero() { clear(m.Data) }
+
+// From reshapes m to src's shape and fills it with src's values rounded to
+// float32.
+func (m *Matrix32) From(src *Matrix) {
+	m.Resize(src.Rows, src.Cols)
+	for i, v := range src.Data {
+		m.Data[i] = float32(v)
+	}
+}
+
+// Round32 copies src into dst through float32 precision: dst[i] is src[i]
+// rounded to the nearest float32, widened back. It is how float64 inputs
+// enter the float32 forward path.
+func Round32(dst []float32, src []float64) {
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}
+
+// PackNT32 is the float32 PackNT: dst = Bᵀ, reusing dst's backing array.
+func PackNT32(dst, B *Matrix32) {
+	if dst == B {
+		panic("mat: PackNT32 destination aliases operand")
+	}
+	k, n := B.Cols, B.Rows
+	dst.Resize(k, n)
+	dd := dst.Data
+	for j := 0; j < n; j++ {
+		br := B.Row(j)
+		for p, v := range br {
+			dd[p*n+j] = v
+		}
+	}
+}
+
+// simdMinCols32 is the narrowest output the float32 vector kernel accepts.
+const simdMinCols32 = 16
+
+// Gemm32 computes C += A·B in float32, A (m×k), B (k×n), C (m×n).
+// It panics on dimension mismatch or when C aliases A or B.
+func Gemm32(C, A, B *Matrix32) {
+	if A.Cols != B.Rows || C.Rows != A.Rows || C.Cols != B.Cols {
+		panic("mat: Gemm32 dimension mismatch")
+	}
+	checkGemm32Alias(C, A, B)
+	gemm32RowsNN(C, A, B, 0, C.Rows)
+}
+
+// Gemm32Rows computes rows [i0,i1) of C += A·B in float32. Disjoint row
+// covers compose bit-identically, exactly as for GemmRows.
+// It panics on dimension mismatch, an invalid row range, or aliasing.
+func Gemm32Rows(C, A, B *Matrix32, i0, i1 int) {
+	if A.Cols != B.Rows || C.Rows != A.Rows || C.Cols != B.Cols {
+		panic("mat: Gemm32Rows dimension mismatch")
+	}
+	if i0 < 0 || i1 > C.Rows || i0 > i1 {
+		panic("mat: Gemm32Rows invalid row range")
+	}
+	checkGemm32Alias(C, A, B)
+	gemm32RowsNN(C, A, B, i0, i1)
+}
+
+// gemm32RowsNN dispatches between the AVX2 kernel and the scalar loop.
+func gemm32RowsNN(C, A, B *Matrix32, i0, i1 int) {
+	n, k := C.Cols, A.Cols
+	if i0 >= i1 || n == 0 || k == 0 {
+		return
+	}
+	if simdGemm && n >= simdMinCols32 {
+		gemm32RowsSIMD(C, A, B, i0, i1)
+		return
+	}
+	gemm32EdgeNN(C, A, B, i0, i1, 0, n, k)
+}
+
+// gemm32EdgeNN is the scalar float32 kernel: a per-element sequential p-loop
+// with one float32 rounding per multiply and per add, matching the SIMD
+// kernel's arithmetic exactly.
+func gemm32EdgeNN(C, A, B *Matrix32, i0, i1, j0, j1, k int) {
+	bd, bc := B.Data, B.Cols
+	for i := i0; i < i1; i++ {
+		ar := A.Row(i)[:k]
+		cr := C.Row(i)
+		for j := j0; j < j1; j++ {
+			s := cr[j]
+			for p := 0; p < k; p++ {
+				s += ar[p] * bd[p*bc+j]
+			}
+			cr[j] = s
+		}
+	}
+}
+
+// Add32 adds src into dst element-wise (dst += src); the float32 bias add.
+func Add32(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("mat: Add32 length mismatch")
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// Relu32 clamps x to max(x, 0) in place; negatives and NaNs map to +0,
+// like the float64 Relu.
+func Relu32(x []float32) {
+	for i, v := range x {
+		if !(v > 0) {
+			x[i] = 0
+		}
+	}
+}
+
+// ArgMax32 returns the index of the largest element of x (first on ties,
+// like ArgMax), or -1 for an empty slice.
+func ArgMax32(x []float32) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(x); i++ {
+		if x[i] > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// checkGemm32Alias mirrors checkGemmAlias for float32 operands.
+func checkGemm32Alias(C, A, B *Matrix32) {
+	if sliceOverlap(C.Data, A.Data) || sliceOverlap(C.Data, B.Data) {
+		panic("mat: Gemm32 destination aliases an operand")
+	}
+}

@@ -1,0 +1,172 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+// randMatrix32 fills a rows×cols float32 matrix from the float64 generator.
+func randMatrix32(rng *RNG, rows, cols int) *Matrix32 {
+	src := randMatrix(rng, rows, cols)
+	m := NewMatrix32(rows, cols)
+	m.From(src)
+	return m
+}
+
+// TestGemm32MatchesSequential checks the float32 product against a
+// per-element sequential float32 reference, bit for bit.
+func TestGemm32MatchesSequential(t *testing.T) {
+	rng := NewRNG(53)
+	for _, sz := range simdSizes {
+		A := randMatrix32(rng, sz.m, sz.k)
+		B := randMatrix32(rng, sz.k, sz.n)
+		C := randMatrix32(rng, sz.m, sz.n)
+		want := make([]float32, len(C.Data))
+		copy(want, C.Data)
+		for i := 0; i < sz.m; i++ {
+			for j := 0; j < sz.n; j++ {
+				s := want[i*sz.n+j]
+				for p := 0; p < sz.k; p++ {
+					s += A.Data[i*sz.k+p] * B.Data[p*sz.n+j]
+				}
+				want[i*sz.n+j] = s
+			}
+		}
+		Gemm32(C, A, B)
+		for i := range C.Data {
+			if C.Data[i] != want[i] {
+				t.Fatalf("Gemm32(%dx%dx%d) differs from sequential reference at %d: %v != %v",
+					sz.m, sz.n, sz.k, i, C.Data[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGemm32SIMDMatchesGeneric pins bit-identity of the float32 AVX2 kernel
+// against the scalar loop: VMULPS/VADDPS round once per operation, exactly
+// like the scalar float32 `s += a*b`.
+func TestGemm32SIMDMatchesGeneric(t *testing.T) {
+	if !SIMDAvailable() {
+		t.Skip("no SIMD kernels on this CPU")
+	}
+	rng := NewRNG(59)
+	for _, sz := range simdSizes {
+		A := randMatrix32(rng, sz.m, sz.k)
+		B := randMatrix32(rng, sz.k, sz.n)
+		seed := randMatrix32(rng, sz.m, sz.n)
+
+		want := NewMatrix32(sz.m, sz.n)
+		copy(want.Data, seed.Data)
+		prev := SetSIMD(false)
+		Gemm32(want, A, B)
+		SetSIMD(true)
+		got := NewMatrix32(sz.m, sz.n)
+		copy(got.Data, seed.Data)
+		Gemm32(got, A, B)
+		SetSIMD(prev)
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("Gemm32(%dx%dx%d): SIMD differs from generic at %d: %v != %v",
+					sz.m, sz.n, sz.k, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestGemm32RowsCoverMatchesFull mirrors the float64 row-cover test.
+func TestGemm32RowsCoverMatchesFull(t *testing.T) {
+	rng := NewRNG(61)
+	for _, sz := range simdSizes {
+		A := randMatrix32(rng, sz.m, sz.k)
+		B := randMatrix32(rng, sz.k, sz.n)
+		want := NewMatrix32(sz.m, sz.n)
+		Gemm32(want, A, B)
+		got := NewMatrix32(sz.m, sz.n)
+		for lo := 0; lo < sz.m; lo += 3 {
+			hi := min(lo+3, sz.m)
+			Gemm32Rows(got, A, B, lo, hi)
+		}
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("Gemm32Rows cover (%dx%dx%d) differs at %d", sz.m, sz.n, sz.k, i)
+			}
+		}
+	}
+}
+
+// TestGemm32NearFloat64 bounds the float32 drift against the float64
+// product: the ranking path's epsilon argument starts from this kernel-level
+// agreement.
+func TestGemm32NearFloat64(t *testing.T) {
+	rng := NewRNG(67)
+	A64 := randMatrix(rng, 16, 64)
+	B64 := randMatrix(rng, 64, 32)
+	C64 := NewMatrix(16, 32)
+	Gemm(C64, A64, B64)
+
+	var A32, B32 Matrix32
+	A32.From(A64)
+	B32.From(B64)
+	C32 := NewMatrix32(16, 32)
+	Gemm32(C32, &A32, &B32)
+	for i := range C32.Data {
+		diff := math.Abs(float64(C32.Data[i]) - C64.Data[i])
+		scale := math.Max(1, math.Abs(C64.Data[i]))
+		if diff/scale > 1e-4 {
+			t.Fatalf("float32 product drifts beyond 1e-4 at %d: f32=%v f64=%v", i, C32.Data[i], C64.Data[i])
+		}
+	}
+}
+
+// TestPackNT32AndHelpers covers the float32 panel, Round32, Add32 and the
+// Matrix32 plumbing.
+func TestPackNT32AndHelpers(t *testing.T) {
+	rng := NewRNG(71)
+	B := randMatrix32(rng, 6, 9)
+	var panel Matrix32
+	PackNT32(&panel, B)
+	if panel.Rows != 9 || panel.Cols != 6 {
+		t.Fatalf("PackNT32 shape = %dx%d", panel.Rows, panel.Cols)
+	}
+	for p := 0; p < 9; p++ {
+		for j := 0; j < 6; j++ {
+			if panel.Row(p)[j] != B.Row(j)[p] {
+				t.Fatalf("PackNT32[%d,%d] != B[%d,%d]", p, j, j, p)
+			}
+		}
+	}
+	mustPanic(t, "PackNT32 aliased", func() { PackNT32(&panel, &panel) })
+
+	src := []float64{1.5, -2.25, 1e-45, math.Pi}
+	dst := make([]float32, 4)
+	Round32(dst, src)
+	for i, v := range src {
+		if dst[i] != float32(v) {
+			t.Fatalf("Round32[%d] = %v, want %v", i, dst[i], float32(v))
+		}
+	}
+
+	a := []float32{1, 2, 3}
+	Add32(a, []float32{4, 5, 6})
+	if a[0] != 5 || a[1] != 7 || a[2] != 9 {
+		t.Fatalf("Add32 = %v", a)
+	}
+	mustPanic(t, "Add32 length", func() { Add32(a, []float32{1}) })
+
+	m := NewMatrix32(2, 3)
+	m.Data[4] = 7
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Zero left residue")
+		}
+	}
+	mustPanic(t, "Gemm32 mismatch", func() { Gemm32(NewMatrix32(2, 2), NewMatrix32(2, 3), NewMatrix32(2, 2)) })
+	mustPanic(t, "Gemm32Rows bad range", func() {
+		Gemm32Rows(NewMatrix32(2, 2), NewMatrix32(2, 2), NewMatrix32(2, 2), 1, 3)
+	})
+	back := make([]float32, 8)
+	alias := &Matrix32{Rows: 2, Cols: 2, Data: back[:4]}
+	other := &Matrix32{Rows: 2, Cols: 2, Data: back[2:6]}
+	mustPanic(t, "Gemm32 alias", func() { Gemm32(alias, other, NewMatrix32(2, 2)) })
+}

@@ -1,0 +1,89 @@
+package mat
+
+import "enld/internal/parallel"
+
+// Parallel GEMM: the M dimension (output rows) split across a worker pool.
+//
+// Determinism (DESIGN.md §4): output rows never share an accumulator and the
+// row-range kernels keep every element's k-loop sequential, so a disjoint
+// row cover computes bit-identical results no matter which worker runs which
+// chunk or in what order. The chunk boundaries come from ForEachChunk with a
+// fixed chunk size, i.e. they depend only on the row count — never on the
+// worker count — though for single-writer rows even that much is not needed
+// for bit-identity.
+
+// parGemmRowChunk is the row granularity of the parallel split: big enough
+// that a chunk amortizes its dispatch, small enough that a 32–64 row batch
+// still fans out.
+const parGemmRowChunk = 8
+
+// parGemmMinWork is the adaptive sequential fallback threshold, in
+// multiply-add operations (m·n·k). Below it, pool dispatch costs more than
+// the arithmetic saves — small products run inline on the calling goroutine.
+// The threshold only selects the execution strategy; results are identical
+// on both sides of it.
+const parGemmMinWork = 64 * 1024
+
+// parGemmRows fans rows [0, C.Rows) out over the pool, or runs sequentially
+// for nil pools, single-worker pools and products below parGemmMinWork.
+func parGemmRows(pool *parallel.Pool, C *Matrix, k int, rows func(i0, i1 int)) {
+	m := C.Rows
+	if pool == nil || pool.Workers() == 1 || m*C.Cols*k < parGemmMinWork {
+		rows(0, m)
+		return
+	}
+	pool.ForEachChunk(m, parGemmRowChunk, func(_, lo, hi int) {
+		rows(lo, hi)
+	})
+}
+
+// ParallelGemm computes C += A·B with output rows split across pool.
+// Results are bit-identical to Gemm at any worker count. A nil pool runs
+// sequentially.
+func ParallelGemm(pool *parallel.Pool, C, A, B *Matrix) {
+	if A.Cols != B.Rows || C.Rows != A.Rows || C.Cols != B.Cols {
+		panic("mat: ParallelGemm dimension mismatch")
+	}
+	checkGemmAlias(C, A, B)
+	parGemmRows(pool, C, A.Cols, func(i0, i1 int) {
+		gemmRowsNN(C, A, B, i0, i1)
+	})
+}
+
+// ParallelGemmNT computes C += A·Bᵀ with output rows split across pool:
+// Bᵀ is packed once (PackNT), then the row ranges run the A·B kernel against
+// the shared read-only panel. Results are bit-identical to GemmNT at any
+// worker count. A nil pool runs sequentially.
+func ParallelGemmNT(pool *parallel.Pool, C, A, B *Matrix) {
+	if A.Cols != B.Cols || C.Rows != A.Rows || C.Cols != B.Rows {
+		panic("mat: ParallelGemmNT dimension mismatch")
+	}
+	checkGemmAlias(C, A, B)
+	if C.Rows == 0 || C.Cols == 0 || A.Cols == 0 {
+		return
+	}
+	bt := ntPanels.Get().(*Matrix)
+	PackNT(bt, B)
+	parGemmRows(pool, C, A.Cols, func(i0, i1 int) {
+		gemmRowsNN(C, A, bt, i0, i1)
+	})
+	ntPanels.Put(bt)
+}
+
+// ParallelGemmTN computes C += Aᵀ·B with output rows split across pool.
+// Results are bit-identical to GemmTN at any worker count. A nil pool runs
+// sequentially.
+//
+// Note this splits the *output* rows (columns of A), not the batch dimension
+// k: per-chunk batch splits with an ordered reduction — the trainer's
+// gradient pattern — remain the caller's job via GemmTNRows or GemmTN on row
+// slices.
+func ParallelGemmTN(pool *parallel.Pool, C, A, B *Matrix) {
+	if A.Rows != B.Rows || C.Rows != A.Cols || C.Cols != B.Cols {
+		panic("mat: ParallelGemmTN dimension mismatch")
+	}
+	checkGemmAlias(C, A, B)
+	parGemmRows(pool, C, A.Rows, func(i0, i1 int) {
+		gemmRowsTN(C, A, B, i0, i1)
+	})
+}

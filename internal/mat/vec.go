@@ -14,13 +14,94 @@ func Dot(a, b []float64) float64 {
 	return s
 }
 
-// Axpy computes dst[i] += alpha*x[i] for all i.
+// simdMinVec is the shortest slice the element-wise vector kernels accept;
+// below it the scalar loop wins on dispatch cost alone.
+const simdMinVec = 8
+
+// Axpy computes dst[i] += alpha*x[i] for all i. The AVX2 path performs the
+// same one-multiply-one-add rounding per element as the scalar loop, so
+// results are bit-identical with SIMD on or off.
 func Axpy(alpha float64, x, dst []float64) {
 	if len(x) != len(dst) {
 		panic("mat: Axpy length mismatch")
 	}
-	for i, v := range x {
-		dst[i] += alpha * v
+	i := 0
+	if simdGemm && len(x) >= simdMinVec {
+		nv := len(x) &^ 3
+		axpyKern(alpha, &x[0], &dst[0], uintptr(nv))
+		i = nv
+	}
+	for ; i < len(x); i++ {
+		dst[i] += alpha * x[i]
+	}
+}
+
+// Relu writes dst[i] = max(src[i], 0): positive values pass through
+// unchanged, everything else — negatives, both zeros and NaN — maps to +0,
+// exactly like the scalar branch `if v > 0 { v } else { 0 }` on every path.
+func Relu(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("mat: Relu length mismatch")
+	}
+	i := 0
+	if simdGemm && len(src) >= simdMinVec {
+		nv := len(src) &^ 3
+		reluKern(&dst[0], &src[0], uintptr(nv))
+		i = nv
+	}
+	for ; i < len(src); i++ {
+		if v := src[i]; v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// ReluGate zeroes dst[i] wherever pre[i] <= 0, the backward counterpart of
+// Relu. A NaN pre-activation keeps its delta on both the scalar and the
+// SIMD path (the ordered compare is false for NaN, like the scalar `<=`).
+func ReluGate(dst, pre []float64) {
+	if len(dst) != len(pre) {
+		panic("mat: ReluGate length mismatch")
+	}
+	i := 0
+	if simdGemm && len(pre) >= simdMinVec {
+		nv := len(pre) &^ 3
+		gateKern(&dst[0], &pre[0], uintptr(nv))
+		i = nv
+	}
+	for ; i < len(pre); i++ {
+		if pre[i] <= 0 {
+			dst[i] = 0
+		}
+	}
+}
+
+// SGDStep applies one momentum-SGD update step element-wise:
+//
+//	d      := grad[i]*inv + decay*param[i]
+//	vel[i]  = momentum*vel[i] - lr*d
+//	param[i] += vel[i]
+//
+// The AVX2 path performs the same five roundings per element in the same
+// order as the scalar loop, so updated parameters and velocities are
+// bit-identical with SIMD on or off.
+func SGDStep(param, grad, vel []float64, lr, momentum, decay, inv float64) {
+	if len(grad) != len(param) || len(vel) != len(param) {
+		panic("mat: SGDStep length mismatch")
+	}
+	i := 0
+	if simdGemm && len(param) >= simdMinVec {
+		nv := len(param) &^ 3
+		sgdKern(&param[0], &grad[0], &vel[0], uintptr(nv), lr, momentum, decay, inv)
+		i = nv
+	}
+	for ; i < len(param); i++ {
+		d := grad[i]*inv + decay*param[i]
+		v := momentum*vel[i] - lr*d
+		vel[i] = v
+		param[i] += v
 	}
 }
 

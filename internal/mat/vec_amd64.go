@@ -1,0 +1,18 @@
+//go:build amd64
+
+package mat
+
+// Assembly element-wise kernels (vec_amd64.s). All require n to be a
+// positive multiple of 4; the dispatchers in vec.go run the scalar tail.
+
+//go:noescape
+func axpyKern(alpha float64, x, y *float64, n uintptr)
+
+//go:noescape
+func reluKern(dst, src *float64, n uintptr)
+
+//go:noescape
+func gateKern(delta, pre *float64, n uintptr)
+
+//go:noescape
+func sgdKern(param, grad, vel *float64, n uintptr, lr, momentum, decay, inv float64)

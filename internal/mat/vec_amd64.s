@@ -1,0 +1,125 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2 element-wise kernels for the vector hot paths: bias adds (Axpy),
+// ReLU and its backward gate, and the momentum-SGD parameter update.
+//
+// Determinism: every kernel is purely element-wise — lane i of every vector
+// operation touches only element i — and uses separate multiply and add
+// instructions (no FMA), so each element undergoes exactly the same IEEE
+// roundings, in the same order, as the scalar loop it replaces. Results are
+// bit-identical to the pure-Go fallbacks, including NaN and signed-zero
+// handling (pinned by the differential tests in vec_simd_test.go).
+//
+// All kernels require n to be a positive multiple of 4; the Go drivers
+// handle the scalar tail.
+
+// func axpyKern(alpha float64, x, y *float64, n uintptr)
+//
+// y[i] += alpha * x[i] for i in [0, n).
+TEXT ·axpyKern(SB), NOSPLIT, $0-32
+	VBROADCASTSD alpha+0(FP), Y0
+	MOVQ x+8(FP), SI
+	MOVQ y+16(FP), DI
+	MOVQ n+24(FP), CX
+	SHRQ $2, CX
+
+axpy_loop:
+	VMOVUPD (SI), Y1
+	VMULPD  Y0, Y1, Y1     // alpha * x (one rounding)
+	VMOVUPD (DI), Y2
+	VADDPD  Y1, Y2, Y2     // y + alpha*x (one rounding)
+	VMOVUPD Y2, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     axpy_loop
+	VZEROUPPER
+	RET
+
+// func reluKern(dst, src *float64, n uintptr)
+//
+// dst[i] = max(src[i], 0). MAXPD with the zero vector as the second source
+// returns that second source (+0) when src[i] is NaN and returns +0 for
+// src[i] = -0, matching the scalar `if v > 0 { v } else { 0 }` exactly.
+TEXT ·reluKern(SB), NOSPLIT, $0-24
+	MOVQ   dst+0(FP), DI
+	MOVQ   src+8(FP), SI
+	MOVQ   n+16(FP), CX
+	SHRQ   $2, CX
+	VXORPD Y0, Y0, Y0
+
+relu_loop:
+	VMOVUPD (SI), Y1
+	VMAXPD  Y0, Y1, Y2     // max(src, 0): src is first source, 0 second
+	VMOVUPD Y2, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     relu_loop
+	VZEROUPPER
+	RET
+
+// func gateKern(delta, pre *float64, n uintptr)
+//
+// delta[i] = 0 wherever pre[i] <= 0. The ordered LE predicate is false for
+// NaN pre, which keeps delta — same as the scalar `if v <= 0 { d = 0 }`.
+TEXT ·gateKern(SB), NOSPLIT, $0-24
+	MOVQ   delta+0(FP), DI
+	MOVQ   pre+8(FP), SI
+	MOVQ   n+16(FP), CX
+	SHRQ   $2, CX
+	VXORPD Y0, Y0, Y0
+
+gate_loop:
+	VMOVUPD (SI), Y1
+	VCMPPD  $2, Y0, Y1, Y2 // mask = (pre <= 0), ordered (predicate LE_OS)
+	VMOVUPD (DI), Y3
+	VANDNPD Y3, Y2, Y3     // delta &^= mask
+	VMOVUPD Y3, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     gate_loop
+	VZEROUPPER
+	RET
+
+// func sgdKern(param, grad, vel *float64, n uintptr, lr, momentum, decay, inv float64)
+//
+// Per element, with the scalar update's exact rounding sequence:
+//	d      = grad*inv + decay*param   (mul, mul, add)
+//	v      = momentum*vel - lr*d      (mul, mul, sub)
+//	vel    = v
+//	param += v                        (add)
+TEXT ·sgdKern(SB), NOSPLIT, $0-64
+	MOVQ         param+0(FP), DI
+	MOVQ         grad+8(FP), SI
+	MOVQ         vel+16(FP), DX
+	MOVQ         n+24(FP), CX
+	SHRQ         $2, CX
+	VBROADCASTSD lr+32(FP), Y12
+	VBROADCASTSD momentum+40(FP), Y13
+	VBROADCASTSD decay+48(FP), Y14
+	VBROADCASTSD inv+56(FP), Y15
+
+sgd_loop:
+	VMOVUPD (SI), Y0
+	VMULPD  Y15, Y0, Y0    // grad*inv
+	VMOVUPD (DI), Y1
+	VMULPD  Y14, Y1, Y2    // decay*param
+	VADDPD  Y2, Y0, Y0     // d = grad*inv + decay*param
+	VMOVUPD (DX), Y3
+	VMULPD  Y13, Y3, Y3    // momentum*vel
+	VMULPD  Y12, Y0, Y0    // lr*d
+	VSUBPD  Y0, Y3, Y3     // v = momentum*vel - lr*d
+	VMOVUPD Y3, (DX)
+	VADDPD  Y3, Y1, Y1     // param += v
+	VMOVUPD Y1, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	ADDQ    $32, DX
+	DECQ    CX
+	JNZ     sgd_loop
+	VZEROUPPER
+	RET

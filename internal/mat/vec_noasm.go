@@ -1,0 +1,22 @@
+//go:build !amd64
+
+package mat
+
+// Stubs for the amd64 element-wise kernels. simdAvailable is false on these
+// platforms, so the dispatchers never reach them.
+
+func axpyKern(alpha float64, x, y *float64, n uintptr) {
+	panic("mat: axpyKern without SIMD support")
+}
+
+func reluKern(dst, src *float64, n uintptr) {
+	panic("mat: reluKern without SIMD support")
+}
+
+func gateKern(delta, pre *float64, n uintptr) {
+	panic("mat: gateKern without SIMD support")
+}
+
+func sgdKern(param, grad, vel *float64, n uintptr, lr, momentum, decay, inv float64) {
+	panic("mat: sgdKern without SIMD support")
+}

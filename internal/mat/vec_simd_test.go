@@ -1,0 +1,152 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+// vecLens crosses the dispatch threshold and every tail length mod 4.
+var vecLens = []int{1, 3, 7, 8, 9, 12, 15, 33, 100, 128}
+
+// specials seeds the element-wise tests with the values whose handling the
+// SIMD kernels must reproduce exactly: NaN, infinities and both zeros.
+var specials = []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, math.Copysign(0, -1), 1e-300, -1e-300}
+
+// fillSpecial fills xs from the RNG and sprinkles special values.
+func fillSpecial(rng *RNG, xs []float64) {
+	for i := range xs {
+		xs[i] = rng.Norm()
+	}
+	for i := 0; i < len(xs); i += 5 {
+		xs[i] = specials[(i/5)%len(specials)]
+	}
+}
+
+// sameFloat compares bit patterns, so NaN == NaN and +0 != -0.
+func sameFloat(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestAxpySIMDMatchesScalar pins bit-identity of the AVX2 Axpy against the
+// scalar loop across lengths and special values.
+func TestAxpySIMDMatchesScalar(t *testing.T) {
+	if !SIMDAvailable() {
+		t.Skip("no SIMD kernels on this CPU")
+	}
+	rng := NewRNG(131)
+	for _, n := range vecLens {
+		x := make([]float64, n)
+		dst := make([]float64, n)
+		fillSpecial(rng, x)
+		fillSpecial(rng, dst)
+		want := append([]float64(nil), dst...)
+		got := append([]float64(nil), dst...)
+		for _, alpha := range []float64{1, -0.75, 0} {
+			prev := SetSIMD(false)
+			Axpy(alpha, x, want)
+			SetSIMD(true)
+			Axpy(alpha, x, got)
+			SetSIMD(prev)
+			for i := range got {
+				if !sameFloat(got[i], want[i]) {
+					t.Fatalf("Axpy(%v, n=%d): SIMD differs at %d: %v != %v", alpha, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestReluSIMDMatchesScalar pins Relu's NaN-to-zero and -0-to-+0 mapping on
+// both paths, bit for bit.
+func TestReluSIMDMatchesScalar(t *testing.T) {
+	if !SIMDAvailable() {
+		t.Skip("no SIMD kernels on this CPU")
+	}
+	rng := NewRNG(137)
+	for _, n := range vecLens {
+		src := make([]float64, n)
+		fillSpecial(rng, src)
+		want := make([]float64, n)
+		got := make([]float64, n)
+		prev := SetSIMD(false)
+		Relu(want, src)
+		SetSIMD(true)
+		Relu(got, src)
+		SetSIMD(prev)
+		for i := range got {
+			if !sameFloat(got[i], want[i]) {
+				t.Fatalf("Relu(n=%d): SIMD differs at %d (src=%v): %v != %v", n, i, src[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestReluGateSIMDMatchesScalar pins the backward gate: deltas die exactly
+// where pre <= 0, NaN pre keeps its delta.
+func TestReluGateSIMDMatchesScalar(t *testing.T) {
+	if !SIMDAvailable() {
+		t.Skip("no SIMD kernels on this CPU")
+	}
+	rng := NewRNG(139)
+	for _, n := range vecLens {
+		pre := make([]float64, n)
+		delta := make([]float64, n)
+		fillSpecial(rng, pre)
+		fillSpecial(rng, delta)
+		want := append([]float64(nil), delta...)
+		got := append([]float64(nil), delta...)
+		prev := SetSIMD(false)
+		ReluGate(want, pre)
+		SetSIMD(true)
+		ReluGate(got, pre)
+		SetSIMD(prev)
+		for i := range got {
+			if !sameFloat(got[i], want[i]) {
+				t.Fatalf("ReluGate(n=%d): SIMD differs at %d (pre=%v): %v != %v", n, i, pre[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSGDStepSIMDMatchesScalar pins the five-rounding update sequence of the
+// momentum-SGD kernel against the scalar loop.
+func TestSGDStepSIMDMatchesScalar(t *testing.T) {
+	if !SIMDAvailable() {
+		t.Skip("no SIMD kernels on this CPU")
+	}
+	rng := NewRNG(149)
+	for _, n := range vecLens {
+		param := make([]float64, n)
+		grad := make([]float64, n)
+		vel := make([]float64, n)
+		for i := range param {
+			param[i] = rng.Norm()
+			grad[i] = rng.Norm()
+			vel[i] = rng.Norm()
+		}
+		wantP := append([]float64(nil), param...)
+		wantV := append([]float64(nil), vel...)
+		gotP := append([]float64(nil), param...)
+		gotV := append([]float64(nil), vel...)
+		prev := SetSIMD(false)
+		SGDStep(wantP, grad, wantV, 0.1, 0.9, 1e-4, 1.0/32)
+		SetSIMD(true)
+		SGDStep(gotP, grad, gotV, 0.1, 0.9, 1e-4, 1.0/32)
+		SetSIMD(prev)
+		for i := range gotP {
+			if !sameFloat(gotP[i], wantP[i]) || !sameFloat(gotV[i], wantV[i]) {
+				t.Fatalf("SGDStep(n=%d): SIMD differs at %d: param %v != %v, vel %v != %v",
+					n, i, gotP[i], wantP[i], gotV[i], wantV[i])
+			}
+		}
+	}
+}
+
+// TestVecKernelPanics pins the length validation of the element-wise ops.
+func TestVecKernelPanics(t *testing.T) {
+	mustPanic(t, "Relu length", func() { Relu(make([]float64, 2), make([]float64, 3)) })
+	mustPanic(t, "ReluGate length", func() { ReluGate(make([]float64, 2), make([]float64, 3)) })
+	mustPanic(t, "SGDStep length", func() {
+		SGDStep(make([]float64, 2), make([]float64, 3), make([]float64, 2), 0.1, 0.9, 0, 1)
+	})
+}

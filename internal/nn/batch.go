@@ -20,13 +20,18 @@ import (
 // that a shard split across a pool keeps every worker busy.
 const batchChunk = 64
 
-// forEachBatch runs fn over fixed-size chunks of [0, n), one private
-// BatchScratch per worker.
-func forEachBatch(n int, workers int, fn func(s *BatchScratch, lo, hi int)) {
+// forEachBatch runs fn over fixed-size chunks of [0, count), one private
+// BatchScratch per worker. The network's Wᵀ panels are packed once per call
+// and shared read-only across the workers, so each chunk's forward pass
+// (through forwardBatch/lossBatch with the supplied panels) skips its own
+// repack.
+func (n *Network) forEachBatch(count int, workers int, fn func(s *BatchScratch, panels []mat.Matrix, lo, hi int)) {
 	pool := parallel.New(workers)
 	scratch := make([]BatchScratch, pool.Workers())
-	pool.ForEachChunk(n, batchChunk, func(w, lo, hi int) {
-		fn(&scratch[w], lo, hi)
+	var panels []mat.Matrix
+	n.packPanels(&panels)
+	pool.ForEachChunk(count, batchChunk, func(w, lo, hi int) {
+		fn(&scratch[w], panels, lo, hi)
 	})
 }
 
@@ -34,8 +39,8 @@ func forEachBatch(n int, workers int, fn func(s *BatchScratch, lo, hi int)) {
 // confidence vector per input.
 func (n *Network) ConfidencesBatch(xs [][]float64, workers int) [][]float64 {
 	out := make([][]float64, len(xs))
-	forEachBatch(len(xs), workers, func(s *BatchScratch, lo, hi int) {
-		n.ForwardBatch(s, xs[lo:hi])
+	n.forEachBatch(len(xs), workers, func(s *BatchScratch, panels []mat.Matrix, lo, hi int) {
+		n.forwardBatch(s, xs[lo:hi], panels, nil)
 		logits := s.Logits()
 		for r := 0; r < hi-lo; r++ {
 			conf := make([]float64, logits.Cols)
@@ -50,8 +55,8 @@ func (n *Network) ConfidencesBatch(xs [][]float64, workers int) [][]float64 {
 // feature vector per input.
 func (n *Network) FeaturesBatch(xs [][]float64, workers int) [][]float64 {
 	out := make([][]float64, len(xs))
-	forEachBatch(len(xs), workers, func(s *BatchScratch, lo, hi int) {
-		n.ForwardBatch(s, xs[lo:hi])
+	n.forEachBatch(len(xs), workers, func(s *BatchScratch, panels []mat.Matrix, lo, hi int) {
+		n.forwardBatch(s, xs[lo:hi], panels, nil)
 		feats := s.Features()
 		for r := 0; r < hi-lo; r++ {
 			out[lo+r] = append([]float64(nil), feats.Row(r)...)
@@ -66,8 +71,8 @@ func (n *Network) FeaturesBatch(xs [][]float64, workers int) [][]float64 {
 func (n *Network) EvaluateBatch(xs [][]float64, workers int) (confs, feats [][]float64) {
 	confs = make([][]float64, len(xs))
 	feats = make([][]float64, len(xs))
-	forEachBatch(len(xs), workers, func(s *BatchScratch, lo, hi int) {
-		n.ForwardBatch(s, xs[lo:hi])
+	n.forEachBatch(len(xs), workers, func(s *BatchScratch, panels []mat.Matrix, lo, hi int) {
+		n.forwardBatch(s, xs[lo:hi], panels, nil)
 		logits, featm := s.Logits(), s.Features()
 		for r := 0; r < hi-lo; r++ {
 			conf := make([]float64, logits.Cols)
@@ -82,8 +87,8 @@ func (n *Network) EvaluateBatch(xs [][]float64, workers int) (confs, feats [][]f
 // PredictBatch returns argmax M(x,θ) for every input.
 func (n *Network) PredictBatch(xs [][]float64, workers int) []int {
 	out := make([]int, len(xs))
-	forEachBatch(len(xs), workers, func(s *BatchScratch, lo, hi int) {
-		n.ForwardBatch(s, xs[lo:hi])
+	n.forEachBatch(len(xs), workers, func(s *BatchScratch, panels []mat.Matrix, lo, hi int) {
+		n.forwardBatch(s, xs[lo:hi], panels, nil)
 		logits := s.Logits()
 		for r := 0; r < hi-lo; r++ {
 			out[lo+r] = mat.ArgMax(logits.Row(r))
@@ -96,8 +101,8 @@ func (n *Network) PredictBatch(xs [][]float64, workers int) []int {
 // pair, the batched counterpart of a per-sample Loss loop.
 func (n *Network) LossesBatch(xs, targets [][]float64, workers int) []float64 {
 	out := make([]float64, len(xs))
-	forEachBatch(len(xs), workers, func(s *BatchScratch, lo, hi int) {
-		n.LossBatch(s, xs[lo:hi], targets[lo:hi], out[lo:hi])
+	n.forEachBatch(len(xs), workers, func(s *BatchScratch, panels []mat.Matrix, lo, hi int) {
+		n.lossBatch(s, xs[lo:hi], targets[lo:hi], out[lo:hi], panels)
 	})
 	return out
 }

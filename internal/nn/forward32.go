@@ -1,0 +1,205 @@
+package nn
+
+import (
+	"fmt"
+
+	"enld/internal/mat"
+	"enld/internal/parallel"
+)
+
+// The float32 ranking path (DESIGN.md §4).
+//
+// A Network32 is a forward-only float32 snapshot of a Network: weights
+// rounded to float32 and pre-packed as Wᵀ panels, biases rounded to
+// float32. Its batched forward pass runs entirely in float32 — a different,
+// *versioned* numeric profile from the float64 reference, suited to outputs
+// that feed only ranking decisions (argmax votes, top-k neighbor selection,
+// confidence ordering), where the ≲1e-4 relative drift bounded by the
+// differential tests cannot flip decisions the detection pipeline's
+// guardrails don't already tolerate.
+//
+// Within the profile the determinism contract is unchanged: float32
+// arithmetic rounds once per multiply and add on both the scalar and the
+// AVX2 path, every output element accumulates over a sequential k-loop, and
+// the batch helpers split work over samples only. Results are bit-identical
+// at any worker count and with SIMD on or off. Training never runs in
+// float32 — only scoring passes whose consumers rank.
+
+// Network32 is a forward-only float32 snapshot of a Network. Build one with
+// Network.Snapshot32 and refresh it after the source network trains. A
+// Network32 is immutable between refreshes and safe for concurrent forward
+// passes (one BatchScratch32 per goroutine).
+type Network32 struct {
+	sizes  []int
+	panels []mat.Matrix32 // panels[l] is Weights[l]ᵀ rounded to float32
+	biases [][]float32
+}
+
+// Snapshot32 rounds the network's current parameters into dst, reusing
+// dst's storage. The weight matrices are packed transposed (Wᵀ), ready for
+// the row-blocked NN-shape float32 GEMM.
+func (n *Network) Snapshot32(dst *Network32) {
+	dst.sizes = append(dst.sizes[:0], n.sizes...)
+	for len(dst.panels) < len(n.Weights) {
+		dst.panels = append(dst.panels, mat.Matrix32{})
+		dst.biases = append(dst.biases, nil)
+	}
+	for l, w := range n.Weights {
+		p := &dst.panels[l]
+		p.Resize(w.Cols, w.Rows)
+		out := w.Rows
+		for j := 0; j < out; j++ {
+			row := w.Row(j)
+			for i, v := range row {
+				p.Data[i*out+j] = float32(v)
+			}
+		}
+		if len(dst.biases[l]) != len(n.Biases[l]) {
+			dst.biases[l] = make([]float32, len(n.Biases[l]))
+		}
+		mat.Round32(dst.biases[l], n.Biases[l])
+	}
+}
+
+// InputDim returns the expected input vector length.
+func (n *Network32) InputDim() int { return n.sizes[0] }
+
+// Classes returns the number of output classes.
+func (n *Network32) Classes() int { return n.sizes[len(n.sizes)-1] }
+
+// BatchScratch32 holds the activation matrices of a float32 batched forward
+// pass. The zero value is ready to use; buffers grow to the largest batch
+// seen. A BatchScratch32 belongs to one goroutine.
+type BatchScratch32 struct {
+	sizes    []int
+	capRows  int
+	actsBack [][]float32
+	acts     []mat.Matrix32 // acts[0] is the rounded input batch
+	rows     int
+}
+
+// Rows returns the batch size of the most recent pass.
+func (s *BatchScratch32) Rows() int { return s.rows }
+
+// Logits returns the output-layer logits of the most recent pass.
+func (s *BatchScratch32) Logits() *mat.Matrix32 { return &s.acts[len(s.acts)-1] }
+
+// Features returns the post-ReLU last-hidden-layer activations of the most
+// recent pass.
+func (s *BatchScratch32) Features() *mat.Matrix32 { return &s.acts[len(s.acts)-2] }
+
+func (s *BatchScratch32) ensure(n *Network32, rows int) {
+	L := len(n.sizes)
+	same := len(s.sizes) == L
+	if same {
+		for i, v := range n.sizes {
+			if s.sizes[i] != v {
+				same = false
+				break
+			}
+		}
+	}
+	if !same {
+		s.sizes = append(s.sizes[:0], n.sizes...)
+		s.capRows = 0
+		s.actsBack = make([][]float32, L)
+		s.acts = make([]mat.Matrix32, L)
+	}
+	if rows > s.capRows {
+		for i, size := range s.sizes {
+			s.actsBack[i] = make([]float32, rows*size)
+		}
+		s.capRows = rows
+	}
+	for i, size := range s.sizes {
+		s.acts[i] = mat.Matrix32{Rows: rows, Cols: size, Data: s.actsBack[i][:rows*size]}
+	}
+	s.rows = rows
+}
+
+// ForwardBatch32 runs the float32 forward pass on every input of xs: inputs
+// are rounded to float32 once on entry, then each layer is one row-blocked
+// float32 GEMM against the snapshot's Wᵀ panel, a float32 bias add and an
+// in-place ReLU. The outputs stay in s (Logits/Features).
+func (n *Network32) ForwardBatch32(s *BatchScratch32, xs [][]float64) {
+	s.ensure(n, len(xs))
+	if len(xs) == 0 {
+		return
+	}
+	in := &s.acts[0]
+	for r, x := range xs {
+		if len(x) != n.sizes[0] {
+			panic(fmt.Sprintf("nn: batch input length %d, want %d", len(x), n.sizes[0]))
+		}
+		mat.Round32(in.Row(r), x)
+	}
+	last := len(n.panels) - 1
+	for l := range n.panels {
+		out := &s.acts[l+1]
+		out.Zero()
+		mat.Gemm32(out, &s.acts[l], &n.panels[l])
+		for r := 0; r < out.Rows; r++ {
+			mat.Add32(out.Row(r), n.biases[l])
+		}
+		if l < last {
+			mat.Relu32(out.Data)
+		}
+	}
+}
+
+// forEachBatch32 runs fn over fixed-size chunks of [0, count), one private
+// BatchScratch32 per worker, mirroring the float64 inference helpers: the
+// chunk partition depends only on count and every sample writes only its
+// own output slot, so results are identical at any worker count.
+func forEachBatch32(count, workers int, fn func(s *BatchScratch32, lo, hi int)) {
+	pool := parallel.New(workers)
+	scratch := make([]BatchScratch32, pool.Workers())
+	pool.ForEachChunk(count, batchChunk, func(w, lo, hi int) {
+		fn(&scratch[w], lo, hi)
+	})
+}
+
+// EvaluateBatch32 runs the float32 forward pass over xs and returns the
+// softmax confidence and feature vectors, parallel to xs. The logits and
+// features are widened back to float64 per row (exact — every float32 is a
+// float64), and softmax runs in float64, so downstream consumers see the
+// usual types; only the linear algebra ran in the float32 profile.
+func (n *Network32) EvaluateBatch32(xs [][]float64, workers int) (confs, feats [][]float64) {
+	confs = make([][]float64, len(xs))
+	feats = make([][]float64, len(xs))
+	forEachBatch32(len(xs), workers, func(s *BatchScratch32, lo, hi int) {
+		n.ForwardBatch32(s, xs[lo:hi])
+		logits, featm := s.Logits(), s.Features()
+		lbuf := make([]float64, logits.Cols)
+		for r := 0; r < hi-lo; r++ {
+			widen(lbuf, logits.Row(r))
+			conf := make([]float64, logits.Cols)
+			mat.Softmax(conf, lbuf)
+			confs[lo+r] = conf
+			f := make([]float64, featm.Cols)
+			widen(f, featm.Row(r))
+			feats[lo+r] = f
+		}
+	})
+	return confs, feats
+}
+
+// PredictBatch32 returns argmax over the float32 logits for every input.
+func (n *Network32) PredictBatch32(xs [][]float64, workers int) []int {
+	out := make([]int, len(xs))
+	forEachBatch32(len(xs), workers, func(s *BatchScratch32, lo, hi int) {
+		n.ForwardBatch32(s, xs[lo:hi])
+		logits := s.Logits()
+		for r := 0; r < hi-lo; r++ {
+			out[lo+r] = mat.ArgMax32(logits.Row(r))
+		}
+	})
+	return out
+}
+
+// widen copies float32 values into a float64 slice (exact).
+func widen(dst []float64, src []float32) {
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+}

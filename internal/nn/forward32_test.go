@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"enld/internal/mat"
+)
+
+// forward32Net builds a random network and input batch shaped like the
+// detection pipeline's (features in, classes out, two hidden layers).
+func forward32Net(seed uint64, n int) (*Network, [][]float64) {
+	rng := mat.NewRNG(seed)
+	net := NewNetwork([]int{12, 32, 24, 10}, rng)
+	xs := make([][]float64, n)
+	for i := range xs {
+		xs[i] = make([]float64, 12)
+		rng.NormVec(xs[i], 0, 1)
+	}
+	return net, xs
+}
+
+// TestForward32NearFloat64 bounds the float32 ranking path's drift against
+// the float64 reference: confidences and features agree to 1e-4 relative,
+// and the argmax predictions match — the epsilon argument behind using the
+// profile for vote and sampling decisions.
+func TestForward32NearFloat64(t *testing.T) {
+	net, xs := forward32Net(11, 97)
+	var f32 Network32
+	net.Snapshot32(&f32)
+
+	confs64, feats64 := net.EvaluateBatch(xs, 1)
+	confs32, feats32 := f32.EvaluateBatch32(xs, 1)
+	check := func(name string, a, b [][]float64) {
+		t.Helper()
+		for i := range a {
+			for j := range a[i] {
+				diff := math.Abs(a[i][j] - b[i][j])
+				scale := math.Max(1, math.Abs(a[i][j]))
+				if diff/scale > 1e-4 {
+					t.Fatalf("%s[%d][%d]: f64=%v f32=%v drift %v > 1e-4", name, i, j, a[i][j], b[i][j], diff/scale)
+				}
+			}
+		}
+	}
+	check("confidences", confs64, confs32)
+	check("features", feats64, feats32)
+
+	p64 := net.PredictBatch(xs, 1)
+	p32 := f32.PredictBatch32(xs, 1)
+	for i := range p64 {
+		if p64[i] != p32[i] {
+			t.Fatalf("prediction %d: f64=%d f32=%d", i, p64[i], p32[i])
+		}
+	}
+}
+
+// TestForward32WorkersBitIdentical pins the float32 profile's own
+// determinism contract: identical outputs at every worker count.
+func TestForward32WorkersBitIdentical(t *testing.T) {
+	net, xs := forward32Net(13, 150)
+	var f32 Network32
+	net.Snapshot32(&f32)
+	wantC, wantF := f32.EvaluateBatch32(xs, 1)
+	wantP := f32.PredictBatch32(xs, 1)
+	for _, workers := range []int{2, 8} {
+		gotC, gotF := f32.EvaluateBatch32(xs, workers)
+		gotP := f32.PredictBatch32(xs, workers)
+		for i := range wantC {
+			if gotP[i] != wantP[i] {
+				t.Fatalf("workers=%d: prediction %d differs", workers, i)
+			}
+			for j := range wantC[i] {
+				if gotC[i][j] != wantC[i][j] {
+					t.Fatalf("workers=%d: confidence [%d][%d] differs", workers, i, j)
+				}
+			}
+			for j := range wantF[i] {
+				if gotF[i][j] != wantF[i][j] {
+					t.Fatalf("workers=%d: feature [%d][%d] differs", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshot32Refresh: re-snapshotting after training reflects the new
+// parameters, and snapshots reuse storage across refreshes.
+func TestSnapshot32Refresh(t *testing.T) {
+	net, xs := forward32Net(17, 16)
+	var f32 Network32
+	net.Snapshot32(&f32)
+	before := f32.PredictBatch32(xs, 1)
+	beforeConf, _ := f32.EvaluateBatch32(xs, 1)
+
+	// Perturb the network, refresh, and compare against a fresh snapshot.
+	tr := NewTrainer(net, NewSGD(0.5, 0.9, 0))
+	examples := make([]Example, len(xs))
+	for i, x := range xs {
+		examples[i] = Example{X: x, Target: OneHot(i%net.Classes(), net.Classes())}
+	}
+	if _, err := tr.Run(examples, TrainConfig{Epochs: 3, BatchSize: 8, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	net.Snapshot32(&f32)
+	var fresh Network32
+	net.Snapshot32(&fresh)
+	refreshedConf, _ := f32.EvaluateBatch32(xs, 1)
+	freshConf, _ := fresh.EvaluateBatch32(xs, 1)
+	for i := range refreshedConf {
+		for j := range refreshedConf[i] {
+			if refreshedConf[i][j] != freshConf[i][j] {
+				t.Fatalf("refreshed snapshot differs from fresh at [%d][%d]", i, j)
+			}
+		}
+	}
+	// The training above must have moved the outputs; otherwise the refresh
+	// assertions are vacuous.
+	changed := false
+	for i := range beforeConf {
+		for j := range beforeConf[i] {
+			if beforeConf[i][j] != refreshedConf[i][j] {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatalf("training changed no confidence (before=%v)", before[:4])
+	}
+}
+
+// TestForward32InputLengthPanics pins the float32 batch input validation.
+func TestForward32InputLengthPanics(t *testing.T) {
+	net, _ := forward32Net(19, 1)
+	var f32 Network32
+	net.Snapshot32(&f32)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForwardBatch32 accepted a malformed input row")
+		}
+	}()
+	var s BatchScratch32
+	f32.ForwardBatch32(&s, [][]float64{make([]float64, 3)})
+}

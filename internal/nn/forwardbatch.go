@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"enld/internal/mat"
+	"enld/internal/parallel"
 )
 
 // BatchScratch holds the activation, pre-activation and delta matrices of a
@@ -11,7 +12,10 @@ import (
 // The zero value is ready to use; buffers grow to the largest batch seen and
 // are reused afterwards, so steady-state batched passes allocate nothing.
 //
-// A BatchScratch belongs to one goroutine at a time. Concurrent batched
+// A BatchScratch belongs to one goroutine at a time *between* passes; during
+// a single pooled pass the forward/backward methods themselves fan disjoint
+// row ranges of the scratch out over workers, which is safe because every
+// row of every matrix is written by exactly one chunk. Concurrent batched
 // passes against the same Network are safe with one scratch per worker: the
 // forward/backward methods only read the network's parameters.
 type BatchScratch struct {
@@ -25,7 +29,7 @@ type BatchScratch struct {
 	acts   []mat.Matrix // acts[0] is the packed input batch
 	pre    []mat.Matrix
 	deltas []mat.Matrix
-	probs  []float64 // per-row softmax buffer for the backward pass
+	panels []mat.Matrix // per-layer packed Wᵀ, used when none are supplied
 	rows   int
 }
 
@@ -64,7 +68,7 @@ func (s *BatchScratch) ensure(n *Network, rows int) {
 		s.acts = make([]mat.Matrix, L)
 		s.pre = make([]mat.Matrix, L-1)
 		s.deltas = make([]mat.Matrix, L-1)
-		s.probs = make([]float64, n.sizes[L-1])
+		s.panels = nil
 	}
 	if rows > s.capRows {
 		for i, size := range s.sizes {
@@ -86,9 +90,40 @@ func (s *BatchScratch) ensure(n *Network, rows int) {
 	s.rows = rows
 }
 
+// packPanels packs Wᵀ for every layer into panels (growing the slice as
+// needed, reusing the panel backing arrays). The panels are read-only during
+// forward passes, so one packed set can be shared across any number of
+// workers and batch chunks while the weights stay fixed.
+func (n *Network) packPanels(panels *[]mat.Matrix) {
+	for len(*panels) < len(n.Weights) {
+		*panels = append(*panels, mat.Matrix{})
+	}
+	for l, w := range n.Weights {
+		mat.PackNT(&(*panels)[l], w)
+	}
+}
+
+// fwdRowChunk is the row granularity of the batched forward/backward
+// fan-out: coarse enough that one chunk amortizes its claim, fine enough
+// that a 32-sample training batch still splits four ways.
+const fwdRowChunk = 8
+
+// rowFan fans the row range [0, rows) out over pool in fixed fwdRowChunk
+// pieces, or runs it in one sequential call for nil pools and batches of at
+// most one chunk. The chunk partition depends only on rows, and callers
+// write disjoint rows, so results never depend on the execution strategy.
+func rowFan(pool *parallel.Pool, rows int, fn func(lo, hi int)) {
+	if pool == nil || rows <= fwdRowChunk {
+		fn(0, rows)
+		return
+	}
+	pool.ForEachChunk(rows, fwdRowChunk, func(_, lo, hi int) { fn(lo, hi) })
+}
+
 // ForwardBatch runs the network on every input of xs in one pass: the inputs
-// are packed row-major into a batch matrix and each layer is one GemmNT
-// (Y += X·Wᵀ) followed by a batched bias add and ReLU. Results are
+// are packed row-major into a batch matrix, each weight matrix is packed
+// once into a Wᵀ panel, and each layer is one row-blocked GEMM
+// (Y += X·(Wᵀpanel)) followed by a batched bias add and ReLU. Results are
 // bit-identical to per-sample forward calls — the GEMM kernels accumulate
 // each output element with the same sequential k-loop MulVec uses (see
 // internal/mat and DESIGN.md §4) — while loading each weight matrix once per
@@ -96,6 +131,16 @@ func (s *BatchScratch) ensure(n *Network, rows int) {
 //
 // The outputs stay in s: s.Logits() and s.Features() view the last pass.
 func (n *Network) ForwardBatch(s *BatchScratch, xs [][]float64) {
+	n.forwardBatch(s, xs, nil, nil)
+}
+
+// forwardBatch is ForwardBatch with two sharing knobs: panels, when non-nil,
+// is a prepacked Wᵀ panel set (one per layer, from packPanels) shared
+// read-only across calls; pool, when non-nil, splits each layer's output
+// rows across workers. Row splits cannot change any output element — each
+// row's accumulation is a self-contained sequential k-loop — so every
+// combination of panels/pool is bit-identical to the plain sequential pass.
+func (n *Network) forwardBatch(s *BatchScratch, xs [][]float64, panels []mat.Matrix, pool *parallel.Pool) {
 	s.ensure(n, len(xs))
 	if len(xs) == 0 {
 		return
@@ -107,19 +152,30 @@ func (n *Network) ForwardBatch(s *BatchScratch, xs [][]float64) {
 		}
 		copy(in.Row(r), x)
 	}
+	if panels == nil {
+		n.packPanels(&s.panels)
+		panels = s.panels
+	}
 	last := len(n.Weights) - 1
-	for l, w := range n.Weights {
+	rows := len(xs)
+	for l := range n.Weights {
+		bt := &panels[l]
 		out := &s.pre[l]
-		out.Zero()
-		mat.GemmNT(out, &s.acts[l], w)
-		for r := 0; r < out.Rows; r++ {
-			mat.Axpy(1, n.Biases[l], out.Row(r))
-		}
-		if l < last {
-			reluRows(&s.acts[l+1], out)
-		} else {
-			copy(s.acts[l+1].Data, out.Data)
-		}
+		src := &s.acts[l]
+		dst := &s.acts[l+1]
+		bias := n.Biases[l]
+		rowFan(pool, rows, func(lo, hi int) {
+			zeroRows(out, lo, hi)
+			mat.GemmRows(out, src, bt, lo, hi)
+			for r := lo; r < hi; r++ {
+				mat.Axpy(1, bias, out.Row(r))
+			}
+			if l < last {
+				reluRows(dst, out, lo, hi)
+			} else {
+				copyRows(dst, out, lo, hi)
+			}
+		})
 	}
 }
 
@@ -129,59 +185,136 @@ func (n *Network) ForwardBatch(s *BatchScratch, xs [][]float64) {
 // them: the weight gradient is one GemmTN (gW += deltaᵀ·acts) whose
 // sequential batch-row loop reproduces the per-sample AddOuter order, the
 // bias gradient sums delta columns in row order, and the delta
-// back-propagation is one Gemm (dPrev = delta·W) matching MulVecT's
-// accumulation order.
+// back-propagation is one row-blocked GEMM (dPrev = delta·W) matching
+// MulVecT's accumulation order.
 func (n *Network) BackwardBatch(s *BatchScratch, g *Grads, xs, targets [][]float64) float64 {
+	if len(xs) == 0 {
+		if len(targets) != 0 {
+			panic("nn: BackwardBatch xs/targets length mismatch")
+		}
+		n.forwardBatch(s, xs, nil, nil)
+		return 0
+	}
+	var loss [1]float64
+	n.backwardBatchChunked(s, []*Grads{g}, loss[:], xs, targets, len(xs), nil, nil, false)
+	return loss[0]
+}
+
+// backwardBatchChunked runs one batch-wide forward pass and computes the
+// gradients of the fixed chunk partition of [0, len(xs)): chunk c covers
+// rows [c·chunk, min((c+1)·chunk, len(xs))), accumulates its gradient into
+// chunkGrads[c] (zeroed here first when zeroGrads is set) and its summed
+// loss into chunkLoss[c]. It is the trainer's gradient engine: the caller
+// reduces the per-chunk gradients and losses in chunk order.
+//
+// Bit-identity with the sequential per-chunk BackwardBatch path (and hence,
+// transitively, with per-sample Backward calls):
+//
+//   - the forward pass is row-independent, so computing the whole batch at
+//     once instead of chunk by chunk changes no activation bit;
+//   - each output delta row is softmax(logits) − target, computed per row
+//     (the softmax is written directly into the delta row — element-for-
+//     element the same values the old per-row probs buffer produced);
+//   - each chunk's weight gradient is a GemmTN over *row views* of the
+//     batch-wide delta/activation matrices covering exactly the chunk's
+//     rows, which walks the same rows in the same order as a GemmTN over a
+//     chunk-sized packed copy;
+//   - each chunk's loss sums its rows in increasing row order;
+//   - the delta back-propagation and ReLU gating are row-independent.
+//
+// Every parallel split is over disjoint rows or distinct chunk accumulators
+// and every chunk partition depends only on len(xs) and chunk, so results
+// are bit-identical at any worker count, including the nil-pool sequential
+// fallback.
+func (n *Network) backwardBatchChunked(s *BatchScratch, chunkGrads []*Grads, chunkLoss []float64, xs, targets [][]float64, chunk int, panels []mat.Matrix, pool *parallel.Pool, zeroGrads bool) {
 	if len(targets) != len(xs) {
 		panic("nn: BackwardBatch xs/targets length mismatch")
 	}
-	n.ForwardBatch(s, xs)
-	if len(xs) == 0 {
-		return 0
+	if chunk < 1 {
+		panic("nn: backwardBatchChunked with chunk < 1")
+	}
+	n.forwardBatch(s, xs, panels, pool)
+	rows := len(xs)
+	if rows == 0 {
+		return
 	}
 	classes := n.Classes()
 	last := len(n.Weights) - 1
 	logits := &s.pre[last]
 	dOut := &s.deltas[last]
-	var loss float64
-	for r := range xs {
-		target := targets[r]
-		if len(target) != classes {
-			panic("nn: BackwardBatch target length mismatch")
+
+	// chunkFan runs fn once per gradient chunk, pooled or sequential; the
+	// partition is identical either way.
+	chunkFan := func(fn func(c, lo, hi int)) {
+		if pool == nil {
+			for lo := 0; lo < rows; lo += chunk {
+				fn(lo/chunk, lo, min(lo+chunk, rows))
+			}
+			return
 		}
-		lrow := logits.Row(r)
-		mat.Softmax(s.probs, lrow)
-		lse := mat.LogSumExp(lrow)
-		drow := dOut.Row(r)
-		for c := range drow {
-			drow[c] = s.probs[c] - target[c]
-			if target[c] > 0 {
-				loss += target[c] * (lse - lrow[c])
+		pool.ForEachChunk(rows, chunk, func(_, lo, hi int) { fn(lo/chunk, lo, hi) })
+	}
+
+	chunkFan(func(c, lo, hi int) {
+		if zeroGrads {
+			chunkGrads[c].Zero()
+		}
+		var loss float64
+		for r := lo; r < hi; r++ {
+			target := targets[r]
+			if len(target) != classes {
+				panic("nn: BackwardBatch target length mismatch")
+			}
+			lrow := logits.Row(r)
+			drow := dOut.Row(r)
+			mat.Softmax(drow, lrow)
+			lse := mat.LogSumExp(lrow)
+			for j, tv := range target {
+				if tv > 0 {
+					loss += tv * (lse - lrow[j])
+				}
+				drow[j] -= tv
 			}
 		}
-	}
+		chunkLoss[c] = loss
+	})
+
 	for l := last; l >= 0; l-- {
 		delta := &s.deltas[l]
-		mat.GemmTN(g.Weights[l], delta, &s.acts[l])
-		addColSums(g.Biases[l], delta)
+		acts := &s.acts[l]
+		chunkFan(func(c, lo, hi int) {
+			g := chunkGrads[c]
+			dv := rowView(delta, lo, hi)
+			av := rowView(acts, lo, hi)
+			mat.GemmTN(g.Weights[l], &dv, &av)
+			addColSums(g.Biases[l], delta, lo, hi)
+		})
 		if l > 0 {
 			prev := &s.deltas[l-1]
-			prev.Zero()
-			mat.Gemm(prev, delta, n.Weights[l])
-			// ReLU derivative gates on the pre-activation of layer l.
-			reluGate(prev, &s.pre[l-1])
+			preAct := &s.pre[l-1]
+			w := n.Weights[l]
+			rowFan(pool, rows, func(lo, hi int) {
+				zeroRows(prev, lo, hi)
+				mat.GemmRows(prev, delta, w, lo, hi)
+				// ReLU derivative gates on the pre-activation of layer l.
+				reluGate(prev, preAct, lo, hi)
+			})
 		}
 	}
-	return loss
 }
 
 // LossBatch computes the per-sample cross-entropy losses of the batch into
 // out (len(xs) entries), bit-identical to per-sample Loss calls.
 func (n *Network) LossBatch(s *BatchScratch, xs, targets [][]float64, out []float64) {
+	n.lossBatch(s, xs, targets, out, nil)
+}
+
+// lossBatch is LossBatch over an optional shared prepacked panel set.
+func (n *Network) lossBatch(s *BatchScratch, xs, targets [][]float64, out []float64, panels []mat.Matrix) {
 	if len(targets) != len(xs) || len(out) != len(xs) {
 		panic("nn: LossBatch length mismatch")
 	}
-	n.ForwardBatch(s, xs)
+	n.forwardBatch(s, xs, panels, nil)
 	logits := s.Logits()
 	for r := range xs {
 		lrow := logits.Row(r)
@@ -196,36 +329,42 @@ func (n *Network) LossBatch(s *BatchScratch, xs, targets [][]float64, out []floa
 	}
 }
 
-// reluRows writes dst = max(src, 0) element-wise over equal-shaped matrices.
-func reluRows(dst, src *mat.Matrix) {
-	d, s := dst.Data, src.Data
-	for i, v := range s {
-		if v > 0 {
-			d[i] = v
-		} else {
-			d[i] = 0
-		}
-	}
+// rowView returns a matrix viewing rows [lo, hi) of m, sharing its backing
+// array. GEMMs over a row view walk exactly those rows, in order.
+func rowView(m *mat.Matrix, lo, hi int) mat.Matrix {
+	return mat.Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
 }
 
-// reluGate zeroes every delta whose matching pre-activation is <= 0.
-func reluGate(delta, pre *mat.Matrix) {
-	d, p := delta.Data, pre.Data
-	for i, v := range p {
-		if v <= 0 {
-			d[i] = 0
-		}
-	}
+// zeroRows clears rows [lo, hi) of m.
+func zeroRows(m *mat.Matrix, lo, hi int) {
+	clear(m.Data[lo*m.Cols : hi*m.Cols])
 }
 
-// addColSums accumulates dst[j] += sum over rows of m[r][j], sweeping rows in
-// increasing order so each element's addition order matches a per-sample
-// accumulation loop.
-func addColSums(dst []float64, m *mat.Matrix) {
+// copyRows copies rows [lo, hi) of src into dst over equal-shaped matrices.
+func copyRows(dst, src *mat.Matrix, lo, hi int) {
+	copy(dst.Data[lo*dst.Cols:hi*dst.Cols], src.Data[lo*src.Cols:hi*src.Cols])
+}
+
+// reluRows writes dst = max(src, 0) element-wise over rows [lo, hi) of
+// equal-shaped matrices.
+func reluRows(dst, src *mat.Matrix, lo, hi int) {
+	mat.Relu(dst.Data[lo*dst.Cols:hi*dst.Cols], src.Data[lo*src.Cols:hi*src.Cols])
+}
+
+// reluGate zeroes every delta in rows [lo, hi) whose matching
+// pre-activation is <= 0.
+func reluGate(delta, pre *mat.Matrix, lo, hi int) {
+	mat.ReluGate(delta.Data[lo*delta.Cols:hi*delta.Cols], pre.Data[lo*pre.Cols:hi*pre.Cols])
+}
+
+// addColSums accumulates dst[j] += sum over rows [lo, hi) of m[r][j],
+// sweeping rows in increasing order so each element's addition order matches
+// a per-sample accumulation loop.
+func addColSums(dst []float64, m *mat.Matrix, lo, hi int) {
 	if len(dst) != m.Cols {
 		panic("nn: addColSums length mismatch")
 	}
-	for r := 0; r < m.Rows; r++ {
+	for r := lo; r < hi; r++ {
 		mat.Axpy(1, m.Row(r), dst)
 	}
 }

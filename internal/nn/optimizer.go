@@ -73,12 +73,7 @@ func (s *SGD) Step(n *Network, g *Grads, batchSize int) {
 }
 
 func stepSlice(param, grad, vel []float64, lr, momentum, decay, inv float64) {
-	for i := range param {
-		d := grad[i]*inv + decay*param[i]
-		v := momentum*vel[i] - lr*d
-		vel[i] = v
-		param[i] += v
-	}
+	mat.SGDStep(param, grad, vel, lr, momentum, decay, inv)
 }
 
 // Reset implements Optimizer.

@@ -84,16 +84,19 @@ type Trainer struct {
 
 	grads *Grads
 
-	// Data-parallel scratch, (re)built per Run: one BatchScratch and set of
-	// packed batch buffers per worker, one gradient accumulator and loss cell
-	// per batch chunk. scratchNet tracks which network the cached scratch
-	// belongs to so a swapped Net rebuilds it.
+	// Data-parallel scratch, (re)built per Run: one batch-wide BatchScratch
+	// (the backward pass itself fans rows out over the pool), packed
+	// batch-wide input/target buffers, one gradient accumulator and loss cell
+	// per batch chunk, and the per-layer Wᵀ panels repacked each batch.
+	// scratchNet tracks which network the cached scratch belongs to so a
+	// swapped Net rebuilds it.
 	scratchNet *Network
-	batch      []*BatchScratch
-	xRows      [][][]float64 // per-worker row views into the current chunk
-	tRows      [][][]float64
-	mixXM      []*mat.Matrix // per-worker packed mixup inputs/targets
-	mixTM      []*mat.Matrix
+	bscratch   *BatchScratch
+	batchXs    [][]float64 // row pointers of the current batch
+	batchTs    [][]float64
+	mixXB      *mat.Matrix // batch-wide packed mixup inputs/targets
+	mixTB      *mat.Matrix
+	panels     []mat.Matrix
 	chunkGrads []*Grads
 	chunkLoss  []float64
 	mixPartner []int
@@ -319,22 +322,25 @@ func (t *Trainer) runWatchdog(examples []Example, cfg TrainConfig, alpha float64
 	return stats, nil
 }
 
-// ensureScratch sizes the per-worker batch scratch and per-chunk accumulators
+// ensureScratch sizes the batch-wide scratch and per-chunk accumulators
 // for batches up to maxBatch samples. Scratch is cached across Run calls (the
 // fine-grained NLD loop calls Run once per epoch) and invalidated when Net
 // is swapped.
 func (t *Trainer) ensureScratch(workers, maxBatch int) {
 	if t.scratchNet != t.Net {
-		t.batch, t.xRows, t.tRows, t.mixXM, t.mixTM = nil, nil, nil, nil, nil
+		t.bscratch, t.batchXs, t.batchTs, t.mixXB, t.mixTB = nil, nil, nil, nil, nil
+		t.panels = nil
 		t.replicas, t.chunkGrads, t.mixX, t.mixT = nil, nil, nil, nil
 		t.scratchNet = t.Net
 	}
-	for len(t.batch) < workers {
-		t.batch = append(t.batch, &BatchScratch{})
-		t.xRows = append(t.xRows, make([][]float64, gradChunk))
-		t.tRows = append(t.tRows, make([][]float64, gradChunk))
-		t.mixXM = append(t.mixXM, mat.NewMatrix(gradChunk, t.Net.InputDim()))
-		t.mixTM = append(t.mixTM, mat.NewMatrix(gradChunk, t.Net.Classes()))
+	if t.bscratch == nil {
+		t.bscratch = &BatchScratch{}
+	}
+	if len(t.batchXs) < maxBatch {
+		t.batchXs = make([][]float64, maxBatch)
+		t.batchTs = make([][]float64, maxBatch)
+		t.mixXB = mat.NewMatrix(maxBatch, t.Net.InputDim())
+		t.mixTB = mat.NewMatrix(maxBatch, t.Net.Classes())
 	}
 	if t.perSample {
 		if len(t.replicas) == 0 {
@@ -363,15 +369,16 @@ func (t *Trainer) ensureScratch(workers, maxBatch int) {
 	}
 }
 
-// epoch runs one pass over the data. Each batch is partitioned into fixed
-// gradChunk-sized chunks; workers claim chunks and compute each chunk's
-// gradient with one batched backward pass (GemmTN weight gradients over the
-// chunk's packed rows) into per-chunk buffers, and the chunks are then
-// reduced in index order. The result is bit-identical to a one-worker
-// per-sample run: the batched kernels preserve the per-sample accumulation
-// order within a chunk (see BackwardBatch), the chunk partition and reduction
-// order never depend on the worker count, and the RNG (shuffle and mixup
-// draws) is consumed sequentially before the parallel section.
+// epoch runs one pass over the data. Each batch runs one batch-wide
+// backward pass (backwardBatchChunked): the forward layers fan output rows
+// out over the pool against per-batch packed Wᵀ panels, and the gradient
+// accumulates per fixed gradChunk-sized chunk into per-chunk buffers that
+// are then reduced in index order. The result is bit-identical to a
+// one-worker per-sample run: the batched kernels preserve the per-sample
+// accumulation order within a chunk (see backwardBatchChunked), the chunk
+// partition and reduction order never depend on the worker count, and the
+// RNG (shuffle and mixup draws) is consumed sequentially before the
+// parallel section.
 //
 // With a non-nil health checker, each batch's reduced loss is validated and
 // the reduced gradient and updated weights are scanned at the configured
@@ -401,32 +408,34 @@ func (t *Trainer) epoch(examples []Example, cfg TrainConfig, alpha float64, rng 
 			}
 		}
 		nChunks := (len(batch) + gradChunk - 1) / gradChunk
-		pool.ForEachChunk(len(batch), gradChunk, func(worker, lo, hi int) {
-			c := lo / gradChunk
-			g := t.chunkGrads[c]
-			g.Zero()
-			if t.perSample {
+		if t.perSample {
+			pool.ForEachChunk(len(batch), gradChunk, func(worker, lo, hi int) {
+				c := lo / gradChunk
+				g := t.chunkGrads[c]
+				g.Zero()
 				t.chunkLoss[c] = t.perSampleChunk(g, examples, batch, cfg.Mixup, worker, lo, hi)
-				return
-			}
-			// Pack the chunk's rows (mixing in place for mixup) and run one
-			// batched backward pass over them.
-			xs := t.xRows[worker][:hi-lo]
-			ts := t.tRows[worker][:hi-lo]
-			for i := lo; i < hi; i++ {
-				ex := examples[batch[i]]
+			})
+		} else {
+			// Pack the batch's row pointers (mixing into the batch-wide mixup
+			// buffers) sequentially, then run one batch-wide backward pass —
+			// the pass itself fans rows and gradient chunks out over the pool.
+			xs := t.batchXs[:len(batch)]
+			ts := t.batchTs[:len(batch)]
+			for i, idx := range batch {
+				ex := examples[idx]
 				if cfg.Mixup {
 					partner := examples[t.mixPartner[i]]
-					mx, mt := t.mixXM[worker].Row(i-lo), t.mixTM[worker].Row(i-lo)
+					mx, mt := t.mixXB.Row(i), t.mixTB.Row(i)
 					mat.Lerp(mx, ex.X, partner.X, t.mixLambda[i])
 					mat.Lerp(mt, ex.Target, partner.Target, t.mixLambda[i])
-					xs[i-lo], ts[i-lo] = mx, mt
+					xs[i], ts[i] = mx, mt
 				} else {
-					xs[i-lo], ts[i-lo] = ex.X, ex.Target
+					xs[i], ts[i] = ex.X, ex.Target
 				}
 			}
-			t.chunkLoss[c] = t.Net.BackwardBatch(t.batch[worker], g, xs, ts)
-		})
+			t.Net.packPanels(&t.panels)
+			t.Net.backwardBatchChunked(t.bscratch, t.chunkGrads[:nChunks], t.chunkLoss[:nChunks], xs, ts, gradChunk, t.panels, pool, true)
+		}
 		t.grads.Zero()
 		var batchLoss float64
 		for c := 0; c < nChunks; c++ {

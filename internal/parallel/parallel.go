@@ -29,9 +29,10 @@ import (
 )
 
 // Pool is a reusable fixed-size worker pool. A Pool holds no goroutines
-// between calls — each Run/ForEach/ForEachChunk spawns its workers and waits
-// for them — so a Pool is cheap to create, safe to share, and safe for
-// concurrent use.
+// between calls — each Run/ForEach/ForEachChunk spawns workers for its own
+// duration (the calling goroutine always serves as worker 0, so w workers
+// cost w-1 goroutine launches, and a single effective worker costs none) —
+// so a Pool is cheap to create, safe to share, and safe for concurrent use.
 type Pool struct {
 	workers int
 
@@ -90,8 +91,10 @@ func (w *WorkerPanic) Error() string {
 
 // Run invokes worker(id) once per pool worker, id in [0, Workers()), and
 // waits for all of them. It is the building block for callers with their own
-// work distribution (e.g. draining a shared channel). A panic in any worker
-// is re-raised as a *WorkerPanic after the remaining workers finish.
+// work distribution (e.g. draining a shared channel). The calling goroutine
+// participates as worker 0, so a pool of w workers spawns only w-1
+// goroutines. A panic in any worker is re-raised as a *WorkerPanic after the
+// remaining workers finish.
 func (p *Pool) Run(worker func(id int)) {
 	if p.workers == 1 {
 		p.busy.Add(1)
@@ -99,23 +102,38 @@ func (p *Pool) Run(worker func(id int)) {
 		worker(0)
 		return
 	}
+	p.runN(p.workers, worker)
+}
+
+// runN invokes worker(id) for id in [0, n), n >= 2: ids 1..n-1 on spawned
+// goroutines, id 0 on the calling goroutine. Panics from any of them
+// (including the caller's own worker) are deferred until every worker has
+// finished, then re-raised as a *WorkerPanic.
+func (p *Pool) runN(n int, worker func(id int)) {
 	var wg sync.WaitGroup
 	var once sync.Once
 	var wp *WorkerPanic
-	for id := 0; id < p.workers; id++ {
+	rec := func() {
+		if r := recover(); r != nil {
+			once.Do(func() { wp = &WorkerPanic{Value: r, Stack: debug.Stack()} })
+		}
+	}
+	for id := 1; id < n; id++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					once.Do(func() { wp = &WorkerPanic{Value: r, Stack: debug.Stack()} })
-				}
-			}()
+			defer rec()
 			p.busy.Add(1)
 			defer p.busy.Add(-1)
 			worker(id)
 		}(id)
 	}
+	func() {
+		defer rec()
+		p.busy.Add(1)
+		defer p.busy.Add(-1)
+		worker(0)
+	}()
 	wg.Wait()
 	if wp != nil {
 		panic(wp)
@@ -133,6 +151,14 @@ func (p *Pool) Run(worker func(id int)) {
 // Callers that write only chunk-local state (indexed by lo/chunkSize or by
 // element index) and reduce per-chunk results in chunk order get results
 // that are bit-identical at any pool size. It panics if chunkSize < 1.
+//
+// Dispatch is adaptive: ForEachChunk never runs more workers than there are
+// chunks, never more than GOMAXPROCS (chunk bodies are CPU-bound by
+// contract, so extra concurrency on a saturated scheduler is pure dispatch
+// overhead — the cause of the historical workers=4 < workers=1 regression on
+// single-proc runs), and a single effective worker runs the chunks inline in
+// increasing order with no goroutines at all. None of this moves a chunk
+// boundary, so results are unaffected.
 func (p *Pool) ForEachChunk(n, chunkSize int, fn func(worker, lo, hi int)) {
 	if chunkSize < 1 {
 		panic("parallel: ForEachChunk with chunkSize < 1")
@@ -142,7 +168,7 @@ func (p *Pool) ForEachChunk(n, chunkSize int, fn func(worker, lo, hi int)) {
 	}
 	nChunks := (n + chunkSize - 1) / chunkSize
 	p.tasks.Add(uint64(nChunks))
-	if p.workers == 1 || nChunks == 1 {
+	inline := func() {
 		for c := 0; c < nChunks; c++ {
 			lo := c * chunkSize
 			hi := lo + chunkSize
@@ -151,10 +177,35 @@ func (p *Pool) ForEachChunk(n, chunkSize int, fn func(worker, lo, hi int)) {
 			}
 			fn(0, lo, hi)
 		}
+	}
+	if p.workers == 1 || nChunks == 1 {
+		inline()
+		return
+	}
+	w := p.workers
+	if w > nChunks {
+		w = nChunks
+	}
+	if gmp := runtime.GOMAXPROCS(0); w > gmp {
+		w = gmp
+	}
+	if w == 1 {
+		// Single effective worker: no goroutines, but keep the multi-worker
+		// pool's panic contract (*WorkerPanic) so callers see one behavior
+		// per pool size regardless of GOMAXPROCS.
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(*WorkerPanic); ok {
+					panic(r)
+				}
+				panic(&WorkerPanic{Value: r, Stack: debug.Stack()})
+			}
+		}()
+		inline()
 		return
 	}
 	var next int64
-	p.Run(func(id int) {
+	p.runN(w, func(id int) {
 		for {
 			c := int(atomic.AddInt64(&next, 1)) - 1
 			if c >= nChunks {
