@@ -55,6 +55,17 @@ func readLoadSummary(path string) (*workload.LoadSummary, error) {
 	return &s, nil
 }
 
+// saturatedScenario reports whether a run went past its knee: once tasks
+// were shed or the brownout controller moved, latency percentiles and
+// throughput measure the controller's timing-dependent tier mix and the shed
+// fraction, not code speed — on the same machine, back-to-back saturation
+// runs swing task p95 by 3x as the full/fallback population boundary shifts.
+// Such scenarios are held to their absolute SLOs only (always a hard gate);
+// ratio comparisons are recorded but never enforced.
+func saturatedScenario(r *workload.ScenarioResult) bool {
+	return r.Outcomes["shed"] > 0 || r.TierChanges > 0
+}
+
 // compareLoad pairs current scenarios with baseline scenarios by name.
 // Scenarios absent from the baseline are skipped — a new scenario has
 // nothing to regress against.
@@ -66,6 +77,7 @@ func compareLoad(cur, base *workload.LoadSummary) []LoadComparison {
 		if b == nil {
 			continue
 		}
+		sat := saturatedScenario(c) || saturatedScenario(b)
 		latency := func(metric string, baseV, curV float64) {
 			if baseV <= 0 {
 				return
@@ -74,7 +86,7 @@ func compareLoad(cur, base *workload.LoadSummary) []LoadComparison {
 				Scenario: c.Name, Metric: metric,
 				Baseline: baseV, Current: curV,
 				Ratio: curV / baseV,
-				Gated: baseV >= loadLatencyFloorSeconds || curV >= loadLatencyFloorSeconds,
+				Gated: !sat && (baseV >= loadLatencyFloorSeconds || curV >= loadLatencyFloorSeconds),
 			})
 		}
 		latency("task_p50_seconds", b.TaskSeconds.P50, c.TaskSeconds.P50)
@@ -86,7 +98,7 @@ func compareLoad(cur, base *workload.LoadSummary) []LoadComparison {
 				Scenario: c.Name, Metric: "throughput_rps",
 				Baseline: b.ThroughputRPS, Current: c.ThroughputRPS,
 				Ratio: b.ThroughputRPS / c.ThroughputRPS,
-				Gated: true,
+				Gated: !sat,
 			})
 		}
 	}
@@ -124,18 +136,23 @@ func gateLoad(w io.Writer, cur *workload.LoadSummary, comps []LoadComparison) (f
 func writeLoadTable(w io.Writer, cur *workload.LoadSummary, comps []LoadComparison) {
 	fmt.Fprintln(w, "## Load / SLO summary")
 	fmt.Fprintln(w)
-	fmt.Fprintln(w, "| Scenario | Offered | Throughput | Task p50/p95/p99 | Queued p99 | Dead-letter | Degraded | Breaker opens | SLO |")
-	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|---|")
+	fmt.Fprintln(w, "| Scenario | Offered | Throughput | Task p50/p95/p99 | Queued p99 | Dead-letter | Degraded | Shed | Abandoned | Max tier | Breaker opens | SLO |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|---|---|---|---|")
 	for _, sc := range cur.Scenarios {
 		verdict := "✅ pass"
 		if !sc.Pass {
 			verdict = "❌ FAIL"
 		}
-		fmt.Fprintf(w, "| %s | %d | %.2f req/s | %s / %s / %s | %s | %d | %d | %d | %s |\n",
+		tier := "—"
+		if sc.TierChanges > 0 {
+			tier = fmt.Sprintf("%d (%d moves)", sc.BrownoutMaxTier, sc.TierChanges)
+		}
+		fmt.Fprintf(w, "| %s | %d | %.2f req/s | %s / %s / %s | %s | %d | %d | %d | %d | %s | %d | %s |\n",
 			sc.Name, sc.Offered, sc.ThroughputRPS,
 			fmtSeconds(sc.TaskSeconds.P50), fmtSeconds(sc.TaskSeconds.P95), fmtSeconds(sc.TaskSeconds.P99),
 			fmtSeconds(sc.QueuedSeconds.P99),
-			sc.Outcomes["dead_letter"], sc.Outcomes["degraded"], sc.BreakerOpens, verdict)
+			sc.Outcomes["dead_letter"], sc.Outcomes["degraded"],
+			sc.Outcomes["shed"], sc.Outcomes["abandoned"], tier, sc.BreakerOpens, verdict)
 	}
 	for _, sc := range cur.Scenarios {
 		for _, v := range sc.Violations {
@@ -146,12 +163,18 @@ func writeLoadTable(w io.Writer, cur *workload.LoadSummary, comps []LoadComparis
 	if len(comps) == 0 {
 		return
 	}
+	saturated := map[string]bool{}
+	for i := range cur.Scenarios {
+		saturated[cur.Scenarios[i].Name] = saturatedScenario(&cur.Scenarios[i])
+	}
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "| Scenario | Metric | Baseline | Current | Ratio |")
 	fmt.Fprintln(w, "|---|---|---|---|---|")
 	for _, c := range comps {
 		note := ""
 		switch {
+		case !c.Gated && saturated[c.Scenario]:
+			note = " (saturated; SLO-gated only)"
 		case !c.Gated:
 			note = " (below noise floor)"
 		case c.Ratio > loadFailRatio:

@@ -52,6 +52,40 @@ func TestCompareLoad(t *testing.T) {
 	}
 }
 
+// TestCompareLoadSaturated: a scenario driven past its knee (shed tasks or
+// brownout moves on either side) is never ratio-gated — its percentiles
+// measure the controller's tier mix, not code speed — but the comparisons
+// are still recorded for the table.
+func TestCompareLoadSaturated(t *testing.T) {
+	base := loadSummaryFixture(true)
+	cur := loadSummaryFixture(true)
+	cur.Scenarios[0].TaskSeconds.P95 = 0.300 // 3.75x: would hard-fail if gated
+	cur.Scenarios[0].Outcomes["shed"] = 10
+
+	comps := compareLoad(cur, base)
+	if len(comps) == 0 {
+		t.Fatal("saturated scenario produced no comparisons")
+	}
+	for _, c := range comps {
+		if c.Gated {
+			t.Errorf("saturated scenario comparison gated: %+v", c)
+		}
+	}
+	if gateLoad(&strings.Builder{}, cur, comps) {
+		t.Error("passing saturated scenario failed the gate on a ratio")
+	}
+
+	// Brownout movement alone (no shedding) also marks saturation, and the
+	// baseline side counts too.
+	cur.Scenarios[0].Outcomes = map[string]int{"ok": 100}
+	base.Scenarios[0].TierChanges = 4
+	for _, c := range compareLoad(cur, base) {
+		if c.Gated {
+			t.Errorf("comparison gated despite baseline tier changes: %+v", c)
+		}
+	}
+}
+
 func TestGateLoad(t *testing.T) {
 	// All passing, no comparisons: silence.
 	var out strings.Builder

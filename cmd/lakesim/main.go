@@ -159,6 +159,17 @@ func main() {
 		breakerCool = flag.Duration("breaker-cooldown", time.Second, "open-breaker cooldown before a half-open probe")
 		fallback    = flag.Bool("fallback", false, "degrade failed tasks to the default baseline detector")
 
+		// Overload control (internal/lake): bounded admission with
+		// deadline-aware shedding, and the brownout degradation ladder.
+		queueDepth   = flag.Int("queue-depth", 0, "admission queue capacity (0 = legacy unbounded backpressure, nothing is shed)")
+		maxQueueWait = flag.Duration("max-queue-wait", 0, "shed tasks whose predicted queue wait exceeds this (0 = only full-queue shedding; needs -queue-depth)")
+		brownoutOn   = flag.Bool("brownout", false, "step detection down the degradation ladder (full ENLD -> ANN -> ANN+f32 -> fallback) under sustained pressure, recovering tier-by-tier")
+		brQueueHigh  = flag.Int("brownout-queue-high", 0, "queue-depth pressure watermark (0 = half of -queue-depth)")
+		brQueueLow   = flag.Int("brownout-queue-low", 0, "queue-depth calm watermark (0 = a quarter of the high watermark)")
+		brP95High    = flag.Duration("brownout-p95-high", 0, "windowed task-latency p95 pressure watermark (0 = latency signal off)")
+		brP95Low     = flag.Duration("brownout-p95-low", 0, "windowed task-latency p95 calm watermark")
+		brInterval   = flag.Duration("brownout-interval", 250*time.Millisecond, "brownout evaluation cadence")
+
 		// Crash recovery.
 		platformPath = flag.String("platform", "", "platform snapshot file: loaded if present (skipping setup), saved after setup otherwise; ignored when -store-dir is set")
 		resume       = flag.Bool("resume", false, "skip task IDs already recorded in the -journal file")
@@ -335,6 +346,10 @@ func main() {
 			RetrySeed:        *seed,
 			BreakerThreshold: *breakerN,
 			BreakerCooldown:  *breakerCool,
+			Admission: lake.AdmissionConfig{
+				QueueDepth:   *queueDepth,
+				MaxQueueWait: *maxQueueWait,
+			},
 		}
 		if *fallback {
 			policy.Fallback = baselines.Default{Model: wb.Platform.Model}
@@ -344,7 +359,42 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lakesim:", err)
 			os.Exit(1)
 		}
+		if *queueDepth > 0 {
+			fmt.Printf("admission: queue depth %d, max predicted wait %s\n", *queueDepth, *maxQueueWait)
+		}
+		if *brownoutOn {
+			// The degradation ladder built on this run's platform, with tier 0
+			// replaced by the detector under test (fault wrap included) so the
+			// brownout degrades from exactly what the run is serving.
+			ladder := experiments.BrownoutLadder(wb)
+			ladder[0].Detector = detector
+			high := *brQueueHigh
+			if high == 0 && *queueDepth > 0 {
+				high = *queueDepth / 2
+				if high < 2 {
+					high = 2
+				}
+			}
+			low := *brQueueLow
+			if low == 0 {
+				low = high / 4
+			}
+			bcfg := lake.BrownoutConfig{
+				QueueHigh: high, QueueLow: low,
+				P95High: *brP95High, P95Low: *brP95Low,
+				Interval: *brInterval,
+			}
+			if err := svc.SetBrownout(ladder, bcfg, func(from, to int) {
+				fmt.Printf("brownout: tier %d (%s) -> %d (%s)\n", from, ladder[from].Name, to, ladder[to].Name)
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "lakesim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("brownout on: %d-tier ladder, queue watermarks %d/%d, p95 watermarks %s/%s, interval %s\n",
+				len(ladder), high, low, *brP95High, *brP95Low, *brInterval)
+		}
 		svc.SetObs(reg)
+		tracker.AttachService(svc)
 		if inv != nil {
 			svc.SetInventory(inv)
 		}
@@ -375,7 +425,7 @@ func main() {
 		ctx, cancel := context.WithTimeout(rootCtx, *timeout)
 		defer cancel()
 		reports := svc.Run(ctx, lake.Feed(ctx, wb.Shards, *interval))
-		summarize(reports, len(wb.Shards), len(done), svc.Breaker())
+		summarize(reports, len(wb.Shards), len(done), svc)
 		if inv != nil {
 			st := inv.Stats()
 			fmt.Printf("storage: %s backend, %d dataset(s) (%d samples), %d segment(s), %d live / %d dead bytes, %d append(s), %d compaction(s)\n",
@@ -401,13 +451,22 @@ func main() {
 	os.Exit(2)
 }
 
-func summarize(reports []lake.Report, total, skipped int, breaker *lake.Breaker) {
+func summarize(reports []lake.Report, total, skipped int, svc *lake.Service) {
+	breaker := svc.Breaker()
 	var dets []metrics.Detection
 	var queued, process time.Duration
-	succeeded, degraded, deadLettered, retries := 0, 0, 0, 0
+	succeeded, degraded, deadLettered, shed, abandoned, retries := 0, 0, 0, 0, 0, 0
 	for _, rep := range reports {
 		retries += rep.Retries
 		switch {
+		case rep.Shed:
+			shed++
+			fmt.Printf("task %2d SHED at admission: %v\n", rep.TaskID, rep.Err)
+			continue
+		case rep.Abandoned:
+			abandoned++
+			fmt.Printf("task %2d ABANDONED at shutdown: %v\n", rep.TaskID, rep.Err)
+			continue
 		case rep.DeadLettered:
 			deadLettered++
 			fmt.Printf("task %2d DEAD-LETTERED after %d retries: %v\n", rep.TaskID, rep.Retries, rep.Err)
@@ -428,6 +487,9 @@ func summarize(reports []lake.Report, total, skipped int, breaker *lake.Breaker)
 		if rep.Degraded {
 			tag = " DEGRADED"
 		}
+		if rep.Tier != "" && rep.Tier != lake.TierFull {
+			tag += " tier=" + rep.Tier
+		}
 		if rep.Retries > 0 {
 			tag += fmt.Sprintf(" (retries=%d)", rep.Retries)
 		}
@@ -437,14 +499,22 @@ func summarize(reports []lake.Report, total, skipped int, breaker *lake.Breaker)
 			rep.Detection.Precision, rep.Detection.Recall, rep.Detection.F1, tag)
 	}
 
-	fmt.Printf("\naccounting: %d tasks = %d succeeded + %d degraded + %d dead-lettered + %d skipped (recovered)",
-		total, succeeded, degraded, deadLettered, skipped)
-	if lost := total - succeeded - degraded - deadLettered - skipped; lost > 0 {
+	fmt.Printf("\naccounting: %d tasks = %d succeeded + %d degraded + %d dead-lettered + %d shed + %d abandoned + %d skipped (recovered)",
+		total, succeeded, degraded, deadLettered, shed, abandoned, skipped)
+	if lost := total - succeeded - degraded - deadLettered - shed - abandoned - skipped; lost > 0 {
 		fmt.Printf(" — %d LOST (cancelled before processing)", lost)
 	}
 	fmt.Println()
 	if retries > 0 {
 		fmt.Printf("transient retries consumed: %d\n", retries)
+	}
+	if ov := svc.OverloadStatus(); ov.QueueCapacity > 0 || ov.BrownoutTier >= 0 {
+		fmt.Printf("overload: shed=%d abandoned=%d ewma_task=%.0fms", ov.TasksShed, ov.TasksAbandoned, ov.EWMATaskSeconds*1000)
+		if ov.BrownoutTier >= 0 {
+			fmt.Printf(" brownout tier=%d (%s) max_tier=%d changes=%d",
+				ov.BrownoutTier, ov.BrownoutTierName, ov.BrownoutMaxTier, ov.TierChanges)
+		}
+		fmt.Println()
 	}
 	if breaker != nil {
 		fmt.Printf("breaker: state=%s trips=%d\n", breaker.State(), breaker.Trips())

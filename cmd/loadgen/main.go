@@ -53,6 +53,7 @@ func main() {
 		warnOnly   = flag.Bool("warn-only", false, "report SLO violations without failing the process")
 		scrapeURL  = flag.String("scrape-url", "", "evaluate SLOs against this live /metrics endpoint instead of replaying")
 		scrapeWall = flag.Float64("scrape-wall", 0, "wall-clock seconds the scraped service has been serving (for the throughput objective)")
+		noBrownout = flag.Bool("no-brownout", false, "strip the scenario's overload protection (bounded admission, shedding, brownout tiers) and replay unprotected; the result is renamed <name>-unprotected so protected and baseline runs coexist in one artifact")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -70,6 +71,20 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen:", err)
 			os.Exit(2)
+		}
+		if *noBrownout {
+			// The unprotected baseline: same trace (generation is seeded, the
+			// name is only a label), no shedding, no degradation tiers. The
+			// queue is left effectively unbounded — not zero: a zero depth
+			// falls back to the blocking hand-off, which pushes the delay into
+			// the generator's send lag where the service's own queued-latency
+			// histogram cannot see it. A deep queue admits every arrival
+			// immediately, so saturation shows up honestly as queued-p99
+			// collapse in the same metrics the protected run is gated on.
+			spec.Name += "-unprotected"
+			spec.Brownout = nil
+			spec.Policy.QueueDepth = 1 << 16
+			spec.Policy.MaxQueueWaitMS = 0
 		}
 		var res *workload.ScenarioResult
 		if *scrapeURL != "" {
@@ -166,6 +181,7 @@ func runScenario(ctx context.Context, spec workload.Spec, speed float64, timeout
 		RetrySeed:        spec.Seed,
 		BreakerThreshold: p.BreakerThreshold,
 		BreakerCooldown:  time.Duration(p.BreakerCooldownMS * float64(time.Millisecond)),
+		Admission:        p.Admission(),
 	}
 	if p.Fallback {
 		policy.Fallback = baselines.Default{Model: wb.Platform.Model}
@@ -173,6 +189,25 @@ func runScenario(ctx context.Context, spec workload.Spec, speed float64, timeout
 	svc, err := lake.NewServiceWithPolicy(detector, spec.Workers, policy)
 	if err != nil {
 		return nil, err
+	}
+	if spec.Brownout != nil {
+		// The ENLD degradation ladder, built on the scenario's platform. Tier
+		// 0 is replaced by the scenario's own method — fault-injector wrap
+		// included — so the ladder degrades from the detector under test. The
+		// injector wraps tier 0 only: the full-quality rung is the one under
+		// chaos, and the cheaper rungs model the clean fast paths the brownout
+		// degrades to.
+		ladder := experiments.BrownoutLadder(wb)
+		ladder[0].Detector = detector
+		if err := svc.SetBrownout(ladder, spec.Brownout.Config(), func(from, to int) {
+			fmt.Printf("[%s] brownout: tier %d (%s) -> %d (%s)\n",
+				spec.Name, from, ladder[from].Name, to, ladder[to].Name)
+		}); err != nil {
+			return nil, err
+		}
+		fmt.Printf("[%s] brownout on: %d-tier ladder, queue watermarks %d/%d, p95 watermarks %.0f/%.0fms\n",
+			spec.Name, len(ladder), spec.Brownout.QueueHigh, spec.Brownout.QueueLow,
+			spec.Brownout.P95HighMS, spec.Brownout.P95LowMS)
 	}
 	svc.SetObs(reg)
 	lake.ObserveBreaker(svc.Breaker(), reg)
@@ -293,9 +328,19 @@ func report(r *workload.ScenarioResult) {
 	fmt.Printf("[%s] completed=%d/%d offered, %.2f req/s, task p50/p95/p99 = %.3f/%.3f/%.3f s, queued p99 = %.3f s\n",
 		r.Name, r.Completed, r.Offered, r.ThroughputRPS,
 		r.TaskSeconds.P50, r.TaskSeconds.P95, r.TaskSeconds.P99, r.QueuedSeconds.P99)
-	fmt.Printf("[%s] outcomes: ok=%d degraded=%d dead_letter=%d retries=%d breaker_opens=%d max_send_lag=%.3fs\n",
+	fmt.Printf("[%s] outcomes: ok=%d degraded=%d dead_letter=%d shed=%d abandoned=%d retries=%d breaker_opens=%d max_send_lag=%.3fs\n",
 		r.Name, r.Outcomes["ok"], r.Outcomes["degraded"], r.Outcomes["dead_letter"],
+		r.Outcomes["shed"], r.Outcomes["abandoned"],
 		r.Retries, r.BreakerOpens, r.MaxSendLagSeconds)
+	if r.TierChanges > 0 || len(r.TierF1) > 0 {
+		fmt.Printf("[%s] brownout: max_tier=%d tier_changes=%d", r.Name, r.BrownoutMaxTier, r.TierChanges)
+		for _, tier := range []string{"full", "ann", "ann-f32", "fallback"} {
+			if q, ok := r.TierF1[tier]; ok {
+				fmt.Printf(" %s: F1=%.3f over %d", tier, q.MeanF1, q.Tasks)
+			}
+		}
+		fmt.Println()
+	}
 	if r.Pass {
 		fmt.Printf("[%s] SLO: PASS\n", r.Name)
 		return

@@ -94,6 +94,22 @@ func DefaultConfig(seed uint64) Config {
 	}
 }
 
+// TierLadder returns the ENLD side of the brownout degradation ladder built
+// from c: the config as given (full quality), then with the approximate ANN
+// index, then ANN plus the float32 ranking profile. Each step trades
+// detection quality headroom for speed; serving layers append a cheap
+// non-ENLD fallback detector as the last rung. The base config's own
+// ANN/Float32 settings are overridden so the rungs are strictly ordered.
+func (c Config) TierLadder() []Config {
+	full := c
+	full.ANN, full.Float32 = false, false
+	ann := full
+	ann.ANN = true
+	annF32 := ann
+	annF32.Float32 = true
+	return []Config{full, ann, annF32}
+}
+
 // IterationSnapshot records the detector's state after one iteration of
 // fine-grained NLD; the Fig. 9 (metric trajectories) and Fig. 13(b)
 // (ambiguous-sample counts) experiments consume these.

@@ -28,6 +28,14 @@ type Status struct {
 	TasksDegraded   int `json:"tasks_degraded"`
 	TasksDeadLetter int `json:"tasks_dead_lettered"`
 	TotalRetries    int `json:"total_retries"`
+	// Overload statistics: tasks shed at admission (a load-control decision,
+	// counted apart from failures) and tasks abandoned at shutdown.
+	TasksShed      int `json:"tasks_shed"`
+	TasksAbandoned int `json:"tasks_abandoned"`
+	// Overload reports the service's live overload-control state — queue
+	// occupancy, shed counts and the active brownout tier — when a service
+	// is attached.
+	Overload *OverloadStatus `json:"overload,omitempty"`
 	// Breaker reports the circuit breaker, when one is attached.
 	Breaker *BreakerStatus `json:"breaker,omitempty"`
 
@@ -88,6 +96,9 @@ type ReportSummary struct {
 	Retries      int    `json:"retries,omitempty"`
 	Degraded     bool   `json:"degraded,omitempty"`
 	DeadLettered bool   `json:"dead_lettered,omitempty"`
+	Shed         bool   `json:"shed,omitempty"`
+	Abandoned    bool   `json:"abandoned,omitempty"`
+	Tier         string `json:"tier,omitempty"`
 }
 
 // StatusTracker accumulates task reports and serves them over HTTP. It is
@@ -98,6 +109,7 @@ type StatusTracker struct {
 	breaker   *Breaker
 	training  *TrainingHealth
 	inventory Inventory
+	service   *Service
 	jrecovery *JournalRecovery
 	reports   []Report
 	// keepRecent bounds the recent-report ring.
@@ -150,6 +162,16 @@ func (t *StatusTracker) AttachInventory(inv Inventory) {
 	t.inventory = inv
 }
 
+// AttachService makes snapshots report the service's live overload-control
+// state (Service.OverloadStatus is re-read at every snapshot): admission
+// queue depth and capacity, the shedder's service-time estimate, and the
+// brownout tier. A nil service detaches.
+func (t *StatusTracker) AttachService(svc *Service) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.service = svc
+}
+
 // SetJournalRecovery publishes what the journal's crash recovery found, so
 // a dropped torn tail is visible on /statusz instead of only in logs.
 func (t *StatusTracker) SetJournalRecovery(rec JournalRecovery) {
@@ -191,6 +213,10 @@ func (t *StatusTracker) Snapshot() Status {
 		r := *t.jrecovery
 		st.JournalRecovery = &r
 	}
+	if t.service != nil {
+		ov := t.service.OverloadStatus()
+		st.Overload = &ov
+	}
 	var f1Sum float64
 	var procSum, queueSum time.Duration
 	ok := 0
@@ -202,6 +228,16 @@ func (t *StatusTracker) Snapshot() Status {
 		}
 		if rep.DeadLettered {
 			st.TasksDeadLetter++
+		}
+		// Shed and abandoned tasks carry an explanatory error but are their
+		// own outcome classes, not detection failures.
+		if rep.Shed {
+			st.TasksShed++
+			continue
+		}
+		if rep.Abandoned {
+			st.TasksAbandoned++
+			continue
 		}
 		if rep.Err != nil {
 			st.TasksFailed++
@@ -230,10 +266,13 @@ func (t *StatusTracker) Snapshot() Status {
 			F1:           rep.Detection.F1,
 			ProcessSec:   rep.Process.Seconds(),
 			QueuedSec:    rep.Queued.Seconds(),
-			Failed:       rep.Err != nil,
+			Failed:       rep.Err != nil && !rep.Shed && !rep.Abandoned,
 			Retries:      rep.Retries,
 			Degraded:     rep.Degraded,
 			DeadLettered: rep.DeadLettered,
+			Shed:         rep.Shed,
+			Abandoned:    rep.Abandoned,
+			Tier:         rep.Tier,
 		}
 		if rep.Err != nil {
 			rs.Error = rep.Err.Error()

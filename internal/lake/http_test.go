@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -251,4 +252,99 @@ func TestSnapshotStorageAndJournalRecovery(t *testing.T) {
 	if decoded.Storage == nil || decoded.Storage.Samples != 3 || decoded.JournalRecovery.Offset != 240 {
 		t.Fatalf("decoded = %+v / %+v", decoded.Storage, decoded.JournalRecovery)
 	}
+}
+
+// TestSnapshotOverloadBlock: /statusz surfaces the live overload-control
+// state — queue occupancy, shed/abandoned accounting, brownout tier — and the
+// JSON wire shape stays stable for dashboards.
+func TestSnapshotOverloadBlock(t *testing.T) {
+	svc, err := NewServiceWithPolicy(flagOdd{}, 2, Policy{
+		Admission: AdmissionConfig{QueueDepth: 16, MaxQueueWait: 250 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SetBrownout([]TierDetector{
+		{Name: TierFull, Detector: flagOdd{}},
+		{Name: TierFallback, Detector: flagAll{}},
+	}, BrownoutConfig{QueueHigh: 8, QueueLow: 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := NewStatusTracker(nil)
+	tr.AttachService(svc)
+	tr.Record(Report{TaskID: 0, Tier: TierFull, Detection: metrics.Detection{F1: 0.9}})
+	tr.Record(Report{TaskID: 1, Tier: TierFull, Shed: true, Err: errFake})
+	tr.Record(Report{TaskID: 2, Tier: TierFull, Abandoned: true, Err: errFake})
+	svc.shed.Add(1)
+	svc.abandoned.Add(1)
+
+	st := tr.Snapshot()
+	if st.TasksShed != 1 || st.TasksAbandoned != 1 {
+		t.Fatalf("shed/abandoned counts: %+v", st)
+	}
+	// Shed and abandoned are their own outcome classes, not failures.
+	if st.TasksFailed != 0 {
+		t.Fatalf("shed/abandoned counted as failures: %+v", st)
+	}
+	if st.Overload == nil || st.Overload.QueueCapacity != 16 || st.Overload.TasksShed != 1 {
+		t.Fatalf("overload section = %+v", st.Overload)
+	}
+	if st.Overload.BrownoutTier != 0 || st.Overload.BrownoutTierName != TierFull {
+		t.Fatalf("brownout fields = %+v", st.Overload)
+	}
+
+	// Pin the exact JSON key shape the endpoint serves.
+	srv := httptest.NewServer(tr.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"tasks_shed", "tasks_abandoned", "overload"} {
+		if _, ok := raw[key]; !ok {
+			t.Fatalf("status JSON missing %q: %v", key, keysOf(raw))
+		}
+	}
+	var ov map[string]json.RawMessage
+	if err := json.Unmarshal(raw["overload"], &ov); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"queue_depth", "queue_capacity", "ewma_task_seconds",
+		"tasks_shed", "tasks_abandoned",
+		"brownout_tier", "brownout_tier_name", "brownout_max_tier", "tier_changes",
+	} {
+		if _, ok := ov[key]; !ok {
+			t.Fatalf("overload JSON missing %q: %v", key, keysOf(ov))
+		}
+	}
+	var recent []map[string]json.RawMessage
+	if err := json.Unmarshal(raw["recent"], &recent); err != nil {
+		t.Fatal(err)
+	}
+	// Most recent first: task 2 (abandoned), task 1 (shed), task 0 (ok).
+	if _, ok := recent[0]["abandoned"]; !ok {
+		t.Fatalf("recent[0] missing abandoned flag: %v", keysOf(recent[0]))
+	}
+	if _, ok := recent[1]["shed"]; !ok {
+		t.Fatalf("recent[1] missing shed flag: %v", keysOf(recent[1]))
+	}
+	if _, ok := recent[2]["tier"]; !ok {
+		t.Fatalf("recent[2] missing tier: %v", keysOf(recent[2]))
+	}
+}
+
+func keysOf(m map[string]json.RawMessage) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -8,15 +8,25 @@ import (
 
 // lakeObs holds the service's pre-interned metric handles.
 type lakeObs struct {
-	reg           *obs.Registry
-	tasksOK       *obs.Counter
-	tasksDegraded *obs.Counter
-	tasksDead     *obs.Counter
-	retries       *obs.Counter
-	taskSeconds   *obs.Histogram
-	queuedSeconds *obs.Histogram
-	inflight      *obs.Gauge
+	reg            *obs.Registry
+	tasksOK        *obs.Counter
+	tasksDegraded  *obs.Counter
+	tasksDead      *obs.Counter
+	tasksShed      *obs.Counter
+	tasksAbandoned *obs.Counter
+	retries        *obs.Counter
+	taskSeconds    *obs.Histogram
+	queuedSeconds  *obs.Histogram
+	inflight       *obs.Gauge
+	queueDepth     *obs.Gauge
+	brownoutTier   *obs.Gauge
+	brownoutMax    *obs.Gauge
 }
+
+// f1Buckets spans the [0, 1] detection-F1 range; the load harness reads
+// per-tier quality as sum/count (the mean) so bucket placement only affects
+// dashboard resolution.
+var f1Buckets = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1}
 
 // taskBuckets spans detection-task latencies: sub-millisecond degraded
 // fallbacks up to multi-minute full ENLD runs.
@@ -39,10 +49,12 @@ func (s *Service) SetObs(reg *obs.Registry) {
 			obs.Label{Key: "outcome", Value: v})
 	}
 	s.obs = &lakeObs{
-		reg:           reg,
-		tasksOK:       outcome("ok"),
-		tasksDegraded: outcome("degraded"),
-		tasksDead:     outcome("dead_letter"),
+		reg:            reg,
+		tasksOK:        outcome("ok"),
+		tasksDegraded:  outcome("degraded"),
+		tasksDead:      outcome("dead_letter"),
+		tasksShed:      outcome("shed"),
+		tasksAbandoned: outcome("abandoned"),
 		retries: reg.Counter("enld_lake_retries_total",
 			"Extra primary detection attempts consumed by transient failures."),
 		taskSeconds: reg.Histogram("enld_lake_task_seconds",
@@ -51,7 +63,61 @@ func (s *Service) SetObs(reg *obs.Registry) {
 			"Time a lake task waited in the queue before a worker picked it up.", taskBuckets),
 		inflight: reg.Gauge("enld_lake_inflight_tasks",
 			"Lake tasks currently being processed by a worker. Pinned at the worker count when the service is saturated — the load harness reads this to tell queueing delay from processing delay."),
+		queueDepth: reg.Gauge("enld_lake_queue_depth",
+			"Admitted-but-not-started lake tasks in the bounded admission queue (0 without bounded admission)."),
+		brownoutTier: reg.Gauge("enld_lake_brownout_tier",
+			"Active brownout degradation tier (ladder index; 0 is full quality)."),
+		brownoutMax: reg.Gauge("enld_lake_brownout_max_tier",
+			"Deepest brownout tier reached since the service started."),
 	}
+	// Pre-register the brownout transition and per-tier quality series for a
+	// ladder already installed, so scrapes show them at zero from the start.
+	if b := s.brownout; b != nil {
+		s.obs.tierTransitions("down")
+		s.obs.tierTransitions("up")
+		for _, rung := range b.ladder {
+			s.obs.tierTasks(rung.Name)
+			s.obs.tierF1(rung.Name)
+		}
+	}
+}
+
+// tierTransitions interns the brownout transition counter for one direction.
+// Registry interning returns the same handle on every call, so these per-call
+// lookups are safe; they run once per tier change, never per task.
+func (o *lakeObs) tierTransitions(direction string) *obs.Counter {
+	return o.reg.Counter("enld_lake_brownout_transitions_total",
+		"Brownout tier transitions, by direction (down = degrade, up = recover).",
+		obs.Label{Key: "direction", Value: direction})
+}
+
+// tierTasks interns the per-tier completed-task counter.
+func (o *lakeObs) tierTasks(tier string) *obs.Counter {
+	return o.reg.Counter("enld_lake_tier_tasks_total",
+		"Completed lake tasks, by brownout tier served.",
+		obs.Label{Key: "tier", Value: tier})
+}
+
+// tierF1 interns the per-tier detection-F1 histogram. Mean F1 for a tier is
+// sum/count; the load harness reads it to enforce per-tier quality floors.
+func (o *lakeObs) tierF1(tier string) *obs.Histogram {
+	return o.reg.Histogram("enld_lake_detection_f1",
+		"Detection F1 of completed lake tasks scored against ground truth, by brownout tier.",
+		f1Buckets, obs.Label{Key: "tier", Value: tier})
+}
+
+// brownoutTransition records one tier change from the controller goroutine.
+func (o *lakeObs) brownoutTransition(b *brownout, from, to int) {
+	if o == nil {
+		return
+	}
+	direction := "down"
+	if to < from {
+		direction = "up"
+	}
+	o.tierTransitions(direction).Inc()
+	o.brownoutTier.Set(float64(to))
+	o.brownoutMax.Set(float64(b.maxTier.Load()))
 }
 
 // taskStarted/taskFinished bracket one worker's processing of a task for the
@@ -70,14 +136,23 @@ func (o *lakeObs) taskFinished() {
 	o.inflight.Add(-1)
 }
 
-// record files one completed task. elapsed is the worker's wall-clock
+// record files one finished task. elapsed is the worker's wall-clock
 // processing time (attempts, backoff and fallback included — unlike
-// Report.Process, which only the successful detector call stamps).
+// Report.Process, which only the successful detector call stamps). Shed and
+// abandoned tasks count in the outcome taxonomy but deliberately skip the
+// latency histograms: no detector work ran, and folding their zeros in would
+// deflate the very percentiles the overload SLOs are judged on.
 func (o *lakeObs) record(rep Report, elapsed time.Duration) {
 	if o == nil {
 		return
 	}
 	switch {
+	case rep.Shed:
+		o.tasksShed.Inc()
+		return
+	case rep.Abandoned:
+		o.tasksAbandoned.Inc()
+		return
 	case rep.DeadLettered:
 		o.tasksDead.Inc()
 	case rep.Degraded:
@@ -88,6 +163,20 @@ func (o *lakeObs) record(rep Report, elapsed time.Duration) {
 	o.retries.Add(uint64(rep.Retries))
 	o.taskSeconds.Observe(elapsed.Seconds())
 	o.queuedSeconds.Observe(rep.Queued.Seconds())
+	if rep.Tier != "" {
+		o.tierTasks(rep.Tier).Inc()
+		if rep.Result != nil {
+			o.tierF1(rep.Tier).Observe(rep.Detection.F1)
+		}
+	}
+}
+
+// setQueueDepth mirrors the admission-queue occupancy into the gauge.
+func (s *Service) setQueueDepth(n int64) {
+	if s.obs == nil {
+		return
+	}
+	s.obs.queueDepth.Set(float64(n))
 }
 
 // ObserveBreaker exports a breaker's behaviour through the registry:

@@ -2,6 +2,7 @@ package lake
 
 import (
 	"context"
+	"strings"
 	"testing"
 	"time"
 
@@ -134,6 +135,84 @@ func TestServiceObsDegradedAndDead(t *testing.T) {
 	svc2.Run(ctx, Feed(ctx, shards(2, 4), 0))
 	if got := lakeCounter(reg2, "dead_letter").Value(); got != 2 {
 		t.Fatalf("dead-letter counter = %d, want 2", got)
+	}
+}
+
+// TestServiceObsBrownoutSeries: with a brownout ladder installed before
+// SetObs, the tier and transition series are pre-registered, tier-stamped
+// completions land in the per-tier counters and F1 histograms, an escalation
+// shows up in the transition counter and tier gauges, and every family is
+// present in the Prometheus exposition.
+func TestServiceObsBrownoutSeries(t *testing.T) {
+	svc, err := NewServiceWithPolicy(flagOdd{delay: 15 * time.Millisecond}, 1, Policy{
+		Admission: AdmissionConfig{QueueDepth: 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SetBrownout([]TierDetector{
+		{Name: TierFull, Detector: flagOdd{delay: 15 * time.Millisecond}},
+		{Name: TierFallback, Detector: flagAll{delay: time.Millisecond}},
+	}, BrownoutConfig{
+		QueueHigh: 2, QueueLow: 0,
+		Interval:      2 * time.Millisecond,
+		EscalateAfter: 1, RecoverAfter: 1000,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	svc.SetObs(reg)
+	ctx := context.Background()
+	data := shards(24, 4)
+	// Same pacing as the differential test: arrivals outrun the 15ms tier-0
+	// detector so the controller escalates mid-run and both tiers serve tasks.
+	reports := svc.Run(ctx, Feed(ctx, data, 2*time.Millisecond))
+
+	perTier := map[string]int{}
+	for _, rep := range reports {
+		if rep.Err != nil {
+			t.Fatalf("task %d: %v", rep.TaskID, rep.Err)
+		}
+		perTier[rep.Tier]++
+	}
+	for tier, want := range perTier {
+		if got := svc.obs.tierTasks(tier).Value(); got != uint64(want) {
+			t.Fatalf("tier %s task counter = %d, want %d", tier, got, want)
+		}
+		if got := svc.obs.tierF1(tier).Count(); got != uint64(want) {
+			t.Fatalf("tier %s F1 histogram count = %d, want %d", tier, got, want)
+		}
+	}
+	if got := svc.obs.tierTransitions("down").Value(); got == 0 {
+		t.Fatal("controller escalated but the down-transition counter is zero")
+	}
+	st := svc.OverloadStatus()
+	maxGauge := reg.Gauge("enld_lake_brownout_max_tier",
+		"Deepest brownout tier reached since the service started.")
+	if got := maxGauge.Value(); got != float64(st.BrownoutMaxTier) {
+		t.Fatalf("max-tier gauge = %v, status says %d", got, st.BrownoutMaxTier)
+	}
+	tierGauge := reg.Gauge("enld_lake_brownout_tier",
+		"Active brownout degradation tier (ladder index; 0 is full quality).")
+	if got := tierGauge.Value(); got < 1 {
+		t.Fatalf("tier gauge = %v after escalation with recovery disabled, want >= 1", got)
+	}
+
+	var expo strings.Builder
+	if err := reg.WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"enld_lake_tier_tasks_total",
+		"enld_lake_detection_f1",
+		"enld_lake_brownout_transitions_total",
+		"enld_lake_brownout_tier",
+		"enld_lake_brownout_max_tier",
+		"enld_lake_queue_depth",
+	} {
+		if !strings.Contains(expo.String(), family) {
+			t.Fatalf("exposition missing %s:\n%s", family, expo.String())
+		}
 	}
 }
 

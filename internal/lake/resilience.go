@@ -38,12 +38,20 @@ type Policy struct {
 	// skipped by an open breaker). Fallback results are flagged Degraded in
 	// the report — never silently passed off as primary output.
 	Fallback detect.Detector
+	// Admission bounds the admission queue and enables deadline-aware load
+	// shedding (see AdmissionConfig). The zero value keeps the legacy
+	// unbounded, backpressuring behaviour.
+	Admission AdmissionConfig
 }
 
 // normalized fills policy defaults.
 func (p Policy) normalized() (Policy, error) {
 	if p.TaskTimeout < 0 || p.MaxRetries < 0 || p.BreakerThreshold < 0 {
 		return p, fmt.Errorf("lake: negative policy field: %+v", p)
+	}
+	var err error
+	if p.Admission, err = p.Admission.normalized(); err != nil {
+		return p, err
 	}
 	if p.RetryBase <= 0 {
 		p.RetryBase = 20 * time.Millisecond

@@ -350,15 +350,26 @@ func TestServiceCancelMidFeed(t *testing.T) {
 		}
 	}()
 	reports := svc.Run(ctx, requests)
-	// In-flight tasks are finished, queued ones abandoned, and the service
-	// returns instead of hanging.
-	if len(reports) == 0 {
-		t.Fatal("no tasks processed before cancel")
-	}
+	// In-flight tasks are finished, queued ones reported as Abandoned (not
+	// silently dropped), and the service returns instead of hanging.
+	processed := 0
 	for _, rep := range reports {
+		if rep.Abandoned {
+			if rep.Err == nil {
+				t.Fatalf("abandoned task %d carries no error", rep.TaskID)
+			}
+			continue
+		}
 		if rep.Err != nil {
 			t.Fatalf("task %d: %v", rep.TaskID, rep.Err)
 		}
+		processed++
+	}
+	if processed == 0 {
+		t.Fatal("no tasks processed before cancel")
+	}
+	if got := svc.OverloadStatus().TasksAbandoned; got != len(reports)-processed {
+		t.Fatalf("status reports %d abandoned, reports carry %d", got, len(reports)-processed)
 	}
 }
 

@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"enld/internal/dataset"
 	"enld/internal/detect"
 	"enld/internal/mat"
 	"enld/internal/metrics"
+	"enld/internal/obs"
 	"enld/internal/parallel"
 )
 
@@ -46,8 +48,24 @@ type Report struct {
 	Degraded bool
 	// DeadLettered marks a task that exhausted every path — retries and
 	// fallback included — and carries only an error. No task is silently
-	// dropped: it either succeeds, degrades, or dead-letters.
+	// dropped: it either succeeds, degrades, dead-letters, is shed at
+	// admission, or is abandoned at shutdown.
 	DeadLettered bool
+	// Shed marks a task rejected at admission by the overload shedder: the
+	// queue was full, or the task's predicted queue wait already exceeded
+	// its deadline. A shed task consumed no detector work and is not a
+	// failure of the detection path — it is the service declining work it
+	// could not serve in time (see AdmissionConfig).
+	Shed bool
+	// Abandoned marks a task that was admitted to the queue but never
+	// processed because the service shut down first. Counting these keeps
+	// zero-lost-task audits exact: every admitted task appears in the
+	// reports as ok, degraded, dead-lettered, shed or abandoned.
+	Abandoned bool
+	// Tier names the brownout ladder rung the task was served at, stamped
+	// at admission ("" when brownout is not configured). A task keeps its
+	// admission tier even if the controller moves while it is queued.
+	Tier string
 }
 
 // ErrBreakerOpen reports a task bypassing the primary detector because the
@@ -80,6 +98,17 @@ type Service struct {
 	// worker may process it.
 	inventory Inventory
 
+	// Overload control: ewma estimates task service time for the admission
+	// shedder, queueLen tracks admitted-but-not-started tasks, latency feeds
+	// the brownout controller's windowed p95, and brownout (nil when not
+	// configured) holds the degradation ladder and its state machine.
+	ewma      *serviceEWMA
+	queueLen  atomic.Int64
+	latency   *obs.Histogram
+	brownout  *brownout
+	shed      atomic.Int64
+	abandoned atomic.Int64
+
 	// OnReport, when set, is invoked from worker goroutines as each task
 	// completes — before Run returns — so live dashboards (StatusTracker)
 	// can observe progress. The callback must be safe for concurrent use.
@@ -110,11 +139,67 @@ func NewServiceWithPolicy(detector detect.Detector, workers int, policy Policy) 
 		workers:  workers,
 		policy:   policy,
 		retryRNG: mat.NewRNG(policy.RetrySeed ^ 0xd1b54a32d192ed03),
+		ewma:     newServiceEWMA(policy.Admission.EWMAAlpha, policy.Admission.InitialServiceTime),
+		latency:  obs.NewHistogram(taskBuckets),
 	}
 	if policy.BreakerThreshold > 0 {
 		s.breaker = NewBreaker(policy.BreakerThreshold, policy.BreakerCooldown)
 	}
 	return s, nil
+}
+
+// SetBrownout installs a degradation ladder and enables the brownout
+// controller: during Run a control loop watches queue depth and the p95 of
+// task service time over each evaluation window and steps the active tier
+// down the ladder under pressure (and back up, tier-by-tier, when it
+// clears). Tasks are stamped with the active tier at admission and keep it:
+// a tier change never alters the result of a task already admitted. Call
+// before Run. onChange, when non-nil, observes transitions (ladder indexes).
+func (s *Service) SetBrownout(ladder []TierDetector, cfg BrownoutConfig, onChange func(from, to int)) error {
+	b, err := newBrownout(ladder, cfg)
+	if err != nil {
+		return err
+	}
+	b.onTierChange = onChange
+	s.brownout = b
+	return nil
+}
+
+// OverloadStatus is the live overload-control block of /statusz: admission
+// queue occupancy, shed/abandoned accounting and the brownout tier.
+type OverloadStatus struct {
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	// EWMATaskSeconds is the shedder's current service-time estimate.
+	EWMATaskSeconds float64 `json:"ewma_task_seconds"`
+	TasksShed       int     `json:"tasks_shed"`
+	TasksAbandoned  int     `json:"tasks_abandoned"`
+	// Brownout state; Tier is -1 when no ladder is configured.
+	BrownoutTier     int    `json:"brownout_tier"`
+	BrownoutTierName string `json:"brownout_tier_name,omitempty"`
+	BrownoutMaxTier  int    `json:"brownout_max_tier"`
+	TierChanges      int    `json:"tier_changes"`
+}
+
+// OverloadStatus returns the service's live overload-control state. Safe for
+// concurrent use while Run is active.
+func (s *Service) OverloadStatus() OverloadStatus {
+	st := OverloadStatus{
+		QueueDepth:      int(s.queueLen.Load()),
+		QueueCapacity:   s.policy.Admission.QueueDepth,
+		EWMATaskSeconds: s.ewma.value(),
+		TasksShed:       int(s.shed.Load()),
+		TasksAbandoned:  int(s.abandoned.Load()),
+		BrownoutTier:    -1,
+	}
+	if b := s.brownout; b != nil {
+		tier := b.activeTier()
+		st.BrownoutTier = tier
+		st.BrownoutTierName = b.ladder[tier].Name
+		st.BrownoutMaxTier = int(b.maxTier.Load())
+		st.TierChanges = int(b.tierChanges.Load())
+	}
+	return st
 }
 
 // Breaker returns the service's circuit breaker, or nil when the policy
@@ -145,21 +230,44 @@ func (s *Service) SetInventory(inv Inventory) {
 	s.inventory = inv
 }
 
+// stamped is one admitted task: the request, its admission time, and the
+// brownout tier it was admitted at (the tier it keeps even if the controller
+// moves while it waits).
+type stamped struct {
+	req     Request
+	arrived time.Time
+	tier    int
+}
+
 // Run consumes requests until the channel closes or ctx is cancelled, and
-// returns one report per processed request, ordered by TaskID. A cancelled
-// context abandons queued requests but waits for in-flight ones.
+// returns one report per accepted request, ordered by TaskID. A cancelled
+// context stops admission and waits for in-flight tasks; tasks already
+// admitted but never started are reported as Abandoned rather than silently
+// dropped, so the accounting identity holds: every accepted task appears in
+// the reports exactly once (ok, degraded, dead-lettered, shed or abandoned).
 //
 // The worker pool is the shared parallel.Pool: Run blocks in Pool.Run while
 // a feeder goroutine stamps arrivals onto the work channel; closing the
-// channel releases the workers.
+// channel releases the workers. With Policy.Admission configured the work
+// channel is the bounded admission queue and the feeder sheds instead of
+// blocking (see AdmissionConfig); otherwise it is an unbuffered hand-off
+// whose backpressure blocks the submitter, exactly the legacy behaviour.
 func (s *Service) Run(ctx context.Context, requests <-chan Request) []Report {
-	type stamped struct {
-		req     Request
-		arrived time.Time
-	}
-	work := make(chan stamped)
+	admission := s.policy.Admission
+	work := make(chan stamped, admission.QueueDepth)
 	var mu sync.Mutex
 	var reports []Report
+
+	// file routes one finished report to the observer hook and the result
+	// slice. Callers record metrics first.
+	file := func(rep Report) {
+		if s.OnReport != nil {
+			s.OnReport(rep)
+		}
+		mu.Lock()
+		reports = append(reports, rep)
+		mu.Unlock()
+	}
 
 	go func() {
 		defer close(work)
@@ -174,32 +282,54 @@ func (s *Service) Run(ctx context.Context, requests <-chan Request) []Report {
 				if s.skip[req.TaskID] {
 					continue
 				}
+				tier := s.brownout.activeTier()
+				// Reject-early shedding runs before the durable append: a
+				// task the service refuses to serve should not consume a
+				// storage write.
+				if admission.QueueDepth > 0 {
+					if rep, shed := s.admit(req, tier, admission); shed {
+						s.obs.record(rep, 0)
+						file(rep)
+						continue
+					}
+				}
 				if s.inventory != nil {
 					if _, err := s.inventory.AppendDataset(fmt.Sprintf("task-%d", req.TaskID), req.Data); err != nil {
 						rep := Report{
 							TaskID:       req.TaskID,
 							Size:         len(req.Data),
+							Tier:         s.tierName(tier),
 							DeadLettered: true,
 							Err:          fmt.Errorf("lake: task %d: durable append: %w", req.TaskID, err),
 						}
 						s.obs.record(rep, 0)
-						if s.OnReport != nil {
-							s.OnReport(rep)
-						}
-						mu.Lock()
-						reports = append(reports, rep)
-						mu.Unlock()
+						file(rep)
 						continue
 					}
 				}
+				st := stamped{req: req, arrived: time.Now(), tier: tier}
+				if admission.QueueDepth > 0 {
+					// admit reserved the slot: queueLen ≤ QueueDepth bounds
+					// channel occupancy, so this send cannot block.
+					s.setQueueDepth(s.queueLen.Add(1))
+					work <- st
+					continue
+				}
 				select {
-				case work <- stamped{req: req, arrived: time.Now()}:
+				case work <- st:
 				case <-ctx.Done():
+					// The hand-off never happened: this task was accepted
+					// but will never run. Account for it.
+					rep := s.abandonReport(st)
+					s.obs.record(rep, 0)
+					file(rep)
 					return
 				}
 			}
 		}
 	}()
+
+	stopCtl := s.startBrownout()
 
 	pool := parallel.New(s.workers)
 	if s.obs != nil {
@@ -207,38 +337,143 @@ func (s *Service) Run(ctx context.Context, requests <-chan Request) []Report {
 	}
 	pool.Run(func(int) {
 		for st := range work {
+			if admission.QueueDepth > 0 {
+				s.setQueueDepth(s.queueLen.Add(-1))
+			}
+			if ctx.Err() != nil {
+				// Shutting down: drain the queue with accounting instead of
+				// either processing doomed tasks or dropping them silently.
+				rep := s.abandonReport(st)
+				s.obs.record(rep, 0)
+				file(rep)
+				continue
+			}
 			queued := time.Since(st.arrived)
 			s.obs.taskStarted()
 			began := time.Now()
-			rep := s.process(ctx, st.req)
+			rep := s.process(ctx, st.req, st.tier)
 			rep.Queued = queued
+			elapsed := time.Since(began)
 			s.obs.taskFinished()
-			s.obs.record(rep, time.Since(began))
-			if s.OnReport != nil {
-				s.OnReport(rep)
-			}
-			mu.Lock()
-			reports = append(reports, rep)
-			mu.Unlock()
+			s.ewma.observe(elapsed)
+			s.latency.Observe(elapsed.Seconds())
+			s.obs.record(rep, elapsed)
+			file(rep)
 		}
 	})
+	stopCtl()
 
 	sortReports(reports)
 	return reports
+}
+
+// admit runs the deadline-aware shedding decision for one arriving task.
+// It returns (report, true) when the task is shed. Only the feeder
+// goroutine calls it, so the depth read cannot race another admission;
+// workers may decrement depth concurrently, which only makes the estimate
+// conservative (a stale-high depth sheds a borderline task one tick early).
+func (s *Service) admit(req Request, tier int, a AdmissionConfig) (Report, bool) {
+	depth := s.queueLen.Load()
+	if int(depth) >= a.QueueDepth {
+		return s.shedReport(req, tier, fmt.Sprintf("admission queue full (%d tasks)", depth)), true
+	}
+	if a.MaxQueueWait > 0 {
+		predicted := time.Duration(float64(depth) * s.ewma.value() / float64(s.workers) * float64(time.Second))
+		if predicted > a.MaxQueueWait {
+			return s.shedReport(req, tier, fmt.Sprintf(
+				"predicted queue wait %s exceeds %s (depth %d, ewma task %s)",
+				predicted.Round(time.Millisecond), a.MaxQueueWait, depth,
+				time.Duration(s.ewma.value()*float64(time.Second)).Round(time.Millisecond))), true
+		}
+	}
+	return Report{}, false
+}
+
+// shedReport builds the outcome=shed report for a rejected task.
+func (s *Service) shedReport(req Request, tier int, reason string) Report {
+	s.shed.Add(1)
+	return Report{
+		TaskID: req.TaskID,
+		Size:   len(req.Data),
+		Tier:   s.tierName(tier),
+		Shed:   true,
+		Err:    fmt.Errorf("lake: task %d: shed: %s", req.TaskID, reason),
+	}
+}
+
+// abandonReport builds the outcome=abandoned report for an admitted task the
+// shutdown overtook.
+func (s *Service) abandonReport(st stamped) Report {
+	s.abandoned.Add(1)
+	return Report{
+		TaskID:    st.req.TaskID,
+		Size:      len(st.req.Data),
+		Tier:      s.tierName(st.tier),
+		Abandoned: true,
+		Err:       fmt.Errorf("lake: task %d: abandoned at shutdown before processing", st.req.TaskID),
+	}
+}
+
+// tierName resolves a ladder index to its label value ("" without brownout).
+func (s *Service) tierName(tier int) string {
+	if s.brownout == nil {
+		return ""
+	}
+	return s.brownout.ladder[tier].Name
+}
+
+// startBrownout launches the brownout control loop and returns its stop
+// function (a no-op closure when brownout is not configured).
+func (s *Service) startBrownout() func() {
+	b := s.brownout
+	if b == nil {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(b.cfg.Interval)
+		defer ticker.Stop()
+		prev := s.latency.Snapshot()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				snap := s.latency.Snapshot()
+				win := snap.Sub(prev)
+				prev = snap
+				from, to, changed := b.step(int(s.queueLen.Load()), win.Quantile(0.95))
+				if changed {
+					s.obs.brownoutTransition(b, from, to)
+				}
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+	}
 }
 
 // process runs one request through the full resilience pipeline: primary
 // detector (breaker-gated, deadline-bounded, retried on transient errors),
 // then the fallback detector, then the dead-letter report. A panicking
 // detector is contained: the panic becomes an attempt error rather than
-// killing the worker pool.
-func (s *Service) process(ctx context.Context, req Request) Report {
-	rep := Report{TaskID: req.TaskID, Size: len(req.Data)}
+// killing the worker pool. With brownout configured the primary detector is
+// the one serving the task's admission tier.
+func (s *Service) process(ctx context.Context, req Request, tier int) Report {
+	rep := Report{TaskID: req.TaskID, Size: len(req.Data), Tier: s.tierName(tier)}
+	primary := s.detector
+	if s.brownout != nil {
+		primary = s.brownout.ladder[tier].Detector
+	}
 
 	primaryErr := ErrBreakerOpen
 	if s.breaker == nil || s.breaker.Allow() {
 		var res *detect.Result
-		res, rep.Retries, primaryErr = s.attemptWithRetry(ctx, req)
+		res, rep.Retries, primaryErr = s.attemptWithRetry(ctx, primary, req)
 		if primaryErr == nil {
 			if s.breaker != nil {
 				s.breaker.Success()
@@ -276,11 +511,11 @@ func fill(rep *Report, req Request, res *detect.Result) {
 // attemptWithRetry runs the primary detector, retrying transient failures
 // up to the policy's budget with exponential backoff and jitter. It returns
 // the retry count actually consumed.
-func (s *Service) attemptWithRetry(ctx context.Context, req Request) (*detect.Result, int, error) {
+func (s *Service) attemptWithRetry(ctx context.Context, det detect.Detector, req Request) (*detect.Result, int, error) {
 	var err error
 	for attempt := 0; ; attempt++ {
 		var res *detect.Result
-		res, err = s.attempt(s.detector, req)
+		res, err = s.attempt(det, req)
 		if err == nil {
 			return res, attempt, nil
 		}

@@ -7,6 +7,8 @@ import (
 
 func intp(v int) *int { return &v }
 
+func floatp(v float64) *float64 { return &v }
+
 func baseResult() *ScenarioResult {
 	return &ScenarioResult{
 		Name:          "t",
@@ -66,7 +68,54 @@ func TestSLOEvaluate(t *testing.T) {
 			name:   "lost work breaches completed ratio",
 			slo:    SLO{MinCompletedRatio: 1.0},
 			mutate: func(r *ScenarioResult) { r.Completed = 99 },
-			want:   "completed ratio",
+			want:   "accounted ratio",
+		},
+		{
+			name: "shed work is accounted, not lost",
+			slo:  SLO{MinCompletedRatio: 1.0},
+			mutate: func(r *ScenarioResult) {
+				r.Completed = 90
+				r.Outcomes["shed"] = 8
+				r.Outcomes["abandoned"] = 2
+			},
+		},
+		{
+			name: "shed fraction over limit",
+			slo:  SLO{MaxShedFraction: floatp(0.05)},
+			mutate: func(r *ScenarioResult) {
+				r.Completed = 90
+				r.Outcomes["shed"] = 10
+			},
+			want: "shed fraction",
+		},
+		{
+			name: "zero shedding demanded and met",
+			slo:  SLO{MaxShedFraction: floatp(0)},
+		},
+		{
+			name:   "abandoned tasks over limit",
+			slo:    SLO{MaxAbandoned: intp(0)},
+			mutate: func(r *ScenarioResult) { r.Outcomes["abandoned"] = 3 },
+			want:   "abandoned",
+		},
+		{
+			name: "tier quality under floor",
+			slo:  SLO{MinTierF1: map[string]float64{"ann": 0.8}},
+			mutate: func(r *ScenarioResult) {
+				r.TierF1 = map[string]TierF1{"ann": {MeanF1: 0.7, Tasks: 40}}
+			},
+			want: "tier ann mean F1",
+		},
+		{
+			name: "tier quality at floor passes",
+			slo:  SLO{MinTierF1: map[string]float64{"ann": 0.8, "full": 0.9}},
+			mutate: func(r *ScenarioResult) {
+				r.TierF1 = map[string]TierF1{"ann": {MeanF1: 0.8, Tasks: 40}, "full": {MeanF1: 0.95, Tasks: 60}}
+			},
+		},
+		{
+			name: "unserved tier has no quality evidence",
+			slo:  SLO{MinTierF1: map[string]float64{"fallback": 0.5}},
 		},
 		{
 			name:   "empty histogram is unmeasurable, not fast",
@@ -102,5 +151,30 @@ func TestSLOEmpty(t *testing.T) {
 	}
 	if (SLO{MaxDeadLetters: intp(0)}).Empty() {
 		t.Error("zero-dead-letters objective reported Empty")
+	}
+	if (SLO{MaxShedFraction: floatp(0)}).Empty() {
+		t.Error("zero-shed objective reported Empty")
+	}
+	if (SLO{MinTierF1: map[string]float64{"full": 0.9}}).Empty() {
+		t.Error("tier-F1 objective reported Empty")
+	}
+}
+
+func TestSLOValidate(t *testing.T) {
+	for name, bad := range map[string]SLO{
+		"negative latency":   {MaxP99TaskSeconds: -1},
+		"ratio above one":    {MinCompletedRatio: 1.5},
+		"shed fraction >1":   {MaxShedFraction: floatp(2)},
+		"negative abandoned": {MaxAbandoned: intp(-1)},
+		"tier floor >1":      {MinTierF1: map[string]float64{"full": 1.5}},
+		"unnamed tier":       {MinTierF1: map[string]float64{"": 0.5}},
+	} {
+		if err := bad.validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	ok := SLO{MaxP99TaskSeconds: 1, MaxShedFraction: floatp(0.2), MinTierF1: map[string]float64{"full": 0.9}}
+	if err := ok.validate(); err != nil {
+		t.Errorf("sound SLO rejected: %v", err)
 	}
 }

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"enld/internal/lake"
 )
 
 // Phase is one segment of the arrival schedule. Rate is the arrival rate in
@@ -69,6 +71,46 @@ type PolicySpec struct {
 	BreakerThreshold   int     `json:"breaker_threshold,omitempty"`
 	BreakerCooldownMS  float64 `json:"breaker_cooldown_ms,omitempty"`
 	Fallback           bool    `json:"fallback,omitempty"`
+	// Admission bounds the service's queue and enables deadline-aware load
+	// shedding (lake.AdmissionConfig): QueueDepth 0 keeps the legacy
+	// unbounded backpressure.
+	QueueDepth     int     `json:"queue_depth,omitempty"`
+	MaxQueueWaitMS float64 `json:"max_queue_wait_ms,omitempty"`
+}
+
+// Admission converts the spec's admission fields to the service config.
+func (p PolicySpec) Admission() lake.AdmissionConfig {
+	return lake.AdmissionConfig{
+		QueueDepth:   p.QueueDepth,
+		MaxQueueWait: time.Duration(p.MaxQueueWaitMS * float64(time.Millisecond)),
+	}
+}
+
+// BrownoutSpec configures the service's brownout controller
+// (lake.BrownoutConfig) for the scenario. Its presence in a spec enables
+// brownout; replay tooling may still force it off for an unprotected
+// baseline run (loadgen -no-brownout).
+type BrownoutSpec struct {
+	QueueHigh     int     `json:"queue_high,omitempty"`
+	QueueLow      int     `json:"queue_low,omitempty"`
+	P95HighMS     float64 `json:"p95_high_ms,omitempty"`
+	P95LowMS      float64 `json:"p95_low_ms,omitempty"`
+	IntervalMS    float64 `json:"interval_ms,omitempty"`
+	EscalateAfter int     `json:"escalate_after,omitempty"`
+	RecoverAfter  int     `json:"recover_after,omitempty"`
+}
+
+// Config converts the brownout spec to the service config.
+func (b BrownoutSpec) Config() lake.BrownoutConfig {
+	return lake.BrownoutConfig{
+		QueueHigh:     b.QueueHigh,
+		QueueLow:      b.QueueLow,
+		P95High:       time.Duration(b.P95HighMS * float64(time.Millisecond)),
+		P95Low:        time.Duration(b.P95LowMS * float64(time.Millisecond)),
+		Interval:      time.Duration(b.IntervalMS * float64(time.Millisecond)),
+		EscalateAfter: b.EscalateAfter,
+		RecoverAfter:  b.RecoverAfter,
+	}
 }
 
 // Spec is one declarative load scenario. Everything that shapes the
@@ -106,7 +148,10 @@ type Spec struct {
 
 	Fault  FaultSpec  `json:"fault,omitempty"`
 	Policy PolicySpec `json:"policy,omitempty"`
-	SLO    SLO        `json:"slo,omitempty"`
+	// Brownout, when present, installs the degradation-tier controller on
+	// the service under test.
+	Brownout *BrownoutSpec `json:"brownout,omitempty"`
+	SLO      SLO           `json:"slo,omitempty"`
 }
 
 // LoadSpec reads and validates one scenario spec file.
@@ -176,7 +221,49 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario %s noise_mix[%d]: unknown kind %q", s.Name, i, c.Kind)
 		}
 	}
+	if err := s.Fault.validate(); err != nil {
+		return fmt.Errorf("scenario %s fault: %w", s.Name, err)
+	}
+	if err := s.Policy.validate(); err != nil {
+		return fmt.Errorf("scenario %s policy: %w", s.Name, err)
+	}
+	if s.Brownout != nil {
+		if err := s.Brownout.Config().Validate(); err != nil {
+			return fmt.Errorf("scenario %s brownout: %w", s.Name, err)
+		}
+	}
+	if err := s.SLO.validate(); err != nil {
+		return fmt.Errorf("scenario %s slo: %w", s.Name, err)
+	}
 	return nil
+}
+
+// validate rejects fault rates outside [0, 1] and negative latencies.
+func (f FaultSpec) validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"fail_rate", f.FailRate}, {"panic_rate", f.PanicRate},
+		{"slow_rate", f.SlowRate}, {"corrupt_rate", f.CorruptRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("%s %v outside [0, 1]", r.name, r.v)
+		}
+	}
+	if f.SlowLatencyMS < 0 {
+		return fmt.Errorf("negative slow_latency_ms %v", f.SlowLatencyMS)
+	}
+	return nil
+}
+
+// validate rejects resilience-policy settings the service would refuse.
+func (p PolicySpec) validate() error {
+	if p.TaskTimeoutSeconds < 0 || p.Retries < 0 || p.RetryBaseMS < 0 ||
+		p.BreakerThreshold < 0 || p.BreakerCooldownMS < 0 || p.MaxQueueWaitMS < 0 {
+		return fmt.Errorf("negative policy field: %+v", p)
+	}
+	return p.Admission().Validate()
 }
 
 // Arrival models.

@@ -38,6 +38,12 @@ type ScenarioResult struct {
 	TaskSeconds   LatencySummary `json:"task_seconds"`
 	QueuedSeconds LatencySummary `json:"queued_seconds"`
 	BreakerOpens  int            `json:"breaker_opens"`
+	// Overload-control outcomes: the deepest brownout tier reached, how many
+	// times the controller moved, and per-tier detection quality. TierF1 is
+	// keyed by tier name; tiers appear only when they served scored tasks.
+	BrownoutMaxTier int               `json:"brownout_max_tier,omitempty"`
+	TierChanges     int               `json:"tier_changes,omitempty"`
+	TierF1          map[string]TierF1 `json:"tier_f1,omitempty"`
 	// MaxSendLagSeconds is the generator's worst schedule slip; a large
 	// value taints the latency numbers (see PlayOptions.Obs).
 	MaxSendLagSeconds float64 `json:"max_send_lag_seconds"`
@@ -45,6 +51,12 @@ type ScenarioResult struct {
 	SLO        SLO      `json:"slo"`
 	Violations []string `json:"violations,omitempty"`
 	Pass       bool     `json:"pass"`
+}
+
+// TierF1 is one brownout tier's detection quality over a run.
+type TierF1 struct {
+	MeanF1 float64 `json:"mean_f1"`
+	Tasks  uint64  `json:"tasks"`
 }
 
 // LoadSummary is the BENCH_load.json document.
@@ -141,6 +153,35 @@ func summarizeParsed(name string, parsed obs.Parsed) (*ScenarioResult, error) {
 		}
 		out.Outcomes[outcome] = int(v)
 		out.Completed += int(v)
+	}
+	// Overload outcome classes: accounted work that is not completed work.
+	// Optional in the exposition so pre-overload-control scrapes still parse.
+	for _, outcome := range []string{"shed", "abandoned"} {
+		if v, ok := parsed.Counter("enld_lake_tasks_total", map[string]string{"outcome": outcome}); ok {
+			out.Outcomes[outcome] = int(v)
+		}
+	}
+	if v, ok := parsed.Gauge("enld_lake_brownout_max_tier", nil); ok {
+		out.BrownoutMaxTier = int(v)
+	}
+	for _, direction := range []string{"down", "up"} {
+		if v, ok := parsed.Counter("enld_lake_brownout_transitions_total",
+			map[string]string{"direction": direction}); ok {
+			out.TierChanges += int(v)
+		}
+	}
+	// Per-tier detection quality: every {tier=...} series of the F1 family.
+	if fam := parsed["enld_lake_detection_f1"]; fam != nil {
+		for _, s := range fam.Series {
+			tier := s.Labels["tier"]
+			if tier == "" || s.Count == 0 {
+				continue
+			}
+			if out.TierF1 == nil {
+				out.TierF1 = map[string]TierF1{}
+			}
+			out.TierF1[tier] = TierF1{MeanF1: finite(s.Sum / float64(s.Count)), Tasks: s.Count}
+		}
 	}
 	if v, ok := parsed.Counter("enld_lake_retries_total", nil); ok {
 		out.Retries = int(v)

@@ -205,6 +205,18 @@ func TestSpecValidate(t *testing.T) {
 		func(s *Spec) { s.NoiseMix[0].Rate = 1 },
 		func(s *Spec) { s.NoiseMix[0].Kind = "gaussian" },
 		func(s *Spec) { s.NoiseMix[0].Weight = -1 },
+		func(s *Spec) { s.Fault.FailRate = 1.5 },
+		func(s *Spec) { s.Fault.PanicRate = -0.1 },
+		func(s *Spec) { s.Fault.SlowLatencyMS = -5 },
+		func(s *Spec) { s.Policy.Retries = -1 },
+		func(s *Spec) { s.Policy.QueueDepth = -4 },
+		func(s *Spec) { s.Policy.MaxQueueWaitMS = -10 },
+		func(s *Spec) { s.Brownout = &BrownoutSpec{} }, // no pressure signal
+		func(s *Spec) { s.Brownout = &BrownoutSpec{QueueHigh: 4, QueueLow: 8} },
+		func(s *Spec) { s.Brownout = &BrownoutSpec{P95HighMS: 50, P95LowMS: 80} },
+		func(s *Spec) { s.SLO.MaxP99TaskSeconds = -1 },
+		func(s *Spec) { s.SLO.MinCompletedRatio = 2 },
+		func(s *Spec) { s.SLO.MinTierF1 = map[string]float64{"": 0.5} },
 	}
 	for i, mutate := range broken {
 		spec := testSpec()
@@ -215,5 +227,18 @@ func TestSpecValidate(t *testing.T) {
 	}
 	if err := testSpec().Validate(); err != nil {
 		t.Errorf("valid spec rejected: %v", err)
+	}
+	// A spec carrying the full overload-control surface must validate: bounded
+	// admission, a sound brownout ladder config, and shed-aware SLOs.
+	full := testSpec()
+	full.Policy = PolicySpec{TaskTimeoutSeconds: 2, Retries: 1, QueueDepth: 32, MaxQueueWaitMS: 200}
+	full.Brownout = &BrownoutSpec{QueueHigh: 24, QueueLow: 4, P95HighMS: 400, P95LowMS: 100, IntervalMS: 100}
+	full.SLO = SLO{
+		MaxP99TaskSeconds: 1, MinCompletedRatio: 1,
+		MaxShedFraction: floatp(0.3), MaxAbandoned: intp(0),
+		MinTierF1: map[string]float64{"full": 0.9, "ann": 0.8},
+	}
+	if err := full.Validate(); err != nil {
+		t.Errorf("overload-control spec rejected: %v", err)
 	}
 }
