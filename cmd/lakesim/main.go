@@ -13,6 +13,15 @@
 //	lakesim -fail-rate 0.2 -panic-rate 0.05 -retries 2 \
 //	        -breaker-threshold 3 -fallback \
 //	        -platform lake.platform -journal lake.journal -resume
+//
+// The stream can also be served by a sharded cluster
+// (internal/lake/cluster): -shards N runs the whole cluster in-process
+// behind a rendezvous-hashing coordinator, while -shard-addr and
+// -coordinator split worker and coordinator across processes:
+//
+//	lakesim -shards 4 -store seglog -store-dir /var/lake -http :8080
+//	lakesim -shard-addr :9001 -shard-name s0            # worker process
+//	lakesim -coordinator http://host:9001,http://host:9002
 package main
 
 import (
@@ -127,7 +136,7 @@ func main() {
 		method   = flag.String("method", "enld", "default, cl-1, cl-2, topofilter, enld, losstrack, incv, coteaching")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		scale    = flag.Float64("scale", 1.0, "dataset size factor")
-		shards   = flag.Int("shards", 0, "incremental dataset count (0 = paper count)")
+		datasets = flag.Int("datasets", 0, "incremental dataset count (0 = paper count)")
 		workers  = flag.Int("workers", 2, "concurrent detection workers")
 		taskW    = flag.Int("task-workers", 1, "data-parallel workers inside each detection task (0 = all cores); per-task results are identical at any count")
 		useANN   = flag.Bool("ann", false, "use the approximate IVF k-NN index for ENLD's contrastive sampling (faster; detection quality within the guardrail budget of the exact default)")
@@ -136,6 +145,15 @@ func main() {
 		timeout  = flag.Duration("timeout", 10*time.Minute, "overall simulation deadline")
 		journal  = flag.String("journal", "", "append an audit journal of detection decisions to this file")
 		httpAddr = flag.String("http", "", "serve JSON status (/statusz) and Prometheus metrics (/metrics) on this address (e.g. :8080)")
+
+		// Sharded cluster modes (internal/lake/cluster). -shards runs the
+		// whole cluster in one process; -shard-addr turns this process into
+		// one HTTP worker; -coordinator fronts remote workers. Journal and
+		// resume are single-node features and do not apply to cluster runs.
+		clusterShards = flag.Int("shards", 0, "run the stream through an in-process cluster of this many shard workers behind a rendezvous-hashing coordinator (0 = single service)")
+		shardAddr     = flag.String("shard-addr", "", "serve this process as one HTTP shard worker on this address (e.g. :9001) until interrupted")
+		shardName     = flag.String("shard-name", "", "cluster-wide name of this shard worker (default: the -shard-addr value)")
+		coordinator   = flag.String("coordinator", "", "comma-separated shard worker base URLs (e.g. http://host:9001,http://host:9002); run as the coordinator over these HTTP shards")
 
 		// Observability.
 		keepRecent = flag.Int("keep-recent", 0, "recent task reports kept in /statusz (0 = default 20)")
@@ -208,7 +226,7 @@ func main() {
 		reg.SetSpanLedger(f)
 	}
 
-	cfg := experiments.Config{Seed: *seed, DataScale: *scale, Shards: *shards, Workers: *taskW, Obs: reg, ANN: *useANN, Float32: *useF32}
+	cfg := experiments.Config{Seed: *seed, DataScale: *scale, Shards: *datasets, Workers: *taskW, Obs: reg, ANN: *useANN, Float32: *useF32}
 	if *watchdog {
 		cfg.Watchdog = nn.WatchdogConfig{
 			Enabled:      true,
@@ -216,6 +234,90 @@ func main() {
 			MaxRollbacks: *rollbackMax,
 		}
 	}
+	fl := clusterFlags{
+		shards:      *clusterShards,
+		shardAddr:   *shardAddr,
+		shardName:   *shardName,
+		coordinator: *coordinator,
+		method:      *method,
+		seed:        *seed,
+		workers:     *workers,
+		keepRecent:  *keepRecent,
+		interval:    *interval,
+		timeout:     *timeout,
+		httpAddr:    *httpAddr,
+		linger:      *linger,
+		storeKind:   *storeKind,
+		storeDir:    *storeDir,
+		fallback:    *fallback,
+	}
+	if fl.clusterMode() {
+		if *storeDir != "" && *storeKind != "seglog" {
+			fmt.Fprintf(os.Stderr, "lakesim: cluster modes support only -store seglog (got %q)\n", *storeKind)
+			os.Exit(2)
+		}
+		if *journal != "" || *resume {
+			fmt.Fprintln(os.Stderr, "lakesim: -journal/-resume are single-node features; ignored in cluster mode")
+		}
+		fl.policy = lake.Policy{
+			TaskTimeout:      *taskTimeout,
+			MaxRetries:       *retries,
+			RetryBase:        *retryBase,
+			RetrySeed:        *seed,
+			BreakerThreshold: *breakerN,
+			BreakerCooldown:  *breakerCool,
+			Admission: lake.AdmissionConfig{
+				QueueDepth:   *queueDepth,
+				MaxQueueWait: *maxQueueWait,
+			},
+		}
+		if *brownoutOn {
+			high := *brQueueHigh
+			if high == 0 && *queueDepth > 0 {
+				high = *queueDepth / 2
+				if high < 2 {
+					high = 2
+				}
+			}
+			low := *brQueueLow
+			if low == 0 {
+				low = high / 4
+			}
+			fl.brownout = true
+			fl.brCfg = lake.BrownoutConfig{
+				QueueHigh: high, QueueLow: low,
+				P95High: *brP95High, P95Low: *brP95Low,
+				Interval: *brInterval,
+			}
+		}
+		fl.faultOn = *failRate > 0 || *panicRate > 0 || *slowRate > 0 || *corruptRate > 0
+		fl.faultCfg = fault.Config{
+			Seed:        *faultSeed,
+			FailRate:    *failRate,
+			PanicRate:   *panicRate,
+			SlowRate:    *slowRate,
+			Latency:     *slowLatency,
+			CorruptRate: *corruptRate,
+		}
+		wb, err := buildWorkbench(*preset, *eta, cfg, *platformPath, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lakesim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("platform ready: %s eta=%.2f, inventory=%d, setup=%s\n",
+			*preset, *eta, len(wb.Inventory), wb.Platform.SetupTime.Round(time.Millisecond))
+		if fl.shardAddr != "" {
+			err = runShardServer(rootCtx, wb, fl)
+		} else {
+			err = runCluster(rootCtx, wb, reg, fl)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lakesim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	inv, err := openInventory(*storeKind, *storeDir, reg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lakesim: storage:", err)

@@ -54,6 +54,12 @@ func main() {
 		scrapeURL  = flag.String("scrape-url", "", "evaluate SLOs against this live /metrics endpoint instead of replaying")
 		scrapeWall = flag.Float64("scrape-wall", 0, "wall-clock seconds the scraped service has been serving (for the throughput objective)")
 		noBrownout = flag.Bool("no-brownout", false, "strip the scenario's overload protection (bounded admission, shedding, brownout tiers) and replay unprotected; the result is renamed <name>-unprotected so protected and baseline runs coexist in one artifact")
+
+		// Cluster mode (internal/lake/cluster): replay against an in-process
+		// sharded coordinator instead of a single service.
+		clusterN  = flag.Int("cluster", 0, "replay against an in-process cluster of this many shard workers behind a rendezvous-hashing coordinator; the result is renamed <name>-cluster so single-node and cluster runs coexist in one artifact")
+		killShard = flag.Int("kill-shard", -1, "hard-kill this shard index mid-replay (needs -cluster and -kill-after); its queued work must reroute with nothing lost")
+		killAfter = flag.Duration("kill-after", 0, "how far into the replay to kill -kill-shard")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -87,9 +93,13 @@ func main() {
 			spec.Policy.MaxQueueWaitMS = 0
 		}
 		var res *workload.ScenarioResult
-		if *scrapeURL != "" {
+		switch {
+		case *scrapeURL != "":
 			res, err = workload.SummarizeScrape(spec.Name, *scrapeURL, spec.SLO, *scrapeWall)
-		} else {
+		case *clusterN > 0:
+			spec.Name += "-cluster"
+			res, err = runClusterScenario(ctx, spec, *clusterN, *killShard, *killAfter, *speed, *timeout, *storeKind, *storeDir, *metricsDir)
+		default:
 			res, err = runScenario(ctx, spec, *speed, *timeout, *storeKind, *storeDir, *metricsDir)
 		}
 		if err != nil {

@@ -333,6 +333,14 @@ type nldRun struct {
 	ambIdx      []int       // indices of D in the ambiguous set A
 	hqIdx       []int       // indices of I' in the filtered high-quality set H'
 	contrastive dataset.Set // current contrastive set C
+
+	// Cached validation split over D's labelled samples. D never changes
+	// within a run, so the feature/label views are materialized once and
+	// reused by every warm-up epoch and fine-tune iteration instead of
+	// being rebuilt per accuracy probe.
+	valXS     [][]float64
+	valLabels []int
+	valReady  bool
 }
 
 // resample re-scores D and I' under the current model, rebuilds A and H'
@@ -488,27 +496,30 @@ func (r *nldRun) warmup() error {
 // validationAccuracy is the fraction of D's labelled samples whose predicted
 // label matches the observed label under the current model.
 func (r *nldRun) validationAccuracy() float64 {
-	xs := make([][]float64, 0, len(r.d))
-	labels := make([]int, 0, len(r.d))
-	for _, smp := range r.d {
-		if smp.Observed == dataset.Missing {
-			continue
+	if !r.valReady {
+		r.valXS = make([][]float64, 0, len(r.d))
+		r.valLabels = make([]int, 0, len(r.d))
+		for _, smp := range r.d {
+			if smp.Observed == dataset.Missing {
+				continue
+			}
+			r.valXS = append(r.valXS, smp.X)
+			r.valLabels = append(r.valLabels, smp.Observed)
 		}
-		xs = append(xs, smp.X)
-		labels = append(labels, smp.Observed)
+		r.valReady = true
 	}
-	if len(xs) == 0 {
+	if len(r.valXS) == 0 {
 		return 0
 	}
-	preds := r.model.PredictBatch(xs, r.cfg.Workers)
-	r.res.Meter.ForwardPasses += int64(len(xs))
+	preds := r.model.PredictBatch(r.valXS, r.cfg.Workers)
+	r.res.Meter.ForwardPasses += int64(len(r.valXS))
 	agree := 0
 	for i, p := range preds {
-		if p == labels[i] {
+		if p == r.valLabels[i] {
 			agree++
 		}
 	}
-	return float64(agree) / float64(len(xs))
+	return float64(agree) / float64(len(r.valXS))
 }
 
 // highQualityFiltered returns the indices of set forming H': samples whose

@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzWireDecode hammers the shard HTTP decode path — the one place
+// untrusted bytes enter the cluster. The decoders must reject malformed
+// JSON, truncated bodies and oversized payloads with an error, never a
+// panic or a hang; whatever they do accept must be internally consistent
+// enough to re-encode.
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte(`{"task_id": 3, "data": [{"id": 1, "x": [0.5, 1.5], "observed": 0, "true": 1}]}`))
+	f.Add([]byte(`{"task_id": 0, "data": []}`))
+	f.Add([]byte(`{"task_id": 3,`))
+	f.Add([]byte(`{"task_id": -1, "data": null}`))
+	f.Add([]byte(`{"task_id": 2, "size": 8, "noisy_ids": [1, 2], "clean_ids": [3], "detection": {"Precision": 1, "Recall": 0.5, "F1": 0.66}, "queued_ns": 100, "process_ns": 200, "error": "boom", "tier": "full"}`))
+	f.Add([]byte(`{"store_name": "cluster", "tasks_processed": 9, "recent": [{"task_id": 1, "shard": "s0", "rerouted": true}]}`))
+	f.Add([]byte(strings.Repeat("[", 10000)))
+	f.Add([]byte("{\"task_id\": 1, \"data\": [{\"x\": [" + strings.Repeat("1,", 4096) + "1]}]}"))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, err := decodeSubmit(bytes.NewReader(data)); err == nil {
+			if req.TaskID < 0 {
+				t.Fatalf("accepted negative task id %d", req.TaskID)
+			}
+			// An accepted submission must re-encode: the server round-trips
+			// accepted requests back into wire structs.
+			for _, s := range req.Data {
+				_ = s.ID
+			}
+		}
+		if rep, err := decodeReport(bytes.NewReader(data)); err == nil {
+			// Re-encoding an accepted report must not panic.
+			_ = encodeReport(rep)
+		}
+		_, _ = decodeStatus(bytes.NewReader(data))
+	})
+}

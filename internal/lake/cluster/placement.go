@@ -1,0 +1,125 @@
+// Package cluster shards the lake across N workers: a Coordinator places
+// datasets on ShardWorkers via rendezvous (highest-random-weight) hashing,
+// reroutes around shards marked down, and merges per-shard /statusz and
+// /metrics into one scatter/gather view. Workers run in-process behind the
+// Shard interface or across processes over the HTTP transport in
+// httpshard.go.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Rendezvous places integer keys on a fixed set of named shards by
+// highest-random-weight hashing: every (shard, key) pair gets a
+// deterministic score and the key lands on the highest-scoring shard.
+// Placement depends only on the shard names and the key — not on slice
+// order, process, or GOMAXPROCS — and removing one shard moves only the
+// keys that shard owned (each to its runner-up), never keys between
+// surviving shards. The zero value is unusable; build with NewRendezvous.
+type Rendezvous struct {
+	names []string
+	// seeds caches the per-shard name hash so scoring a key is one mix per
+	// shard, not a rehash of the name.
+	seeds []uint64
+}
+
+// NewRendezvous builds a placement over the given shard names. Names must
+// be non-empty and unique: the name is the shard's placement identity, so
+// two shards sharing a name would shadow each other.
+func NewRendezvous(names []string) (*Rendezvous, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("cluster: placement needs at least one shard")
+	}
+	seen := make(map[string]bool, len(names))
+	r := &Rendezvous{
+		names: append([]string(nil), names...),
+		seeds: make([]uint64, len(names)),
+	}
+	for i, name := range r.names {
+		if name == "" {
+			return nil, fmt.Errorf("cluster: shard %d has an empty name", i)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", name)
+		}
+		seen[name] = true
+		r.seeds[i] = fnv1a(name)
+	}
+	return r, nil
+}
+
+// Shards returns the number of shards.
+func (r *Rendezvous) Shards() int { return len(r.names) }
+
+// Name returns the name of shard i.
+func (r *Rendezvous) Name(i int) string { return r.names[i] }
+
+// Place returns the index of the shard that owns key.
+func (r *Rendezvous) Place(key int) int {
+	best, bestScore := 0, uint64(0)
+	for i := range r.seeds {
+		if s := r.score(i, key); s > bestScore || i == 0 {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// Rank returns every shard index ordered best-first for key: Rank(k)[0] is
+// the owner, Rank(k)[1] the runner-up a downed owner's keys reroute to, and
+// so on. The order is a pure function of the shard names and the key.
+func (r *Rendezvous) Rank(key int) []int {
+	type scored struct {
+		idx   int
+		score uint64
+	}
+	ranked := make([]scored, len(r.seeds))
+	for i := range r.seeds {
+		ranked[i] = scored{idx: i, score: r.score(i, key)}
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].score != ranked[b].score {
+			return ranked[a].score > ranked[b].score
+		}
+		// Scores essentially never collide, but a deterministic tiebreak
+		// (by name, the placement identity) keeps Rank a pure function of
+		// the shard set even if they do.
+		return r.names[ranked[a].idx] < r.names[ranked[b].idx]
+	})
+	out := make([]int, len(ranked))
+	for i, s := range ranked {
+		out[i] = s.idx
+	}
+	return out
+}
+
+// score mixes the cached name hash with the key through a splitmix64-style
+// finalizer. FNV alone distributes sequential integer keys poorly; the
+// finalizer's avalanche gives the near-uniform spread the balance property
+// test pins.
+func (r *Rendezvous) score(shard, key int) uint64 {
+	x := r.seeds[shard] ^ (uint64(key) * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// fnv1a is the 64-bit FNV-1a hash of s, spelled out so placement never
+// depends on a hash implementation that could change underneath us.
+func fnv1a(s string) uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func shardNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("shard-%d", i)
+	}
+	return names
+}
+
+func TestRendezvousValidation(t *testing.T) {
+	if _, err := NewRendezvous(nil); err == nil {
+		t.Fatal("empty shard set accepted")
+	}
+	if _, err := NewRendezvous([]string{"a", ""}); err == nil {
+		t.Fatal("empty shard name accepted")
+	}
+	if _, err := NewRendezvous([]string{"a", "b", "a"}); err == nil {
+		t.Fatal("duplicate shard name accepted")
+	}
+}
+
+// TestRendezvousDeterministic pins the core placement contract: the same
+// key maps to the same shard regardless of goroutine interleaving, shard
+// slice order, or GOMAXPROCS — placement is a pure function of (names, key).
+func TestRendezvousDeterministic(t *testing.T) {
+	names := shardNames(5)
+	r, err := NewRendezvous(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 2000
+	want := make([]int, keys)
+	wantRank := make([][]int, keys)
+	for k := 0; k < keys; k++ {
+		want[k] = r.Place(k)
+		wantRank[k] = r.Rank(k)
+		if want[k] != wantRank[k][0] {
+			t.Fatalf("key %d: Place=%d but Rank[0]=%d", k, want[k], wantRank[k][0])
+		}
+	}
+
+	// Same placement from a Rendezvous built over a permuted name slice:
+	// identity is the name, not the index.
+	perm := []string{names[3], names[0], names[4], names[1], names[2]}
+	rp, err := NewRendezvous(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < keys; k++ {
+		if got, want := rp.Name(rp.Place(k)), r.Name(want[k]); got != want {
+			t.Fatalf("key %d: permuted placement %s != %s", k, got, want)
+		}
+	}
+
+	// Concurrent re-derivation under -race, one goroutine per P.
+	var wg sync.WaitGroup
+	errs := make(chan error, runtime.GOMAXPROCS(0))
+	for g := 0; g < runtime.GOMAXPROCS(0); g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				if got := r.Place(k); got != want[k] {
+					errs <- fmt.Errorf("key %d: concurrent Place %d != %d", k, got, want[k])
+					return
+				}
+				rank := r.Rank(k)
+				for i, idx := range rank {
+					if idx != wantRank[k][i] {
+						errs <- fmt.Errorf("key %d: concurrent Rank differs at %d", k, i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestRendezvousBalance pins near-uniform spread: over 10k keys every shard
+// stays within 15% of its fair share at N in {2, 4, 8}.
+func TestRendezvousBalance(t *testing.T) {
+	const keys = 10000
+	for _, n := range []int{2, 4, 8} {
+		r, err := NewRendezvous(shardNames(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, n)
+		for k := 0; k < keys; k++ {
+			counts[r.Place(k)]++
+		}
+		fair := float64(keys) / float64(n)
+		for i, c := range counts {
+			dev := (float64(c) - fair) / fair
+			if dev < 0 {
+				dev = -dev
+			}
+			if dev > 0.15 {
+				t.Errorf("n=%d shard %d holds %d keys, %.1f%% off the fair share %.0f",
+					n, i, c, dev*100, fair)
+			}
+		}
+	}
+}
+
+// TestRendezvousMinimalDisruption pins HRW's defining property: growing or
+// shrinking the shard set by one moves only ~1/N of the keys, and every
+// moved key involves the added/removed shard — keys never shuffle between
+// surviving shards.
+func TestRendezvousMinimalDisruption(t *testing.T) {
+	const keys = 10000
+	for _, n := range []int{2, 4, 8} {
+		small, err := NewRendezvous(shardNames(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := NewRendezvous(shardNames(n + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		newName := big.Name(n)
+		moved := 0
+		for k := 0; k < keys; k++ {
+			before, after := small.Name(small.Place(k)), big.Name(big.Place(k))
+			if before == after {
+				continue
+			}
+			moved++
+			// Growing: every moved key must land on the new shard.
+			if after != newName {
+				t.Fatalf("n=%d→%d key %d moved %s→%s, between surviving shards",
+					n, n+1, k, before, after)
+			}
+			// Shrinking (the same pair read in reverse): the moved key's
+			// new owner must be its runner-up in the larger set.
+			rank := big.Rank(k)
+			if got := big.Name(rank[1]); got != before {
+				t.Fatalf("n=%d+1 key %d: removal sent %s's key to %s, runner-up is %s",
+					n, k, after, before, got)
+			}
+		}
+		share := float64(moved) / keys
+		fair := 1 / float64(n+1)
+		if share < fair*0.5 || share > fair*1.5 {
+			t.Errorf("n=%d→%d moved %.1f%% of keys, expected ~%.1f%%",
+				n, n+1, share*100, fair*100)
+		}
+	}
+}

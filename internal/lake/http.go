@@ -99,6 +99,10 @@ type ReportSummary struct {
 	Shed         bool   `json:"shed,omitempty"`
 	Abandoned    bool   `json:"abandoned,omitempty"`
 	Tier         string `json:"tier,omitempty"`
+	// Shard and Rerouted carry cluster placement outcomes when the report
+	// came through a coordinator (see internal/lake/cluster).
+	Shard    string `json:"shard,omitempty"`
+	Rerouted bool   `json:"rerouted,omitempty"`
 }
 
 // StatusTracker accumulates task reports and serves them over HTTP. It is
@@ -273,6 +277,8 @@ func (t *StatusTracker) Snapshot() Status {
 			Shed:         rep.Shed,
 			Abandoned:    rep.Abandoned,
 			Tier:         rep.Tier,
+			Shard:        rep.Shard,
+			Rerouted:     rep.Rerouted,
 		}
 		if rep.Err != nil {
 			rs.Error = rep.Err.Error()

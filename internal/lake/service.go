@@ -66,6 +66,12 @@ type Report struct {
 	// at admission ("" when brownout is not configured). A task keeps its
 	// admission tier even if the controller moves while it is queued.
 	Tier string
+	// Shard names the cluster shard that finally served (or accounted) the
+	// task; empty outside cluster mode (see internal/lake/cluster).
+	Shard string
+	// Rerouted marks a task served by a shard other than its rendezvous
+	// owner because the owner was down or failed the submission.
+	Rerouted bool
 }
 
 // ErrBreakerOpen reports a task bypassing the primary detector because the

@@ -1,0 +1,207 @@
+package obs
+
+// Scatter/gather support for the sharded lake: a cluster coordinator
+// scrapes every shard's /metrics exposition, parses each with ParseText,
+// and merges them here into one cluster-wide exposition. Merge rules:
+//
+//   - counters and histograms are summed across shards per label set —
+//     they are monotone totals, so the sum is the cluster total;
+//   - gauges are point-in-time readings that cannot be meaningfully
+//     summed, so each shard's gauge series instead gains a shard="<name>"
+//     label and survives individually;
+//   - a pass-through part (empty shard name, used for the coordinator's
+//     own registry) contributes its gauges unlabelled.
+//
+// The merge is deterministic: parts are processed in shard-name order, so
+// float64 sums accumulate in one fixed order no matter how the scrapes
+// raced. WriteParsed renders the result back to conformant text that
+// round-trips ParseText.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// ShardExposition is one scrape to merge: a shard name and its parsed
+// exposition. An empty Shard marks a pass-through part whose gauges keep
+// their labels as-is.
+type ShardExposition struct {
+	Shard  string
+	Parsed Parsed
+}
+
+// MergeExpositions merges per-shard expositions into one cluster view
+// under the rules above. It errors on a family declared with different
+// types or histogram bucket layouts across shards, and on gauge series
+// that would collide after labelling — silent clobbering would make the
+// merged view lie.
+func MergeExpositions(parts []ShardExposition) (Parsed, error) {
+	sorted := append([]ShardExposition(nil), parts...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Shard < sorted[j].Shard })
+	out := Parsed{}
+	for _, part := range sorted {
+		names := make([]string, 0, len(part.Parsed))
+		for name := range part.Parsed {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			src := part.Parsed[name]
+			dst := out[name]
+			if dst == nil {
+				dst = &ParsedFamily{Name: name, Type: src.Type}
+				out[name] = dst
+			}
+			if dst.Type != src.Type {
+				return nil, fmt.Errorf("obs: merge: family %s is %s on shard %q but %s elsewhere",
+					name, src.Type, part.Shard, dst.Type)
+			}
+			for _, s := range src.Series {
+				if err := mergeSeries(dst, part.Shard, s); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// mergeSeries folds one source series into the destination family.
+func mergeSeries(dst *ParsedFamily, shard string, s *ParsedSeries) error {
+	switch dst.Type {
+	case typeGauge:
+		labels := cloneLabels(s.Labels)
+		if shard != "" {
+			if _, taken := labels["shard"]; !taken {
+				labels["shard"] = shard
+			}
+		}
+		if dst.find(labels) != nil {
+			return fmt.Errorf("obs: merge: duplicate gauge series %s%s", dst.Name, mapKey(labels))
+		}
+		dst.Series = append(dst.Series, &ParsedSeries{Labels: labels, Value: s.Value})
+		return nil
+	case typeCounter:
+		if have := dst.find(s.Labels); have != nil {
+			have.Value += s.Value
+			return nil
+		}
+		dst.Series = append(dst.Series, &ParsedSeries{Labels: cloneLabels(s.Labels), Value: s.Value})
+		return nil
+	case typeHistogram:
+		have := dst.find(s.Labels)
+		if have == nil {
+			cp := &ParsedSeries{
+				Labels:  cloneLabels(s.Labels),
+				Buckets: append([]ParsedBucket(nil), s.Buckets...),
+				Sum:     s.Sum,
+				Count:   s.Count,
+			}
+			dst.Series = append(dst.Series, cp)
+			return nil
+		}
+		if len(have.Buckets) != len(s.Buckets) {
+			return fmt.Errorf("obs: merge: histogram %s has %d buckets on shard %q, %d elsewhere",
+				dst.Name, len(s.Buckets), shard, len(have.Buckets))
+		}
+		for i := range s.Buckets {
+			if have.Buckets[i].LE != s.Buckets[i].LE {
+				return fmt.Errorf("obs: merge: histogram %s bucket layouts differ at le=%v vs le=%v",
+					dst.Name, s.Buckets[i].LE, have.Buckets[i].LE)
+			}
+			// Cumulative counts of identical layouts sum bucket-by-bucket.
+			have.Buckets[i].Count += s.Buckets[i].Count
+		}
+		have.Sum += s.Sum
+		have.Count += s.Count
+		return nil
+	default:
+		return fmt.Errorf("obs: merge: family %s has unsupported type %q", dst.Name, dst.Type)
+	}
+}
+
+// find returns the series with exactly these labels, or nil.
+func (f *ParsedFamily) find(labels map[string]string) *ParsedSeries {
+	key := mapKey(labels)
+	for _, s := range f.Series {
+		if mapKey(s.Labels) == key {
+			return s
+		}
+	}
+	return nil
+}
+
+func cloneLabels(labels map[string]string) map[string]string {
+	out := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteParsed renders a parsed (typically merged) exposition back to the
+// 0.0.4 text format: families sorted by name, series sorted by label set,
+// TYPE comment before samples, cumulative histogram buckets closing at
+// +Inf — everything ParseText demands, so the merged cluster view passes
+// the same conformance parser the per-shard endpoints do.
+func WriteParsed(w io.Writer, p Parsed) error {
+	names := make([]string, 0, len(p))
+	for name := range p {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := p[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		series := append([]*ParsedSeries(nil), f.Series...)
+		sort.SliceStable(series, func(i, j int) bool {
+			return mapKey(series[i].Labels) < mapKey(series[j].Labels)
+		})
+		for _, s := range series {
+			switch f.Type {
+			case typeCounter, typeGauge:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.Name,
+					renderLabelMap(s.Labels, nil), formatFloat(s.Value)); err != nil {
+					return err
+				}
+			case typeHistogram:
+				for _, b := range s.Buckets {
+					le := Label{Key: "le", Value: formatFloat(b.LE)}
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %s\n", f.Name,
+						renderLabelMap(s.Labels, &le), strconv.FormatUint(b.Count, 10)); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.Name,
+					renderLabelMap(s.Labels, nil), formatFloat(s.Sum)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %s\n", f.Name,
+					renderLabelMap(s.Labels, nil), strconv.FormatUint(s.Count, 10)); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("obs: render: family %s has unsupported type %q", f.Name, f.Type)
+			}
+		}
+	}
+	return nil
+}
+
+// renderLabelMap is renderLabels for the map-shaped label sets ParseText
+// produces: keys sorted, values escaped, optional extra label appended.
+func renderLabelMap(labels map[string]string, extra *Label) string {
+	if len(labels) == 0 && extra == nil {
+		return ""
+	}
+	pairs := make([]Label, 0, len(labels))
+	for k, v := range labels {
+		pairs = append(pairs, Label{Key: k, Value: v})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+	return renderLabels(pairs, extra)
+}

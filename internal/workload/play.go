@@ -42,12 +42,20 @@ type PlayResult struct {
 	MaxSendLagSeconds float64
 }
 
+// Submitter consumes a request stream and returns exactly one report per
+// accepted request, sorted by task ID. lake.Service and the sharded
+// cluster.Coordinator both satisfy it, which is what lets one load harness
+// drive a single service and a whole cluster identically.
+type Submitter interface {
+	Run(ctx context.Context, requests <-chan lake.Request) []lake.Report
+}
+
 // Play replays the trace against svc: each event submits catalog[entry] at
 // its scheduled offset, svc.Run consumes the stream with its configured
 // worker count, and the reports come back ordered by task ID. The service
 // must not have been started; Play owns its Run lifecycle. Cancelling ctx
 // stops submission and drains in-flight work.
-func Play(ctx context.Context, svc *lake.Service, trace *Trace, catalog []dataset.Set, opts PlayOptions) (*PlayResult, error) {
+func Play(ctx context.Context, svc Submitter, trace *Trace, catalog []dataset.Set, opts PlayOptions) (*PlayResult, error) {
 	if svc == nil {
 		return nil, fmt.Errorf("workload: nil service")
 	}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strings"
 	"time"
 
 	"enld/internal/obs"
@@ -85,7 +86,15 @@ func Summarize(spec Spec, res *PlayResult, reg *obs.Registry) (*ScenarioResult, 
 	if err := reg.WritePrometheus(&buf); err != nil {
 		return nil, err
 	}
-	parsed, err := obs.ParseText(&buf)
+	return SummarizeExposition(spec, res, &buf)
+}
+
+// SummarizeExposition is Summarize over an already-rendered exposition —
+// the cluster path: a coordinator's merged scatter/gather /metrics view
+// flows through the identical reduction a single service's registry does,
+// so one-node and N-node runs are summarized by the same code.
+func SummarizeExposition(spec Spec, res *PlayResult, r io.Reader) (*ScenarioResult, error) {
+	parsed, err := obs.ParseText(r)
 	if err != nil {
 		return nil, err
 	}
@@ -104,22 +113,54 @@ func Summarize(spec Spec, res *PlayResult, reg *obs.Registry) (*ScenarioResult, 
 	return out, nil
 }
 
-// SummarizeScrape builds a ScenarioResult from a live /metrics endpoint —
-// the over-HTTP mode: point it at a running lakesim and evaluate the same
-// SLOs against whatever the service has served so far. Offered and
+// SummarizeScrape builds a ScenarioResult from live /metrics endpoints —
+// the over-HTTP mode: point it at a running lakesim (or several) and
+// evaluate the same SLOs against whatever the services have served so far.
+// url is a comma-separated endpoint list; multiple endpoints are scraped
+// individually and merged with the cluster scatter/gather rules
+// (obs.MergeExpositions) before the one shared reduction runs, so a
+// multi-node run summarizes identically to an in-process one. Offered and
 // throughput come from the exposition (tasks completed over wallSeconds, if
 // positive), not from a replay.
 func SummarizeScrape(name, url string, slo SLO, wallSeconds float64) (*ScenarioResult, error) {
+	urls := strings.Split(url, ",")
 	client := &http.Client{Timeout: 10 * time.Second}
-	resp, err := client.Get(url)
+	parts := make([]obs.ShardExposition, 0, len(urls))
+	for _, u := range urls {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			return nil, fmt.Errorf("workload: empty scrape URL in list %q", url)
+		}
+		resp, err := client.Get(u)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("workload: scraping %s: %s", u, resp.Status)
+		}
+		parsed, err := obs.ParseText(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("workload: scraping %s: %w", u, err)
+		}
+		shard := u
+		if len(urls) == 1 {
+			// A single endpoint keeps its gauges unlabelled — byte-for-byte
+			// the pre-cluster scrape behavior.
+			shard = ""
+		}
+		parts = append(parts, obs.ShardExposition{Shard: shard, Parsed: parsed})
+	}
+	merged, err := obs.MergeExpositions(parts)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("workload: scraping %s: %s", url, resp.Status)
+	var buf bytes.Buffer
+	if err := obs.WriteParsed(&buf, merged); err != nil {
+		return nil, err
 	}
-	return SummarizeReader(name, resp.Body, slo, wallSeconds)
+	return SummarizeReader(name, &buf, slo, wallSeconds)
 }
 
 // SummarizeReader is SummarizeScrape over an already-open exposition stream.
@@ -161,8 +202,14 @@ func summarizeParsed(name string, parsed obs.Parsed) (*ScenarioResult, error) {
 			out.Outcomes[outcome] = int(v)
 		}
 	}
-	if v, ok := parsed.Gauge("enld_lake_brownout_max_tier", nil); ok {
-		out.BrownoutMaxTier = int(v)
+	// In a merged cluster exposition this gauge appears once per shard
+	// (labelled shard="k"); the cluster-level deepest tier is the max.
+	if fam := parsed["enld_lake_brownout_max_tier"]; fam != nil {
+		for _, series := range fam.Series {
+			if int(series.Value) > out.BrownoutMaxTier {
+				out.BrownoutMaxTier = int(series.Value)
+			}
+		}
 	}
 	for _, direction := range []string{"down", "up"} {
 		if v, ok := parsed.Counter("enld_lake_brownout_transitions_total",

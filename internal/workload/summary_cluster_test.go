@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"enld/internal/lake"
+	"enld/internal/obs"
+)
+
+// The coordinator satisfies the same Run contract as the service; the
+// compile-time pin for lake.Service lives here, the one for
+// cluster.Coordinator lives in cmd/loadgen (workload must not import the
+// cluster package).
+var _ Submitter = (*lake.Service)(nil)
+
+// fakeShardRegistry builds a registry carrying the families summarizeParsed
+// requires, as one shard of a cluster would expose them.
+func fakeShardRegistry(ok, degraded uint64, latencies ...float64) *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Counter("enld_lake_tasks_total", "t", obs.Label{Key: "outcome", Value: "ok"}).Add(ok)
+	reg.Counter("enld_lake_tasks_total", "t", obs.Label{Key: "outcome", Value: "degraded"}).Add(degraded)
+	reg.Counter("enld_lake_tasks_total", "t", obs.Label{Key: "outcome", Value: "dead_letter"})
+	reg.Gauge("enld_lake_brownout_max_tier", "g").Set(float64(ok % 3))
+	task := reg.Histogram("enld_lake_task_seconds", "h", obs.DefBuckets)
+	queued := reg.Histogram("enld_lake_queued_seconds", "h", obs.DefBuckets)
+	for _, v := range latencies {
+		task.Observe(v)
+		queued.Observe(v / 10)
+	}
+	return reg
+}
+
+// TestSummarizeScrapeMultiEndpoint pins the multi-node scrape path: a
+// comma-separated -scrape-url list is scraped endpoint-by-endpoint, merged
+// under the cluster rules, and reduced by the same code as a single
+// endpoint — counters and histogram counts sum, the max-tier gauge takes
+// the cluster-wide max.
+func TestSummarizeScrapeMultiEndpoint(t *testing.T) {
+	srvA := httptest.NewServer(fakeShardRegistry(5, 1, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6).Handler())
+	defer srvA.Close()
+	srvB := httptest.NewServer(fakeShardRegistry(4, 0, 0.1, 0.2, 0.3, 0.4).Handler())
+	defer srvB.Close()
+
+	res, err := SummarizeScrape("multi", srvA.URL+"/metrics,"+srvB.URL+"/metrics", SLO{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 10 {
+		t.Fatalf("merged completed = %d, want 10", res.Completed)
+	}
+	if res.Outcomes["ok"] != 9 || res.Outcomes["degraded"] != 1 {
+		t.Fatalf("merged outcomes = %v", res.Outcomes)
+	}
+	if res.TaskSeconds.Count != 10 {
+		t.Fatalf("merged latency count = %d, want 10", res.TaskSeconds.Count)
+	}
+	if res.BrownoutMaxTier != 2 {
+		t.Fatalf("cluster max tier = %d, want max over shards (2)", res.BrownoutMaxTier)
+	}
+	if res.ThroughputRPS != 1.0 {
+		t.Fatalf("throughput = %v, want 1.0", res.ThroughputRPS)
+	}
+
+	// A single endpoint still summarizes exactly as before.
+	single, err := SummarizeScrape("single", srvA.URL+"/metrics", SLO{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Completed != 6 || single.TaskSeconds.Count != 6 || single.BrownoutMaxTier != 2 {
+		t.Fatalf("single scrape regressed: %+v", single)
+	}
+
+	if _, err := SummarizeScrape("bad", srvA.URL+"/metrics,,", SLO{}, 10); err == nil {
+		t.Fatal("empty URL in list accepted")
+	}
+}
